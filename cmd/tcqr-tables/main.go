@@ -1,0 +1,116 @@
+// Command tcqr-tables regenerates every table and figure of the paper's
+// evaluation section and prints them as text, side by side with the
+// paper's reference values where the paper states them.
+//
+// Usage:
+//
+//	tcqr-tables                      # everything at the quick scale
+//	tcqr-tables -exp fig3,fig9       # selected experiments
+//	tcqr-tables -scale default       # larger numeric experiments
+//	tcqr-tables -list                # list experiment ids
+//
+// Accuracy experiments (fig3, fig4, fig8, fig9, table4, scaling) run the
+// real algorithms on the software neural engine at the selected scale;
+// performance experiments (table2, table3, fig1, fig2, fig5, fig6, fig7,
+// panel) come from the calibrated V100 model. See DESIGN.md and
+// EXPERIMENTS.md in the repository root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tcqr/internal/experiments"
+)
+
+type experiment struct {
+	id, desc string
+	run      func(experiments.Scale) string
+}
+
+var catalogue = []experiment{
+	{"table2", "MAGMA hybrid QR with/without TensorCore vs block size", func(experiments.Scale) string { return experiments.Table2().Render() }},
+	{"table3", "device GEMM/panel throughput calibration", func(experiments.Scale) string { return experiments.Table3().Render() }},
+	{"fig1", "estimated tiled Householder QR throughput (Eq. 4)", func(experiments.Scale) string { return experiments.Fig1().Render() }},
+	{"fig2", "estimated RGSQRF throughput vs cutoff (Eq. 7)", func(experiments.Scale) string { return experiments.Fig2().Render() }},
+	{"fig3", "QR backward error vs cond(A)", func(s experiments.Scale) string { return experiments.Fig3(s).Render() }},
+	{"fig4", "orthogonality vs cond(A), with re-orthogonalization", func(s experiments.Scale) string { return experiments.Fig4(s).Render() }},
+	{"fig5", "RGSQRF-ReOrtho vs SGEQRF+SORMQR time", func(experiments.Scale) string { return experiments.Fig5().Render() }},
+	{"fig6", "RGSQRF throughput and speedup, CAQR vs SGEQRF panel", func(experiments.Scale) string { return experiments.Fig6().Render() }},
+	{"fig7", "TensorCore on/off in panel and update", func(experiments.Scale) string { return experiments.Fig7().Render() }},
+	{"fig8", "LLS solver times across matrix families", func(s experiments.Scale) string { return experiments.Fig8(s).Render() }},
+	{"fig9", "LLS accuracy across condition numbers", func(s experiments.Scale) string { return experiments.Fig9(s).Render() }},
+	{"table4", "QR-SVD low rank approximation quality and time", func(s experiments.Scale) string { return experiments.Table4(s).Render() }},
+	{"scaling", "Section 3.5 column-scaling overflow safeguard", func(s experiments.Scale) string { return experiments.Scaling(s).Render() }},
+	{"panel", "Section 3.1.3 CAQR panel microbenchmark", func(experiments.Scale) string { return experiments.Panel().Render() }},
+	{"formats", "FP16 vs bfloat16 engine trade-off (Section 2.1 extension)", func(s experiments.Scale) string { return experiments.Formats(s).Render() }},
+	{"growth", "LU elimination growth vs QR on the neural engine (Section 3.5 extension)", func(s experiments.Scale) string { return experiments.Growth(s).Render() }},
+	{"orthomethods", "loss of orthogonality across methods (Section 3.6 extension)", func(s experiments.Scale) string { return experiments.OrthoMethods(s).Render() }},
+	{"bounds", "fitted loss-of-orthogonality exponents (Section 3.6 verification)", func(s experiments.Scale) string { return experiments.Bounds(s).Render() }},
+	{"errorgrowth", "backward error growth with size (probabilistic rounding, Section 5 refs)", func(s experiments.Scale) string { return experiments.ErrorGrowth(s).Render() }},
+	{"breakdown", "RGSQRF time itemization: panel vs engine GEMMs", func(experiments.Scale) string { return experiments.Breakdowns().Render() }},
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (see -list)")
+	scaleFlag := flag.String("scale", "quick", "numeric experiment scale: quick, default, full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range catalogue {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.QuickScale
+	case "default":
+		scale = experiments.DefaultScale
+	case "full":
+		scale = experiments.FullScale
+	default:
+		fmt.Fprintf(os.Stderr, "tcqr-tables: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		known := map[string]bool{}
+		for _, e := range catalogue {
+			known[e.id] = true
+		}
+		var unknown []string
+		for id := range want {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "tcqr-tables: unknown experiments: %s (use -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	first := true
+	for _, e := range catalogue {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		if !first {
+			fmt.Println()
+		}
+		first = false
+		fmt.Print(e.run(scale))
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tcqr/internal/experiments"
+)
+
+func TestCatalogueIDsUniqueAndRunnable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range catalogue {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.desc == "" {
+			t.Errorf("experiment %q missing description", e.id)
+		}
+	}
+	// The cheap model-only experiments render without panicking.
+	for _, id := range []string{"table2", "table3", "fig1", "fig2", "fig5", "fig6", "fig7", "panel"} {
+		for _, e := range catalogue {
+			if e.id != id {
+				continue
+			}
+			if out := e.run(experiments.QuickScale); !strings.Contains(strings.ToLower(out), id[:3]) && len(out) < 40 {
+				t.Errorf("experiment %q produced suspicious output", id)
+			}
+		}
+	}
+}

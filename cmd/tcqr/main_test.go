@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "m.csv")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadCSVMatrixOnly(t *testing.T) {
+	p := writeTemp(t, "1,2\n3,4\n5,6\n")
+	a, b, err := readCSV(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != nil {
+		t.Fatal("unexpected rhs")
+	}
+	if a.Rows != 3 || a.Cols != 2 || a.At(2, 1) != 6 || a.At(1, 0) != 3 {
+		t.Fatalf("parsed wrong: %+v", a)
+	}
+}
+
+func TestReadCSVWithRHS(t *testing.T) {
+	p := writeTemp(t, "1,2,10\n3,4,20\n")
+	a, b, err := readCSV(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cols != 2 || b == nil || len(b) != 2 || b[1] != 20 {
+		t.Fatalf("rhs parsing wrong: %+v %v", a, b)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, _, err := readCSV(writeTemp(t, ""), false); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, _, err := readCSV(writeTemp(t, "1,x\n"), false); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+	if _, _, err := readCSV(writeTemp(t, "1\n2\n"), true); err == nil {
+		t.Error("single column with rhs accepted")
+	}
+	if _, _, err := readCSV(filepath.Join(t.TempDir(), "missing.csv"), false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCatalogueSanity(t *testing.T) {
+	// Keep btoi honest while it exists.
+	if btoi(true) != 1 || btoi(false) != 0 {
+		t.Error("btoi")
+	}
+}

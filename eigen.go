@@ -1,0 +1,68 @@
+package tcqr
+
+import (
+	"fmt"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/eig"
+)
+
+// EigenDecomposition is A = V·diag(Values)·Vᵀ for a symmetric A, with
+// Values ascending.
+type EigenDecomposition struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// SymmetricEigen computes the full eigendecomposition of a symmetric
+// matrix by the QR-algorithm pipeline (Householder tridiagonalization +
+// implicit QL with shifts), in float64. Only the lower triangle of a is
+// referenced. It rounds out the paper's list of QR applications and
+// serves as the exact reference for the spectral examples.
+func SymmetricEigen(a *Matrix) (*EigenDecomposition, error) {
+	dec, err := eig.Sym(a)
+	if err != nil {
+		return nil, err
+	}
+	return &EigenDecomposition{Values: dec.Values, Vectors: dec.Vectors}, nil
+}
+
+// RayleighRitz estimates the dominant eigenpairs of the symmetric operator
+// applyA restricted to the subspace spanned by the orthonormal columns of
+// q (e.g. from Orthonormalize over a Krylov basis): it forms H = Qᵀ·A·Q
+// and eigensolves it, returning Ritz values descending. This is the
+// subspace-projection pattern the paper's orthogonalization application
+// (Section 3.3) exists to enable.
+func RayleighRitz(q *Matrix32, applyA func(dst, src []float64)) ([]float64, error) {
+	m, k := q.Rows, q.Cols
+	if k == 0 {
+		return nil, fmt.Errorf("tcqr: empty basis")
+	}
+	// AQ in float64 (the projection is the accuracy-critical step).
+	q64 := dense.ToF64(q)
+	aq := dense.New[float64](m, k)
+	for j := 0; j < k; j++ {
+		applyA(aq.Col(j), q64.Col(j))
+	}
+	h := dense.New[float64](k, k)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, q64, aq, 0, h)
+	// Symmetrize against rounding before the symmetric solver.
+	for j := 0; j < k; j++ {
+		for i := 0; i < j; i++ {
+			v := 0.5 * (h.At(i, j) + h.At(j, i))
+			h.Set(i, j, v)
+			h.Set(j, i, v)
+		}
+	}
+	dec, err := eig.Sym(h)
+	if err != nil {
+		return nil, err
+	}
+	// Descending for "dominant-first" reporting.
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = dec.Values[k-1-i]
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package tcqr_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcqr"
+)
+
+// ExampleFactorize factors a random tall matrix on the simulated neural
+// engine and reports whether the two paper accuracy metrics land at their
+// expected levels.
+func ExampleFactorize() {
+	rng := rand.New(rand.NewSource(1))
+	a := tcqr.NewMatrix32(512, 128)
+	for i := range a.Data {
+		a.Data[i] = float32(rng.NormFloat64())
+	}
+	f, err := tcqr.Factorize(a, tcqr.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("R upper triangular:", f.R.Rows == 128 && f.R.Cols == 128)
+	fmt.Println("backward error at half-precision level:", f.BackwardError(a) < 5e-3)
+	// Output:
+	// R upper triangular: true
+	// backward error at half-precision level: true
+}
+
+// ExampleSolveLeastSquares solves a consistent system to double precision
+// with the CGLS refinement of Algorithm 3.
+func ExampleSolveLeastSquares() {
+	rng := rand.New(rand.NewSource(2))
+	const m, n = 400, 80
+	a := tcqr.NewMatrix(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, m)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			b[i] += a.At(i, j) * xTrue[j]
+		}
+	}
+	sol, err := tcqr.SolveLeastSquares(a, b, tcqr.SolveOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", sol.Converged)
+	fmt.Println("double-precision optimality:", sol.Optimality < 1e-10)
+	// Output:
+	// converged: true
+	// double-precision optimality: true
+}
+
+// ExampleLowRank truncates a tall matrix with a known fast-decaying
+// spectrum.
+func ExampleLowRank() {
+	rng := rand.New(rand.NewSource(3))
+	a := tcqr.NewMatrix32(1024, 32)
+	// Rank-2 structure plus small noise.
+	for i := 0; i < 1024; i++ {
+		for j := 0; j < 32; j++ {
+			v := float64((i%7))*float64(j%5) + 0.5*float64(i%3)
+			a.Set(i, j, float32(v+0.001*rng.NormFloat64()))
+		}
+	}
+	lr, err := tcqr.LowRank(a, 4, tcqr.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rank:", lr.Rank)
+	fmt.Println("captures the structure:", lr.Error(a) < 1e-2)
+	// Output:
+	// rank: 4
+	// captures the structure: true
+}

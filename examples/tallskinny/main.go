@@ -1,0 +1,71 @@
+// Tall-skinny QR: the extreme-aspect-ratio case of the related work
+// (Ootomo & Yokota, "TSQR on Tensor Cores", SC'19 — limited to very tall
+// matrices with 16 columns; the paper positions RGSQRF as handling
+// arbitrary shapes while containing a TSQR as its panel).
+//
+// This example runs that panel — the communication-avoiding Gram-Schmidt
+// tree of Eq. 8 — standalone on a 262144×16 matrix: the rows are split
+// into 256-row tiles factored concurrently (the simulated threadblocks),
+// the stacked R factors are reduced in a log tree, and the tile Q factors
+// are fixed up with a batched GEMM. Wall time is compared against blocked
+// Householder on the same matrix, and against the full RGSQRF on a
+// moderate-aspect matrix to show the same code covers both regimes.
+//
+// Run with: go run ./examples/tallskinny
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"tcqr"
+	"tcqr/internal/accuracy"
+	"tcqr/internal/gram"
+)
+
+func main() {
+	const m, n = 262144, 16
+	rng := rand.New(rand.NewSource(5))
+	a := tcqr.NewMatrix32(m, n)
+	for i := range a.Data {
+		a.Data[i] = float32(rng.NormFloat64())
+	}
+	fmt.Printf("tall-skinny QR of a %dx%d matrix (aspect ratio %d:1)\n\n", m, n, m/n)
+
+	// The CAQR/TSQR panel, standalone.
+	caqr := &gram.CAQRPanel{}
+	start := time.Now()
+	q, r := caqr.Factor(a)
+	tCAQR := time.Since(start)
+	fmt.Printf("CAQR (TSQR) panel      : %8.1f ms   backward error %.2e   ‖I-QᵀQ‖ %.2e\n",
+		float64(tCAQR.Microseconds())/1e3, accuracy.BackwardError(a, q, r), accuracy.OrthoError(q))
+
+	// Blocked Householder on the same matrix.
+	hh := &gram.HouseholderPanel{}
+	start = time.Now()
+	qh, rh := hh.Factor(a)
+	tHH := time.Since(start)
+	fmt.Printf("blocked Householder    : %8.1f ms   backward error %.2e   ‖I-QᵀQ‖ %.2e\n",
+		float64(tHH.Microseconds())/1e3, accuracy.BackwardError(a, qh, rh), accuracy.OrthoError(qh))
+	fmt.Printf("software speedup       : %8.1fx  (the paper's V100 panel: 3.3x over cuSOLVER)\n\n",
+		float64(tHH)/float64(tCAQR))
+
+	// The same code path inside the general factorization: a moderate
+	// aspect ratio through the public API, where the panel handles the
+	// leaves and the neural-engine GEMMs handle the rest.
+	const gm, gn = 16384, 512
+	g := tcqr.NewMatrix32(gm, gn)
+	for i := range g.Data {
+		g.Data[i] = float32(rng.NormFloat64())
+	}
+	start = time.Now()
+	f, err := tcqr.Factorize(g, tcqr.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full RGSQRF %dx%d   : %8.1f ms   backward error %.2e\n",
+		gm, gn, float64(time.Since(start).Microseconds())/1e3, f.BackwardError(g))
+	fmt.Println("\n(software timings of the simulator; simulated-V100 numbers come from cmd/tcqr-tables)")
+}

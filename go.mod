@@ -1,0 +1,3 @@
+module tcqr
+
+go 1.22

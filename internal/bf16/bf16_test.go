@@ -1,0 +1,128 @@
+package bf16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownConversions(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want BFloat16
+	}{
+		{0, 0x0000},
+		{1, 0x3f80},
+		{-1, 0xbf80},
+		{2, 0x4000},
+		{0.5, 0x3f00},
+		{float32(math.Inf(1)), 0x7f80},
+		{float32(math.Inf(-1)), 0xff80},
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.in); got != c.want {
+			t.Errorf("FromFloat32(%g) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestResolutionAtOne(t *testing.T) {
+	// The paper: "there is no bfloat16 number between 1 and 1.0078".
+	next := BFloat16(0x3f81).Float32()
+	if math.Abs(float64(next)-1.0078125) > 1e-9 {
+		t.Errorf("next after 1 = %v, want 1.0078125", next)
+	}
+	// Everything strictly between rounds to one of the two.
+	mid := Round(1.003)
+	if mid != 1 {
+		t.Errorf("Round(1.003) = %v, want 1 (nearest)", mid)
+	}
+	if got := Round(1.006); got != next {
+		t.Errorf("Round(1.006) = %v, want %v", got, next)
+	}
+}
+
+func TestRangeVsBinary16(t *testing.T) {
+	// 1e6 overflows binary16 (max 65504) but is far inside bfloat16 range.
+	if Overflows(1e6) {
+		t.Error("1e6 must not overflow bfloat16")
+	}
+	if v := FromFloat32(1e6).Float32(); math.IsInf(float64(v), 0) || math.Abs(float64(v)-1e6) > Eps*1e6 {
+		t.Errorf("1e6 rounded to %v", v)
+	}
+	if Overflows(float32(math.Inf(1))) {
+		t.Error("already-infinite input is not an overflow")
+	}
+	// The extreme top of float32 does overflow (above MaxValue).
+	if !Overflows(float32(3.4e38)) {
+		t.Error("3.4e38 should round to Inf in bfloat16")
+	}
+}
+
+func TestRoundTripAllPatterns(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		h := BFloat16(i)
+		f := h.Float32()
+		if h.IsNaN() {
+			if !math.IsNaN(float64(f)) {
+				t.Fatalf("%#04x decoded to %v", i, f)
+			}
+			continue
+		}
+		if got := FromFloat32(f); got != h {
+			t.Fatalf("round trip %#04x -> %v -> %#04x", i, f, got)
+		}
+	}
+}
+
+func TestTiesToEven(t *testing.T) {
+	// 1 + 2^-8 is exactly between 1 (even mantissa) and 1+2^-7: down.
+	if got := Round(1 + 1.0/256); got != 1 {
+		t.Errorf("Round(1+2^-8) = %v, want 1", got)
+	}
+	// 1 + 3·2^-8 between odd and even: up to 1+2^-6... the candidates are
+	// 1+2^-7 (mantissa 1, odd) and 1+2^-6 (mantissa 2, even).
+	if got := Round(1 + 3.0/256); got != 1+2.0/128 {
+		t.Errorf("Round(1+3·2^-8) = %v, want %v", got, 1+2.0/128)
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	f := func(x float32) bool {
+		ax := math.Abs(float64(x))
+		if ax < MinNormal || ax > MaxValue || math.IsNaN(float64(x)) {
+			return true
+		}
+		return math.Abs(float64(Round(x))-float64(x)) <= Eps*ax*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaNHandling(t *testing.T) {
+	h := FromFloat32(float32(math.NaN()))
+	if !h.IsNaN() || !math.IsNaN(float64(h.Float32())) {
+		t.Error("NaN mishandled")
+	}
+}
+
+func TestRoundSlice(t *testing.T) {
+	src := []float32{1, 1.003, 1e6, -3.4e38}
+	dst := make([]float32, 4)
+	RoundSlice(dst, src)
+	for i, v := range src {
+		if dst[i] != Round(v) {
+			t.Errorf("RoundSlice[%d]", i)
+		}
+	}
+}
+
+func TestCoarserThanBinary16(t *testing.T) {
+	// bfloat16's error on 1/3 is ~8x binary16's (3 fewer mantissa bits).
+	x := float32(1.0 / 3.0)
+	errBF := math.Abs(float64(Round(x) - x))
+	if errBF < 4e-4 || errBF > 2e-3 {
+		t.Errorf("bfloat16 error on 1/3 = %g, expected ~1e-3", errBF)
+	}
+}

@@ -1,0 +1,36 @@
+package blas
+
+import (
+	"sync"
+
+	"tcqr/internal/dense"
+)
+
+// GemmBatch performs the same GEMM operation on a batch of independent
+// triples, mirroring cuBLAS gemmBatched, which the CAQR panel uses to apply
+// the tree of small Q factors (step 4 of Eq. 8 in the paper). Each problem
+// runs on its own goroutine, throttled to the available parallelism.
+func GemmBatch[T dense.Float](tA, tB Transpose, alpha T, a, b []*dense.Matrix[T], beta T, c []*dense.Matrix[T]) {
+	if len(a) != len(b) || len(a) != len(c) {
+		panic("blas: GemmBatch batch size mismatch")
+	}
+	sem := make(chan struct{}, maxWorkers())
+	var wg sync.WaitGroup
+	for i := range a {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			m, n, k := checkGemm(tA, tB, a[i], b[i], c[i])
+			if m == 0 || n == 0 {
+				return
+			}
+			if alpha == 0 || k == 0 {
+				scaleCols(c[i], beta, 0, n)
+				return
+			}
+			gemmCols(tA, tB, alpha, a[i], b[i], beta, c[i], 0, n, k, m)
+		}(i)
+	}
+	wg.Wait()
+}

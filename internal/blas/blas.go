@@ -1,0 +1,78 @@
+// Package blas implements the dense linear-algebra kernels (BLAS levels 1-3)
+// that the rest of the repository builds on, generically over float32 and
+// float64. Instantiated at float32 it plays the role of cuBLAS SGEMM/STRSM
+// etc. in the paper's experiments; at float64 it is the DGEMM substrate for
+// the double-precision baselines.
+//
+// All matrix arguments use the column-major dense.Matrix representation.
+// Accumulation happens in the native precision of the instantiation, exactly
+// like the corresponding vendor BLAS routine (SGEMM accumulates in float32),
+// which matters for the mixed-precision error behaviour studied in the
+// paper. Level-3 routines parallelize across goroutines; partitioning is
+// fixed by output ownership, so results are deterministic and race-free.
+package blas
+
+import (
+	"fmt"
+
+	"tcqr/internal/dense"
+)
+
+// Transpose selects op(X) for level-2/3 routines.
+type Transpose int
+
+const (
+	// NoTrans selects op(X) = X.
+	NoTrans Transpose = iota
+	// Trans selects op(X) = Xᵀ.
+	Trans
+)
+
+// Side selects the side a triangular factor is applied from.
+type Side int
+
+const (
+	// Left solves op(A)·X = B.
+	Left Side = iota
+	// Right solves X·op(A) = B.
+	Right
+)
+
+// Uplo selects the stored triangle of a triangular or symmetric matrix.
+type Uplo int
+
+const (
+	// Upper uses the upper triangle.
+	Upper Uplo = iota
+	// Lower uses the lower triangle.
+	Lower
+)
+
+// Diag states whether a triangular matrix has a unit diagonal.
+type Diag int
+
+const (
+	// NonUnit reads the diagonal from storage.
+	NonUnit Diag = iota
+	// Unit assumes an implicit unit diagonal.
+	Unit
+)
+
+func opShape[T dense.Float](t Transpose, m *dense.Matrix[T]) (r, c int) {
+	if t == NoTrans {
+		return m.Rows, m.Cols
+	}
+	return m.Cols, m.Rows
+}
+
+func checkGemm[T dense.Float](tA, tB Transpose, a, b, c *dense.Matrix[T]) (m, n, k int) {
+	am, ak := opShape(tA, a)
+	bk, bn := opShape(tB, b)
+	if ak != bk {
+		panic(fmt.Sprintf("blas: gemm inner dimension mismatch %d vs %d", ak, bk))
+	}
+	if c.Rows != am || c.Cols != bn {
+		panic(fmt.Sprintf("blas: gemm output %dx%d, want %dx%d", c.Rows, c.Cols, am, bn))
+	}
+	return am, bn, ak
+}

@@ -1,0 +1,90 @@
+package blas
+
+import (
+	"math"
+
+	"tcqr/internal/dense"
+)
+
+// Dot returns xᵀy accumulated in the native precision.
+func Dot[T dense.Float](x, y []T) T {
+	if len(x) != len(y) {
+		panic("blas: dot length mismatch")
+	}
+	var s T
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Nrm2 returns ‖x‖₂ with scaling against overflow, in the native precision.
+func Nrm2[T dense.Float](x []T) T {
+	var scale, ssq T = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * T(math.Sqrt(float64(ssq)))
+}
+
+// Asum returns Σ|xᵢ|.
+func Asum[T dense.Float](x []T) T {
+	var s T
+	for _, v := range x {
+		if v < 0 {
+			s -= v
+		} else {
+			s += v
+		}
+	}
+	return s
+}
+
+// Axpy computes y ← αx + y.
+func Axpy[T dense.Float](alpha T, x, y []T) {
+	if len(x) != len(y) {
+		panic("blas: axpy length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal computes x ← αx.
+func Scal[T dense.Float](alpha T, x []T) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Iamax returns the index of the element with the largest magnitude, or -1
+// for an empty vector.
+func Iamax[T dense.Float](x []T) int {
+	best, bi := T(-1), -1
+	for i, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

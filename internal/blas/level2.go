@@ -1,0 +1,202 @@
+package blas
+
+import (
+	"fmt"
+
+	"tcqr/internal/dense"
+)
+
+// Gemv computes y ← α·op(A)·x + β·y.
+func Gemv[T dense.Float](tA Transpose, alpha T, a *dense.Matrix[T], x []T, beta T, y []T) {
+	r, c := opShape(tA, a)
+	if len(x) != c || len(y) != r {
+		panic(fmt.Sprintf("blas: gemv shapes op(A)=%dx%d x=%d y=%d", r, c, len(x), len(y)))
+	}
+	if beta == 0 {
+		for i := range y {
+			y[i] = 0
+		}
+	} else if beta != 1 {
+		Scal(beta, y)
+	}
+	if alpha == 0 {
+		return
+	}
+	if tA == NoTrans {
+		for j := 0; j < a.Cols; j++ {
+			xj := alpha * x[j]
+			if xj == 0 {
+				continue
+			}
+			col := a.Col(j)
+			for i, v := range col {
+				y[i] += v * xj
+			}
+		}
+		return
+	}
+	for j := 0; j < a.Cols; j++ {
+		y[j] += alpha * Dot(a.Col(j), x)
+	}
+}
+
+// Ger computes A ← α·x·yᵀ + A.
+func Ger[T dense.Float](alpha T, x, y []T, a *dense.Matrix[T]) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic(fmt.Sprintf("blas: ger shapes A=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for j := 0; j < a.Cols; j++ {
+		yj := alpha * y[j]
+		if yj == 0 {
+			continue
+		}
+		col := a.Col(j)
+		for i, v := range x {
+			col[i] += v * yj
+		}
+	}
+}
+
+// Trsv solves op(A)·x = b in place (x ← op(A)⁻¹·x) for a triangular A.
+func Trsv[T dense.Float](uplo Uplo, tA Transpose, diag Diag, a *dense.Matrix[T], x []T) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("blas: trsv requires a square matrix")
+	}
+	if len(x) != n {
+		panic("blas: trsv vector length mismatch")
+	}
+	// Four effective cases; op(Upper)ᵀ behaves like Lower and vice versa.
+	forward := (uplo == Lower) == (tA == NoTrans)
+	if tA == NoTrans {
+		if forward { // lower, forward substitution (column variant)
+			for j := 0; j < n; j++ {
+				if diag == NonUnit {
+					x[j] /= a.At(j, j)
+				}
+				xj := x[j]
+				if xj == 0 {
+					continue
+				}
+				col := a.Col(j)
+				for i := j + 1; i < n; i++ {
+					x[i] -= col[i] * xj
+				}
+			}
+		} else { // upper, backward substitution
+			for j := n - 1; j >= 0; j-- {
+				if diag == NonUnit {
+					x[j] /= a.At(j, j)
+				}
+				xj := x[j]
+				if xj == 0 {
+					continue
+				}
+				col := a.Col(j)
+				for i := 0; i < j; i++ {
+					x[i] -= col[i] * xj
+				}
+			}
+		}
+		return
+	}
+	// Transposed cases use dot products along columns.
+	if forward { // A upper, solving Aᵀx = b forward
+		for j := 0; j < n; j++ {
+			col := a.Col(j)
+			var s T
+			for i := 0; i < j; i++ {
+				s += col[i] * x[i]
+			}
+			x[j] -= s
+			if diag == NonUnit {
+				x[j] /= col[j]
+			}
+		}
+	} else { // A lower, solving Aᵀx = b backward
+		for j := n - 1; j >= 0; j-- {
+			col := a.Col(j)
+			var s T
+			for i := j + 1; i < n; i++ {
+				s += col[i] * x[i]
+			}
+			x[j] -= s
+			if diag == NonUnit {
+				x[j] /= col[j]
+			}
+		}
+	}
+}
+
+// Trmv computes x ← op(A)·x for a triangular A.
+func Trmv[T dense.Float](uplo Uplo, tA Transpose, diag Diag, a *dense.Matrix[T], x []T) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("blas: trmv requires a square matrix")
+	}
+	if len(x) != n {
+		panic("blas: trmv vector length mismatch")
+	}
+	if tA == NoTrans {
+		if uplo == Upper {
+			for i := 0; i < n; i++ {
+				var s T
+				if diag == Unit {
+					s = x[i]
+				} else {
+					s = a.At(i, i) * x[i]
+				}
+				for j := i + 1; j < n; j++ {
+					s += a.At(i, j) * x[j]
+				}
+				x[i] = s
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				var s T
+				if diag == Unit {
+					s = x[i]
+				} else {
+					s = a.At(i, i) * x[i]
+				}
+				for j := 0; j < i; j++ {
+					s += a.At(i, j) * x[j]
+				}
+				x[i] = s
+			}
+		}
+		return
+	}
+	if uplo == Upper { // Aᵀ with A upper acts lower: go backward
+		for j := n - 1; j >= 0; j-- {
+			col := a.Col(j)
+			var s T
+			if diag == Unit {
+				s = x[j]
+			} else {
+				s = col[j] * x[j]
+			}
+			for i := 0; i < j; i++ {
+				s += col[i] * x[i]
+			}
+			x[j] = s
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			col := a.Col(j)
+			var s T
+			if diag == Unit {
+				s = x[j]
+			} else {
+				s = col[j] * x[j]
+			}
+			for i := j + 1; i < n; i++ {
+				s += col[i] * x[i]
+			}
+			x[j] = s
+		}
+	}
+}

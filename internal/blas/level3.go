@@ -1,0 +1,235 @@
+package blas
+
+import (
+	"fmt"
+
+	"tcqr/internal/dense"
+)
+
+// Gemm computes C ← α·op(A)·op(B) + β·C. Work is parallelized over column
+// blocks of C; each block is owned by exactly one goroutine.
+func Gemm[T dense.Float](tA, tB Transpose, alpha T, a, b *dense.Matrix[T], beta T, c *dense.Matrix[T]) {
+	m, n, k := checkGemm(tA, tB, a, b, c)
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha == 0 || k == 0 {
+		scaleCols(c, beta, 0, n)
+		return
+	}
+	// Choose a chunk size that amortizes goroutine overhead: at least ~64k
+	// multiply-adds per task.
+	minChunk := 1 + (1<<16)/(m*k+1)
+	parallelRange(n, minChunk, func(j0, j1 int) {
+		gemmCols(tA, tB, alpha, a, b, beta, c, j0, j1, k, m)
+	})
+}
+
+func scaleCols[T dense.Float](c *dense.Matrix[T], beta T, j0, j1 int) {
+	if beta == 1 {
+		return
+	}
+	for j := j0; j < j1; j++ {
+		col := c.Col(j)
+		if beta == 0 {
+			for i := range col {
+				col[i] = 0
+			}
+		} else {
+			for i := range col {
+				col[i] *= beta
+			}
+		}
+	}
+}
+
+// gemmCols computes columns [j0, j1) of the GEMM output.
+func gemmCols[T dense.Float](tA, tB Transpose, alpha T, a, b *dense.Matrix[T], beta T, c *dense.Matrix[T], j0, j1, k, m int) {
+	switch {
+	case tA == NoTrans && tB == NoTrans:
+		scaleCols(c, beta, j0, j1)
+		for l := 0; l < k; l++ {
+			al := a.Col(l)
+			for j := j0; j < j1; j++ {
+				t := alpha * b.At(l, j)
+				if t == 0 {
+					continue
+				}
+				cj := c.Col(j)
+				for i, v := range al {
+					cj[i] += v * t
+				}
+			}
+		}
+	case tA == Trans && tB == NoTrans:
+		for j := j0; j < j1; j++ {
+			bj := b.Col(j)
+			cj := c.Col(j)
+			for i := 0; i < m; i++ {
+				s := alpha * Dot(a.Col(i), bj)
+				if beta == 0 {
+					cj[i] = s
+				} else {
+					cj[i] = beta*cj[i] + s
+				}
+			}
+		}
+	case tA == NoTrans && tB == Trans:
+		scaleCols(c, beta, j0, j1)
+		for l := 0; l < k; l++ {
+			al := a.Col(l)
+			for j := j0; j < j1; j++ {
+				t := alpha * b.At(j, l)
+				if t == 0 {
+					continue
+				}
+				cj := c.Col(j)
+				for i, v := range al {
+					cj[i] += v * t
+				}
+			}
+		}
+	default: // Trans, Trans
+		for j := j0; j < j1; j++ {
+			cj := c.Col(j)
+			for i := 0; i < m; i++ {
+				col := a.Col(i)
+				var s T
+				for l, v := range col {
+					s += v * b.At(j, l)
+				}
+				if beta == 0 {
+					cj[i] = alpha * s
+				} else {
+					cj[i] = beta*cj[i] + alpha*s
+				}
+			}
+		}
+	}
+}
+
+// Syrk computes the symmetric rank-k update. With t == NoTrans it forms
+// C ← α·A·Aᵀ + β·C; with t == Trans it forms C ← α·Aᵀ·A + β·C. Only the
+// triangle selected by uplo is referenced and written.
+func Syrk[T dense.Float](uplo Uplo, t Transpose, alpha T, a *dense.Matrix[T], beta T, c *dense.Matrix[T]) {
+	n, k := opShape(t, a)
+	if c.Rows != n || c.Cols != n {
+		panic(fmt.Sprintf("blas: syrk output %dx%d, want %dx%d", c.Rows, c.Cols, n, n))
+	}
+	_ = k
+	parallelRange(n, 8, func(j0, j1 int) {
+		for j := j0; j < j1; j++ {
+			var lo, hi int
+			if uplo == Upper {
+				lo, hi = 0, j+1
+			} else {
+				lo, hi = j, n
+			}
+			cj := c.Col(j)
+			if t == Trans {
+				aj := a.Col(j)
+				for i := lo; i < hi; i++ {
+					s := alpha * Dot(a.Col(i), aj)
+					if beta == 0 {
+						cj[i] = s
+					} else {
+						cj[i] = beta*cj[i] + s
+					}
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					var s T
+					for l := 0; l < a.Cols; l++ {
+						s += a.At(i, l) * a.At(j, l)
+					}
+					if beta == 0 {
+						cj[i] = alpha * s
+					} else {
+						cj[i] = beta*cj[i] + alpha*s
+					}
+				}
+			}
+		}
+	})
+}
+
+// FillSymmetric mirrors the triangle selected by uplo into the other half,
+// producing a fully stored symmetric matrix.
+func FillSymmetric[T dense.Float](uplo Uplo, c *dense.Matrix[T]) {
+	n := c.Rows
+	if c.Cols != n {
+		panic("blas: FillSymmetric requires a square matrix")
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if uplo == Upper {
+				c.Set(j, i, c.At(i, j))
+			} else {
+				c.Set(i, j, c.At(j, i))
+			}
+		}
+	}
+}
+
+// Trsm solves a triangular system with multiple right-hand sides in place:
+// op(A)·X = α·B (side == Left) or X·op(A) = α·B (side == Right), overwriting
+// B with X.
+func Trsm[T dense.Float](side Side, uplo Uplo, tA Transpose, diag Diag, alpha T, a *dense.Matrix[T], b *dense.Matrix[T]) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("blas: trsm requires a square triangular factor")
+	}
+	if side == Left && b.Rows != n {
+		panic(fmt.Sprintf("blas: trsm left dimension mismatch A=%d B rows=%d", n, b.Rows))
+	}
+	if side == Right && b.Cols != n {
+		panic(fmt.Sprintf("blas: trsm right dimension mismatch A=%d B cols=%d", n, b.Cols))
+	}
+	if side == Left {
+		parallelRange(b.Cols, 4, func(j0, j1 int) {
+			for j := j0; j < j1; j++ {
+				col := b.Col(j)
+				if alpha != 1 {
+					Scal(alpha, col)
+				}
+				Trsv(uplo, tA, diag, a, col)
+			}
+		})
+		return
+	}
+	// Right side: column sweeps with cross-column dependencies; the order
+	// depends on the effective orientation of op(A).
+	if alpha != 1 {
+		for j := 0; j < b.Cols; j++ {
+			Scal(alpha, b.Col(j))
+		}
+	}
+	forward := (uplo == Upper) == (tA == NoTrans)
+	coef := func(l, j int) T { // coefficient of X[:,l] in equation for column j
+		if tA == NoTrans {
+			return a.At(l, j)
+		}
+		return a.At(j, l)
+	}
+	if forward {
+		for j := 0; j < n; j++ {
+			bj := b.Col(j)
+			for l := 0; l < j; l++ {
+				Axpy(-coef(l, j), b.Col(l), bj)
+			}
+			if diag == NonUnit {
+				Scal(1/a.At(j, j), bj)
+			}
+		}
+	} else {
+		for j := n - 1; j >= 0; j-- {
+			bj := b.Col(j)
+			for l := j + 1; l < n; l++ {
+				Axpy(-coef(l, j), b.Col(l), bj)
+			}
+			if diag == NonUnit {
+				Scal(1/a.At(j, j), bj)
+			}
+		}
+	}
+}

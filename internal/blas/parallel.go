@@ -1,0 +1,45 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers reports the degree of parallelism used by level-3 kernels.
+func maxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// parallelRange splits [0, n) into contiguous chunks of at least minChunk
+// and runs fn on each chunk, possibly concurrently. Chunk boundaries depend
+// only on n and minChunk, so output ownership (and therefore the result) is
+// deterministic.
+func parallelRange(n, minChunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	workers := maxWorkers()
+	chunks := (n + minChunk - 1) / minChunk
+	if chunks > workers {
+		chunks = workers
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,240 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tcqr/internal/dense"
+)
+
+// smallMat is a quick.Generator producing well-scaled random matrices of
+// bounded size, so the property tests explore shapes as well as values.
+type smallMat struct {
+	m *dense.M64
+}
+
+// Generate implements quick.Generator.
+func (smallMat) Generate(r *rand.Rand, _ int) reflect.Value {
+	rows := 1 + r.Intn(12)
+	cols := 1 + r.Intn(12)
+	m := dense.New[float64](rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return reflect.ValueOf(smallMat{m})
+}
+
+func vecLike(r *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+// TestPropGemmLinearity: GEMM is linear in A: (A1+A2)·B = A1·B + A2·B.
+func TestPropGemmLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(a1 smallMat) bool {
+		a2 := dense.New[float64](a1.m.Rows, a1.m.Cols)
+		for i := range a2.Data {
+			a2.Data[i] = rng.NormFloat64()
+		}
+		b := dense.New[float64](a1.m.Cols, 1+rng.Intn(6))
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		sum := a1.m.Clone()
+		for i := range sum.Data {
+			sum.Data[i] += a2.Data[i]
+		}
+		left := dense.New[float64](a1.m.Rows, b.Cols)
+		Gemm(NoTrans, NoTrans, 1, sum, b, 0, left)
+		right := dense.New[float64](a1.m.Rows, b.Cols)
+		Gemm(NoTrans, NoTrans, 1, a1.m, b, 0, right)
+		Gemm(NoTrans, NoTrans, 1, a2, b, 1, right)
+		for i := range left.Data {
+			if math.Abs(left.Data[i]-right.Data[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropGemmTransposeConsistency: (AᵀB) = (BᵀA)ᵀ.
+func TestPropGemmTransposeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(a smallMat) bool {
+		b := dense.New[float64](a.m.Rows, 1+rng.Intn(8))
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		atb := dense.New[float64](a.m.Cols, b.Cols)
+		Gemm(Trans, NoTrans, 1, a.m, b, 0, atb)
+		bta := dense.New[float64](b.Cols, a.m.Cols)
+		Gemm(Trans, NoTrans, 1, b, a.m, 0, bta)
+		for i := 0; i < atb.Rows; i++ {
+			for j := 0; j < atb.Cols; j++ {
+				if math.Abs(atb.At(i, j)-bta.At(j, i)) > 1e-11 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropTrsvRoundTrip: Trmv followed by Trsv is the identity (and vice
+// versa) for every triangular variant.
+func TestPropTrsvRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		uplo := Uplo(r.Intn(2))
+		trans := Transpose(r.Intn(2))
+		diag := Diag(r.Intn(2))
+		a := dense.New[float64](n, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				if (uplo == Upper && i <= j) || (uplo == Lower && i >= j) {
+					a.Set(i, j, r.NormFloat64())
+				}
+			}
+			a.Set(j, j, 2+r.Float64()) // well-conditioned
+		}
+		x := vecLike(rng, n)
+		y := append([]float64(nil), x...)
+		Trmv(uplo, trans, diag, a, y)
+		Trsv(uplo, trans, diag, a, y)
+		for i := range x {
+			if math.Abs(y[i]-x[i]) > 1e-9*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropNrm2Homogeneous: ‖αx‖ = |α|·‖x‖.
+func TestPropNrm2Homogeneous(t *testing.T) {
+	f := func(x []float64, alpha float64) bool {
+		if len(x) == 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			return true
+		}
+		for _, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		if math.Abs(alpha) > 1e100 {
+			return true
+		}
+		base := Nrm2(x)
+		scaled := append([]float64(nil), x...)
+		Scal(alpha, scaled)
+		want := math.Abs(alpha) * base
+		got := Nrm2(scaled)
+		return math.Abs(got-want) <= 1e-12*(want+1e-300)+1e-300 || math.Abs(got-want)/math.Max(want, 1e-300) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropDotCauchySchwarz: |xᵀy| ≤ ‖x‖·‖y‖ (+ rounding slack).
+func TestPropDotCauchySchwarz(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		x, y := vecLike(r, n), vecLike(r, n)
+		return math.Abs(Dot(x, y)) <= Nrm2(x)*Nrm2(y)*(1+1e-12)+1e-300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGemmOnStridedViews: kernels must honor non-tight strides — all four
+// transpose cases over submatrix views of a larger parent.
+func TestGemmOnStridedViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	parent := dense.New[float64](20, 20)
+	for i := range parent.Data {
+		parent.Data[i] = rng.NormFloat64()
+	}
+	a := parent.View(3, 2, 6, 4)  // 6×4, stride 20
+	b := parent.View(9, 11, 4, 5) // 4×5
+	cParent := dense.New[float64](15, 15)
+	for i := range cParent.Data {
+		cParent.Data[i] = rng.NormFloat64()
+	}
+	c := cParent.View(5, 5, 6, 5)
+	want := dense.New[float64](6, 5)
+	// Reference on tight copies.
+	Gemm(NoTrans, NoTrans, 1, a.Clone(), b.Clone(), 0, want)
+	before := cParent.Clone()
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			if math.Abs(c.At(i, j)-want.At(i, j)) > 1e-12 {
+				t.Fatalf("strided gemm (%d,%d): %v vs %v", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+	// The parent outside the view must be untouched.
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 15; j++ {
+			inside := i >= 5 && i < 11 && j >= 5 && j < 10
+			if !inside && cParent.At(i, j) != before.At(i, j) {
+				t.Fatalf("gemm wrote outside its view at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestPropSyrkMatchesGemm: Syrk agrees with the general GEMM on random
+// shapes and both orientations.
+func TestPropSyrkMatchesGemm(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(10), 1+r.Intn(10)
+		a := dense.New[float64](rows, cols)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		tr := Transpose(r.Intn(2))
+		n, _ := opShape(tr, a)
+		c := dense.New[float64](n, n)
+		Syrk(Lower, tr, 1, a, 0, c)
+		FillSymmetric(Lower, c)
+		want := dense.New[float64](n, n)
+		if tr == Trans {
+			Gemm(Trans, NoTrans, 1, a, a, 0, want)
+		} else {
+			Gemm(NoTrans, Trans, 1, a, a, 0, want)
+		}
+		for i := range c.Data {
+			if math.Abs(c.Data[i]-want.Data[i]) > 1e-11 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package blas
+
+import (
+	"fmt"
+
+	"tcqr/internal/dense"
+)
+
+// Trmm computes the triangular matrix-matrix product in place:
+// B ← α·op(A)·B (side == Left) or B ← α·B·op(A) (side == Right), where A
+// is triangular. It is the proper kernel for the T·W step of the compact
+// WY update (house.Larfb) and for assembling R products.
+func Trmm[T dense.Float](side Side, uplo Uplo, tA Transpose, diag Diag, alpha T, a *dense.Matrix[T], b *dense.Matrix[T]) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("blas: trmm requires a square triangular factor")
+	}
+	if side == Left && b.Rows != n {
+		panic(fmt.Sprintf("blas: trmm left dimension mismatch A=%d B rows=%d", n, b.Rows))
+	}
+	if side == Right && b.Cols != n {
+		panic(fmt.Sprintf("blas: trmm right dimension mismatch A=%d B cols=%d", n, b.Cols))
+	}
+	if side == Left {
+		parallelRange(b.Cols, 4, func(j0, j1 int) {
+			for j := j0; j < j1; j++ {
+				col := b.Col(j)
+				Trmv(uplo, tA, diag, a, col)
+				if alpha != 1 {
+					Scal(alpha, col)
+				}
+			}
+		})
+		return
+	}
+	// Right side: column j of the result mixes columns of B according to
+	// op(A)'s column j. Process in the order that preserves unread inputs.
+	coef := func(l, j int) T {
+		if tA == NoTrans {
+			return a.At(l, j)
+		}
+		return a.At(j, l)
+	}
+	inTri := func(l, j int) bool {
+		if tA == NoTrans {
+			return (uplo == Upper && l <= j) || (uplo == Lower && l >= j)
+		}
+		return (uplo == Upper && j <= l) || (uplo == Lower && j >= l)
+	}
+	// Result column j depends on B columns l with coefficient op(A)[l, j].
+	// When op(A) acts upper (dependencies l <= j), sweep j descending so
+	// B[:, l<j] are still original; lower acts ascending.
+	opUpper := (uplo == Upper) == (tA == NoTrans)
+	sweep := func(j int) {
+		bj := b.Col(j)
+		diagCoef := coef(j, j)
+		if diag == Unit {
+			diagCoef = 1
+		}
+		Scal(alpha*diagCoef, bj)
+		for l := 0; l < n; l++ {
+			if l == j || !inTri(l, j) {
+				continue
+			}
+			Axpy(alpha*coef(l, j), b.Col(l), bj)
+		}
+	}
+	if opUpper {
+		for j := n - 1; j >= 0; j-- {
+			sweep(j)
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			sweep(j)
+		}
+	}
+}

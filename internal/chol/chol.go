@@ -1,0 +1,68 @@
+// Package chol implements the Cholesky factorization and solve used by the
+// normal-equations least squares baseline (Section 2.2 of the paper: solve
+// AᵀA·x = AᵀB via AᵀA = L·Lᵀ). The paper uses this method only as the
+// cautionary unstable baseline; it is included so the accuracy comparison
+// can be reproduced.
+package chol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+// ErrNotPositiveDefinite is returned when a pivot is not positive, which for
+// the normal equations happens exactly when κ(A)² overwhelms the working
+// precision — the failure mode QR-based solvers avoid.
+var ErrNotPositiveDefinite = errors.New("chol: matrix is not positive definite")
+
+// Potrf overwrites the lower triangle of a with its Cholesky factor L such
+// that A = L·Lᵀ. The strict upper triangle is not referenced. It returns
+// ErrNotPositiveDefinite (wrapping the failing column index) if a pivot is
+// non-positive.
+func Potrf[T dense.Float](a *dense.Matrix[T]) error {
+	n := a.Rows
+	if a.Cols != n {
+		panic("chol: Potrf requires a square matrix")
+	}
+	for j := 0; j < n; j++ {
+		colJ := a.Col(j)
+		// Diagonal update: a_jj -= Σ_{k<j} L_jk².
+		d := float64(colJ[j])
+		for k := 0; k < j; k++ {
+			v := float64(a.At(j, k))
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("%w (column %d, pivot %g)", ErrNotPositiveDefinite, j, d)
+		}
+		l := T(math.Sqrt(d))
+		colJ[j] = l
+		if j == n-1 {
+			continue
+		}
+		// Column update: a[j+1:, j] = (a[j+1:, j] - Σ_{k<j} L[j+1:,k]·L_jk) / l.
+		tail := colJ[j+1:]
+		for k := 0; k < j; k++ {
+			blas.Axpy(-a.At(j, k), a.Col(k)[j+1:], tail)
+		}
+		blas.Scal(1/l, tail)
+	}
+	return nil
+}
+
+// Potrs solves A·X = B in place given the Cholesky factor L from Potrf
+// (stored in the lower triangle of l): forward then backward substitution.
+func Potrs[T dense.Float](l *dense.Matrix[T], b *dense.Matrix[T]) {
+	blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.NonUnit, 1, l, b)
+	blas.Trsm(blas.Left, blas.Lower, blas.Trans, blas.NonUnit, 1, l, b)
+}
+
+// PotrsVec is the single right-hand-side form of Potrs.
+func PotrsVec[T dense.Float](l *dense.Matrix[T], x []T) {
+	blas.Trsv(blas.Lower, blas.NoTrans, blas.NonUnit, l, x)
+	blas.Trsv(blas.Lower, blas.Trans, blas.NonUnit, l, x)
+}

@@ -1,0 +1,123 @@
+package chol
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+// spdMatrix builds a well-conditioned SPD matrix G = AᵀA + n·I.
+func spdMatrix(rng *rand.Rand, n int) *dense.M64 {
+	a := dense.New[float64](n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	g := dense.New[float64](n, n)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, a, a, 0, g)
+	for i := 0; i < n; i++ {
+		g.Set(i, i, g.At(i, i)+float64(n))
+	}
+	return g
+}
+
+func TestPotrfReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 17, 64} {
+		g := spdMatrix(rng, n)
+		l := g.Clone()
+		if err := Potrf(l); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Zero the strict upper triangle before reconstructing.
+		for j := 0; j < n; j++ {
+			for i := 0; i < j; i++ {
+				l.Set(i, j, 0)
+			}
+		}
+		llt := dense.New[float64](n, n)
+		blas.Gemm(blas.NoTrans, blas.Trans, 1, l, l, 0, llt)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(llt.At(i, j)-g.At(i, j)) > 1e-9*float64(n) {
+					t.Fatalf("n=%d: LLᵀ(%d,%d) = %v, want %v", n, i, j, llt.At(i, j), g.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestPotrsSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 24
+	g := spdMatrix(rng, n)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	blas.Gemv(blas.NoTrans, 1, g, xTrue, 0, b)
+
+	l := g.Clone()
+	if err := Potrf(l); err != nil {
+		t.Fatal(err)
+	}
+	PotrsVec(l, b)
+	for i := range b {
+		if math.Abs(b[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v", i, b[i], xTrue[i])
+		}
+	}
+
+	// Multi-RHS path.
+	bm := dense.New[float64](n, 3)
+	want := dense.New[float64](n, 3)
+	for j := 0; j < 3; j++ {
+		for i := 0; i < n; i++ {
+			want.Set(i, j, rng.NormFloat64())
+		}
+	}
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, g, want, 0, bm)
+	Potrs(l, bm)
+	for i := range bm.Data {
+		if math.Abs(bm.Data[i]-want.Data[i]) > 1e-8 {
+			t.Fatalf("multi-rhs mismatch at %d", i)
+		}
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	g := dense.New[float64](2, 2)
+	g.Set(0, 0, 1)
+	g.Set(1, 0, 5)
+	g.Set(1, 1, 1) // 1 - 25 < 0 after elimination
+	err := Potrf(g)
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestPotrfFloat32(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g64 := spdMatrix(rng, 16)
+	g := dense.ToF32(g64)
+	l := g.Clone()
+	if err := Potrf(l); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 16; j++ {
+		for i := 0; i < j; i++ {
+			l.Set(i, j, 0)
+		}
+	}
+	llt := dense.New[float32](16, 16)
+	blas.Gemm(blas.NoTrans, blas.Trans, 1, l, l, 0, llt)
+	for i := range llt.Data {
+		if math.Abs(float64(llt.Data[i]-g.Data[i])) > 1e-3 {
+			t.Fatalf("float32 LLᵀ mismatch at %d: %v vs %v", i, llt.Data[i], g.Data[i])
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package dense provides column-major dense matrices over float32 and
+// float64, in the LAPACK storage convention: element (i, j) of a matrix M
+// lives at M.Data[i+j*M.Stride]. Views share storage with their parent, so
+// panel/trailing-matrix decompositions used throughout the QR algorithms are
+// zero-copy.
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Float is the scalar constraint for all generic numerical kernels in this
+// repository.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Matrix is a column-major dense matrix. The zero value is an empty matrix.
+type Matrix[T Float] struct {
+	Rows   int
+	Cols   int
+	Stride int // leading dimension; Stride >= max(1, Rows)
+	Data   []T // len >= Stride*(Cols-1)+Rows for non-empty matrices
+}
+
+// M32 and M64 are the two concrete matrix types used across the repository.
+type (
+	M32 = Matrix[float32]
+	M64 = Matrix[float64]
+)
+
+// New allocates a zeroed r×c matrix with a tight stride.
+func New[T Float](r, c int) *Matrix[T] {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %dx%d", r, c))
+	}
+	return &Matrix[T]{Rows: r, Cols: c, Stride: max(1, r), Data: make([]T, r*c)}
+}
+
+// NewFromColMajor wraps an existing column-major slice without copying.
+// The slice must hold at least r*c elements.
+func NewFromColMajor[T Float](r, c int, data []T) *Matrix[T] {
+	if len(data) < r*c {
+		panic(fmt.Sprintf("dense: slice of %d elements cannot back a %dx%d matrix", len(data), r, c))
+	}
+	return &Matrix[T]{Rows: r, Cols: c, Stride: max(1, r), Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix[T]) At(i, j int) T { return m.Data[i+j*m.Stride] }
+
+// Set assigns element (i, j).
+func (m *Matrix[T]) Set(i, j int, v T) { m.Data[i+j*m.Stride] = v }
+
+// Col returns the j-th column as a slice sharing storage.
+func (m *Matrix[T]) Col(j int) []T { return m.Data[j*m.Stride : j*m.Stride+m.Rows] }
+
+// View returns the r×c submatrix whose top-left corner is (i, j). The view
+// shares storage with m.
+func (m *Matrix[T]) View(i, j, r, c int) *Matrix[T] {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("dense: view [%d:%d, %d:%d] out of bounds of %dx%d", i, i+r, j, j+c, m.Rows, m.Cols))
+	}
+	if r == 0 || c == 0 {
+		return &Matrix[T]{Rows: r, Cols: c, Stride: m.Stride}
+	}
+	off := i + j*m.Stride
+	return &Matrix[T]{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off : off+(c-1)*m.Stride+r]}
+}
+
+// Clone returns a freshly allocated deep copy with a tight stride.
+func (m *Matrix[T]) Clone() *Matrix[T] {
+	n := New[T](m.Rows, m.Cols)
+	n.CopyFrom(m)
+	return n
+}
+
+// CopyFrom copies the contents of src into m. Shapes must match.
+func (m *Matrix[T]) CopyFrom(src *Matrix[T]) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("dense: copy shape mismatch %dx%d <- %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for j := 0; j < m.Cols; j++ {
+		copy(m.Col(j), src.Col(j))
+	}
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix[T]) Zero() {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] = 0
+		}
+	}
+}
+
+// SetIdentity writes the identity pattern into m (works for rectangular
+// matrices: ones on the main diagonal, zeros elsewhere).
+func (m *Matrix[T]) SetIdentity() {
+	m.Zero()
+	for i := 0; i < min(m.Rows, m.Cols); i++ {
+		m.Set(i, i, 1)
+	}
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Matrix[T]) Transpose() *Matrix[T] {
+	t := New[T](m.Cols, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i, v := range col {
+			t.Set(j, i, v)
+		}
+	}
+	return t
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix[T]) Scale(s T) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Col(j)
+		for i := range col {
+			col[i] *= s
+		}
+	}
+}
+
+// Equal reports whether a and b have the same shape and identical elements.
+func Equal[T Float](a, b *Matrix[T]) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for j := 0; j < a.Cols; j++ {
+		ca, cb := a.Col(j), b.Col(j)
+		for i := range ca {
+			if ca[i] != cb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ToF64 widens a float32 matrix to float64.
+func ToF64(m *M32) *M64 {
+	out := New[float64](m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		src, dst := m.Col(j), out.Col(j)
+		for i, v := range src {
+			dst[i] = float64(v)
+		}
+	}
+	return out
+}
+
+// ToF32 narrows a float64 matrix to float32 with default (round-to-nearest)
+// conversion.
+func ToF32(m *M64) *M32 {
+	out := New[float32](m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		src, dst := m.Col(j), out.Col(j)
+		for i, v := range src {
+			dst[i] = float32(v)
+		}
+	}
+	return out
+}
+
+// HasNaN reports whether any element of m is NaN or infinite.
+func (m *Matrix[T]) HasNaN() bool {
+	for j := 0; j < m.Cols; j++ {
+		for _, v := range m.Col(j) {
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders small matrices for debugging; large matrices are summarized.
+func (m *Matrix[T]) String() string {
+	if m.Rows > 12 || m.Cols > 12 {
+		return fmt.Sprintf("Matrix{%dx%d}", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("% 12.5g", float64(m.At(i, j)))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,231 @@
+// Package eig implements a symmetric eigensolver by the classic two-stage
+// QR-algorithm pipeline — Householder tridiagonalization followed by the
+// implicit QL iteration with shifts — covering the last entry in the
+// paper's list of QR applications ("linear system, LLS problems,
+// orthogonalization of a set of vectors, and eigendecompositions").
+// It runs in float64 and serves as the high-accuracy reference
+// eigensolver for the spectral experiments (Rayleigh-Ritz in the Krylov
+// example, spectrum checks in tests).
+package eig
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+// ErrNoConvergence is returned if the QL iteration exceeds its sweep limit
+// (essentially impossible for symmetric tridiagonal matrices; 30 sweeps
+// per eigenvalue is the classical bound).
+var ErrNoConvergence = errors.New("eig: QL iteration did not converge")
+
+// Decomposition is A = V·diag(Values)·Vᵀ with Values ascending and V
+// orthogonal (columns are eigenvectors).
+type Decomposition struct {
+	Values  []float64
+	Vectors *dense.M64
+}
+
+// Sym computes the full eigendecomposition of the symmetric matrix a
+// (only the lower triangle is referenced). The input is not modified.
+func Sym(a *dense.M64) (*Decomposition, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("eig: matrix is %dx%d; need square symmetric", a.Rows, a.Cols)
+	}
+	if n == 0 {
+		return &Decomposition{Vectors: dense.New[float64](0, 0)}, nil
+	}
+	d, e, q := tridiagonalize(a)
+	if err := tqli(d, e, q); err != nil {
+		return nil, err
+	}
+	sortAscending(d, q)
+	return &Decomposition{Values: d, Vectors: q}, nil
+}
+
+// SymValues computes only the eigenvalues (ascending).
+func SymValues(a *dense.M64) ([]float64, error) {
+	dec, err := Sym(a) // vectors are cheap relative to clarity here
+	if err != nil {
+		return nil, err
+	}
+	return dec.Values, nil
+}
+
+// tridiagonalize reduces the symmetric a to tridiagonal form
+// T = Qᵀ·A·Q via Householder similarity transforms, returning the diagonal
+// d, subdiagonal e (length n, e[0] unused), and the accumulated orthogonal
+// Q (n×n).
+func tridiagonalize(a *dense.M64) (d, e []float64, q *dense.M64) {
+	n := a.Rows
+	w := a.Clone()
+	// Symmetrize from the lower triangle so the two-sided updates below
+	// can use full columns.
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			w.Set(j, i, w.At(i, j))
+		}
+	}
+	d = make([]float64, n)
+	e = make([]float64, n)
+	taus := make([]float64, n)
+	vwork := dense.New[float64](n, n) // column k holds the k-th reflector
+
+	for k := 0; k < n-2; k++ {
+		col := w.Col(k)
+		alpha := col[k+1]
+		tail := col[k+2:]
+		tau := larfg64(&alpha, tail)
+		taus[k] = tau
+		e[k+1] = alpha
+		if tau != 0 {
+			// v = [1, tail] acting on rows/cols k+1..n.
+			v := vwork.Col(k)[k+1:]
+			v[0] = 1
+			copy(v[1:], tail)
+			sub := w.View(k+1, k+1, n-k-1, n-k-1)
+			// p = τ·A·v ; w = p − (τ/2)(pᵀv)·v ; A ← A − v·wᵀ − w·vᵀ.
+			p := make([]float64, n-k-1)
+			blas.Gemv(blas.NoTrans, tau, sub, v, 0, p)
+			gamma := -0.5 * tau * blas.Dot(p, v)
+			blas.Axpy(gamma, v, p)
+			blas.Ger(-1, v, p, sub)
+			blas.Ger(-1, p, v, sub)
+		}
+		// Record the tridiagonal entries and clear the eliminated part.
+		col[k+1] = e[k+1]
+		for i := k + 2; i < n; i++ {
+			col[i] = 0
+		}
+	}
+	if n >= 2 {
+		e[n-1] = w.At(n-1, n-2)
+	}
+	for i := 0; i < n; i++ {
+		d[i] = w.At(i, i)
+	}
+
+	// Accumulate Q = H_0·H_1·…·H_{n-3} by applying reflectors to the
+	// identity in reverse.
+	q = dense.New[float64](n, n)
+	q.SetIdentity()
+	for k := n - 3; k >= 0; k-- {
+		if taus[k] == 0 {
+			continue
+		}
+		v := vwork.Col(k)[k+1:]
+		sub := q.View(k+1, 0, n-k-1, n)
+		t := make([]float64, n)
+		blas.Gemv(blas.Trans, 1, sub, v, 0, t)
+		blas.Ger(-taus[k], v, t, sub)
+	}
+	return d, e, q
+}
+
+func larfg64(alpha *float64, x []float64) float64 {
+	xnorm := blas.Nrm2(x)
+	if xnorm == 0 {
+		return 0
+	}
+	a := *alpha
+	beta := -math.Copysign(math.Hypot(a, xnorm), a)
+	tau := (beta - a) / beta
+	blas.Scal(1/(a-beta), x)
+	*alpha = beta
+	return tau
+}
+
+// tqli is the implicit QL iteration with Wilkinson-style shifts on the
+// tridiagonal (d, e), accumulating the rotations into the columns of z
+// (Numerical-Recipes convention: e[0] is unused, e[i] couples i-1 and i).
+func tqli(d, e []float64, z *dense.M64) error {
+	n := len(d)
+	if n <= 1 {
+		return nil
+	}
+	// Shift the subdiagonal for the NR convention.
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find the first decoupled block boundary m >= l.
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-300+2.3e-16*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= 50 {
+				return fmt.Errorf("%w (eigenvalue %d)", ErrNoConvergence, l)
+			}
+			// Wilkinson shift.
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				// Accumulate the rotation into the eigenvector matrix.
+				zi, zi1 := z.Col(i), z.Col(i+1)
+				for k := range zi {
+					f := zi1[k]
+					zi1[k] = s*zi[k] + c*f
+					zi[k] = c*zi[k] - s*f
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+func sortAscending(d []float64, z *dense.M64) {
+	n := len(d)
+	for i := 0; i < n; i++ {
+		minIdx := i
+		for j := i + 1; j < n; j++ {
+			if d[j] < d[minIdx] {
+				minIdx = j
+			}
+		}
+		if minIdx != i {
+			d[i], d[minIdx] = d[minIdx], d[i]
+			ci, cm := z.Col(i), z.Col(minIdx)
+			for k := range ci {
+				ci[k], cm[k] = cm[k], ci[k]
+			}
+		}
+	}
+}

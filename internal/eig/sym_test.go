@@ -1,0 +1,178 @@
+package eig
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/accuracy"
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/matgen"
+)
+
+// symWithSpectrum builds A = U·diag(λ)·Uᵀ with Haar U.
+func symWithSpectrum(rng *rand.Rand, lambda []float64) *dense.M64 {
+	n := len(lambda)
+	u := matgen.HaarOrthonormal(rng, n, n)
+	ul := dense.New[float64](n, n)
+	for j := 0; j < n; j++ {
+		copy(ul.Col(j), u.Col(j))
+		blas.Scal(lambda[j], ul.Col(j))
+	}
+	a := dense.New[float64](n, n)
+	blas.Gemm(blas.NoTrans, blas.Trans, 1, ul, u, 0, a)
+	// Exact symmetrization against rounding.
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			v := 0.5 * (a.At(i, j) + a.At(j, i))
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestSymKnownSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lambda := []float64{-5, -1.5, 0, 0.25, 2, 7, 7.5, 100}
+	a := symWithSpectrum(rng, lambda)
+	dec, err := Sym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eigenvalues ascending match (lambda sorted ascending already).
+	for i, want := range lambda {
+		if math.Abs(dec.Values[i]-want) > 1e-10*(1+math.Abs(want)) {
+			t.Errorf("λ_%d = %v, want %v", i, dec.Values[i], want)
+		}
+	}
+	// Eigenvectors: orthogonal and satisfy A·v = λ·v.
+	if oe := accuracy.OrthoError64(dec.Vectors); oe > 1e-12 {
+		t.Errorf("eigenvector orthogonality %g", oe)
+	}
+	for j := range lambda {
+		v := dec.Vectors.Col(j)
+		av := make([]float64, len(v))
+		blas.Gemv(blas.NoTrans, 1, a, v, 0, av)
+		for i := range av {
+			if math.Abs(av[i]-dec.Values[j]*v[i]) > 1e-9*(1+math.Abs(dec.Values[j])) {
+				t.Fatalf("A·v != λ·v for eigenpair %d (row %d: %v vs %v)", j, i, av[i], dec.Values[j]*v[i])
+			}
+		}
+	}
+}
+
+func TestSymRandomReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 10, 40, 77} {
+		a := matgen.Normal(rng, n, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < j; i++ {
+				v := 0.5 * (a.At(i, j) + a.At(j, i))
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		dec, err := Sym(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Reconstruct V·Λ·Vᵀ.
+		vl := dense.New[float64](n, n)
+		for j := 0; j < n; j++ {
+			copy(vl.Col(j), dec.Vectors.Col(j))
+			blas.Scal(dec.Values[j], vl.Col(j))
+		}
+		rec := dense.New[float64](n, n)
+		blas.Gemm(blas.NoTrans, blas.Trans, 1, vl, dec.Vectors, 0, rec)
+		for i := range rec.Data {
+			if math.Abs(rec.Data[i]-a.Data[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: reconstruction differs at %d: %v vs %v", n, i, rec.Data[i], a.Data[i])
+			}
+		}
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if dec.Values[i] < dec.Values[i-1] {
+				t.Fatalf("n=%d: eigenvalues not ascending", n)
+			}
+		}
+	}
+}
+
+func TestSymEdgeCases(t *testing.T) {
+	// Diagonal matrix: eigenvalues are the diagonal, sorted.
+	d := dense.New[float64](4, 4)
+	for i, v := range []float64{3, -1, 2, 0} {
+		d.Set(i, i, v)
+	}
+	dec, err := Sym(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 0, 2, 3}
+	for i := range want {
+		if math.Abs(dec.Values[i]-want[i]) > 1e-14 {
+			t.Errorf("diag λ_%d = %v, want %v", i, dec.Values[i], want[i])
+		}
+	}
+	// Empty and rejected shapes.
+	if _, err := Sym(dense.New[float64](0, 0)); err != nil {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Sym(dense.New[float64](2, 3)); err == nil {
+		t.Error("non-square must be rejected")
+	}
+	// Repeated eigenvalues (identity).
+	id := dense.New[float64](6, 6)
+	id.SetIdentity()
+	di, err := Sym(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range di.Values {
+		if math.Abs(v-1) > 1e-13 {
+			t.Errorf("identity eigenvalue %v", v)
+		}
+	}
+	if oe := accuracy.OrthoError64(di.Vectors); oe > 1e-12 {
+		t.Errorf("identity eigenvectors not orthogonal: %g", oe)
+	}
+}
+
+func TestSymValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lambda := []float64{1, 2, 3, 4, 5}
+	a := symWithSpectrum(rng, lambda)
+	vals, err := SymValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range lambda {
+		if math.Abs(vals[i]-want) > 1e-10 {
+			t.Errorf("λ_%d = %v", i, vals[i])
+		}
+	}
+}
+
+func TestSymOnlyLowerTriangleRead(t *testing.T) {
+	// Garbage in the strict upper triangle must not affect the result.
+	rng := rand.New(rand.NewSource(4))
+	lambda := []float64{1, 4, 9, 16}
+	a := symWithSpectrum(rng, lambda)
+	messy := a.Clone()
+	for j := 0; j < 4; j++ {
+		for i := 0; i < j; i++ {
+			messy.Set(i, j, 1e6)
+		}
+	}
+	dec, err := Sym(messy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range lambda {
+		if math.Abs(dec.Values[i]-want) > 1e-10*want {
+			t.Errorf("λ_%d = %v, want %v (upper triangle leaked)", i, dec.Values[i], want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4). Each experiment function returns a structured
+// result with a Render method that prints the same rows/series the paper
+// reports; cmd/tcqr-tables drives them from the command line and the root
+// bench suite wraps them in testing.B benchmarks.
+//
+// Two kinds of result are produced, mirroring DESIGN.md:
+//
+//   - accuracy experiments (Figures 3, 4, 9; Table 4; the §3.5 scaling
+//     demonstration) run the real algorithms on the software neural engine
+//     at a configurable scale (the paper's 32768×16384 is impractical for
+//     a bit-faithful software fp16 pipeline; accuracy behaviour is governed
+//     by κ and the unit roundoffs, not by absolute size);
+//   - performance experiments (Tables 2-3; Figures 1, 2, 5, 6, 7, 8) come
+//     from the calibrated V100 model in internal/perfmodel, composed
+//     exactly as the paper's own estimate formulas compose them. Figure 8
+//     combines the two: iteration counts are measured numerically, times
+//     are modelled at paper scale.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scale selects the problem sizes for the numeric (accuracy) experiments.
+type Scale struct {
+	// M×N is the matrix size for the QR accuracy experiments.
+	M, N int
+	// LLSM×LLSN is the size for least squares experiments.
+	LLSM, LLSN int
+	// SVDM×SVDN is the size for the QR-SVD experiment.
+	SVDM, SVDN int
+	// Cutoff is the RGSQRF recursion cutoff (scaled down with the sizes).
+	Cutoff int
+	// Seed makes every experiment deterministic.
+	Seed int64
+}
+
+// QuickScale runs in a few seconds — used by tests and benchmarks.
+var QuickScale = Scale{M: 512, N: 128, LLSM: 512, LLSN: 128, SVDM: 1024, SVDN: 64, Cutoff: 32, Seed: 42}
+
+// DefaultScale is the recommended reproduction scale (about a minute).
+var DefaultScale = Scale{M: 2048, N: 512, LLSM: 2048, LLSN: 512, SVDM: 8192, SVDN: 256, Cutoff: 64, Seed: 42}
+
+// FullScale pushes the software simulator as far as is sensible.
+var FullScale = Scale{M: 4096, N: 1024, LLSM: 4096, LLSN: 1024, SVDM: 16384, SVDN: 256, Cutoff: 128, Seed: 42}
+
+// table is a small helper for aligned text rendering.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func e(x float64) string  { return fmt.Sprintf("%.2e", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func ms(sec float64) string {
+	return fmt.Sprintf("%.1f", sec*1e3)
+}

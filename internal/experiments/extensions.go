@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcqr/internal/accuracy"
+	"tcqr/internal/dense"
+	"tcqr/internal/gram"
+	"tcqr/internal/house"
+	"tcqr/internal/lu"
+	"tcqr/internal/matgen"
+	"tcqr/internal/rgs"
+	"tcqr/internal/tcsim"
+)
+
+// GrowthResult makes the §3.5 footnote executable — "once the initial
+// matrix is properly scaled then all intermediate operations [of QR] will
+// not overflow. Note that on the contrary, LU factorization does not
+// guarantee this." Both factorizations run on the TensorCore engine over
+// the Wilkinson growth matrix, whose entries are all in {−1, 0, 1} yet
+// whose Gaussian elimination grows like 2^(n−1).
+type GrowthResult struct {
+	N int
+	// LU on the TC engine.
+	LUOverflows int64
+	LUPoisoned  bool
+	LUGrowth    float64 // measured with the FP32 engine for reference
+	// RGSQRF (column-scaled) on the TC engine.
+	QROverflows     int64
+	QRBackwardError float64
+}
+
+// Growth runs the comparison at a size where 2^(n−1) ≫ 65504.
+func Growth(sc Scale) *GrowthResult {
+	n := 96
+	a := dense.New[float32](n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+		a.Set(i, n-1, 1)
+		for j := 0; j < i; j++ {
+			a.Set(i, j, -1)
+		}
+	}
+	out := &GrowthResult{N: n}
+
+	// Reference growth with a full-precision engine.
+	if f, err := lu.Factor(a, lu.Options{}); err == nil {
+		out.LUGrowth = f.GrowthFactor(a)
+	}
+
+	// LU with the TensorCore in the trailing update.
+	luEng := &tcsim.TensorCore{TrackSpecials: true}
+	if f, err := lu.Factor(a, lu.Options{Engine: luEng, BlockSize: 16}); err == nil {
+		out.LUPoisoned = f.LU.HasNaN()
+	} else {
+		out.LUPoisoned = true // breakdown on an overflowed pivot
+	}
+	out.LUOverflows = luEng.Stats().Overflows
+
+	// Column-scaled RGSQRF with the TensorCore.
+	qrEng := &tcsim.TensorCore{TrackSpecials: true}
+	res, err := rgs.Factor(a, rgs.Options{Cutoff: 16, Engine: qrEng})
+	if err != nil {
+		panic(err)
+	}
+	out.QROverflows = qrEng.Stats().Overflows
+	out.QRBackwardError = accuracy.BackwardError(a, res.Q, res.R)
+	return out
+}
+
+// Render formats the growth comparison.
+func (r *GrowthResult) Render() string {
+	return fmt.Sprintf(`Section 3.5 extension: elimination growth vs orthogonal transforms on the neural engine
+Wilkinson growth matrix, n=%d, every input element in {-1, 0, 1}:
+  LU growth factor (FP32 reference) : %.3g  (~2^(n-1))
+  TC-LU: %d fp16 operand overflows, result poisoned: %v
+  TC-RGSQRF (scaled): %d overflows, backward error %s
+conclusion: QR's intermediates stay bounded by the preserved column norms;
+LU's grow past the binary16 range even from unit-size inputs — the paper's
+"LU factorization does not guarantee this".
+`, r.N, r.LUGrowth, r.LUOverflows, r.LUPoisoned, r.QROverflows, e(r.QRBackwardError))
+}
+
+// OrthoMethodsResult compares the loss of orthogonality of every
+// orthogonalization method in the repository against κ(A), tying together
+// §3.6's error-bound discussion (CGS ∝ κ², MGS ∝ κ) and the related-work
+// contrast with CholeskyQR (∝ κ², breakdown at κ² ≈ 1/ε).
+type OrthoMethodsResult struct {
+	Scale Scale
+	Conds []float64
+	// Orthogonality ‖I − QᵀQ‖ per method; -1 marks a breakdown.
+	SGEQRF, MGS, CGS, CholQR, CholQR2, RGSQRF, ReOrtho []float64
+}
+
+// OrthoMethods runs the sweep.
+func OrthoMethods(sc Scale) *OrthoMethodsResult {
+	out := &OrthoMethodsResult{Scale: sc, Conds: []float64{1e1, 1e2, 1e3, 1e4, 1e5}}
+	n := min(sc.N, 64) // keep the O(mn²) sweep cheap across 7 methods
+	for _, cond := range out.Conds {
+		rng := rand.New(rand.NewSource(sc.Seed))
+		a := dense.ToF32(matgen.WithCond(rng, sc.M, n, cond, matgen.Geometric))
+
+		qr := house.Factor(a, 0)
+		out.SGEQRF = append(out.SGEQRF, accuracy.OrthoError(qr.Q()))
+
+		qm := a.Clone()
+		rm := dense.New[float32](n, n)
+		gram.MGS(qm, rm)
+		out.MGS = append(out.MGS, accuracy.OrthoError(qm))
+
+		qc := a.Clone()
+		rc := dense.New[float32](n, n)
+		gram.CGS(qc, rc)
+		out.CGS = append(out.CGS, accuracy.OrthoError(qc))
+
+		if q, _, err := gram.CholQR(a); err == nil {
+			out.CholQR = append(out.CholQR, accuracy.OrthoError(q))
+		} else {
+			out.CholQR = append(out.CholQR, -1)
+		}
+		if q, _, err := gram.CholQR2(a); err == nil {
+			out.CholQR2 = append(out.CholQR2, accuracy.OrthoError(q))
+		} else {
+			out.CholQR2 = append(out.CholQR2, -1)
+		}
+
+		res, err := rgs.Factor(a, rgs.Options{Cutoff: 16})
+		if err != nil {
+			panic(err)
+		}
+		out.RGSQRF = append(out.RGSQRF, accuracy.OrthoError(res.Q))
+
+		reo, err := rgs.Factor(a, rgs.Options{Cutoff: 16, ReOrthogonalize: true})
+		if err != nil {
+			panic(err)
+		}
+		out.ReOrtho = append(out.ReOrtho, accuracy.OrthoError(reo.Q))
+	}
+	return out
+}
+
+// Render formats the method sweep.
+func (r *OrthoMethodsResult) Render() string {
+	t := &table{header: []string{"cond(A)", "SGEQRF", "MGS", "CGS", "CholQR", "CholQR2", "RGSQRF", "RGSQRF-ReOrtho"}}
+	cell := func(x float64) string {
+		if x < 0 {
+			return "breakdown"
+		}
+		return e(x)
+	}
+	for i, c := range r.Conds {
+		t.add(e(c), cell(r.SGEQRF[i]), cell(r.MGS[i]), cell(r.CGS[i]),
+			cell(r.CholQR[i]), cell(r.CholQR2[i]), cell(r.RGSQRF[i]), cell(r.ReOrtho[i]))
+	}
+	return fmt.Sprintf(`Section 3.6 extension: loss of orthogonality ‖I−QᵀQ‖ across methods, %dx%d, geometric distribution
+%sexpected slopes: SGEQRF flat; MGS, RGSQRF ∝ κ; CGS, CholQR ∝ κ² (CholQR breaks down at κ² ≈ 1/ε₃₂);
+CholQR2 and RGSQRF-ReOrtho flat where they survive.
+`, r.Scale.M, min(r.Scale.N, 64), t.String())
+}

@@ -1,0 +1,66 @@
+package f16
+
+// The vector helpers below are the hot path of the TensorCore simulator:
+// every GEMM operand matrix is pushed through RoundSlice once per call.
+// To keep the simulator fast on multi-megabyte matrices, Float32 conversion
+// is served by a 65536-entry lookup table (256 KiB) built at package init,
+// and RoundSlice fuses the two conversions.
+
+var toF32Table [1 << 16]float32
+
+func init() {
+	for i := range toF32Table {
+		toF32Table[i] = Float16(i).Float32()
+	}
+}
+
+// ToFloat32Fast converts h to float32 via the lookup table.
+func ToFloat32Fast(h Float16) float32 { return toF32Table[h] }
+
+// RoundSlice writes round16(src[i]) into dst[i] for every element. dst and
+// src may alias. It panics if the lengths differ.
+func RoundSlice(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("f16: RoundSlice length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = toF32Table[FromFloat32(v)]
+	}
+}
+
+// RoundInPlace rounds every element of x through binary16.
+func RoundInPlace(x []float32) { RoundSlice(x, x) }
+
+// Encode converts src to raw binary16 values.
+func Encode(dst []Float16, src []float32) {
+	if len(dst) != len(src) {
+		panic("f16: Encode length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+}
+
+// Decode converts raw binary16 values back to float32.
+func Decode(dst []float32, src []Float16) {
+	if len(dst) != len(src) {
+		panic("f16: Decode length mismatch")
+	}
+	for i, h := range src {
+		dst[i] = toF32Table[h]
+	}
+}
+
+// CountSpecials scans x after binary16 rounding and reports how many
+// elements overflowed to infinity and how many nonzero elements flushed to
+// zero. It is used by the column-scaling safeguard diagnostics.
+func CountSpecials(x []float32) (overflow, underflow int) {
+	for _, v := range x {
+		if Overflows(v) {
+			overflow++
+		} else if Underflows(v) {
+			underflow++
+		}
+	}
+	return overflow, underflow
+}

@@ -1,0 +1,31 @@
+package gram
+
+import (
+	"testing"
+)
+
+// BenchmarkPanels compares the software execution of the panel
+// implementations on a 4096×32 panel (the CAQR tile-tree runs its tiles on
+// parallel goroutines, MGS is one sequential sweep, Householder is the
+// blocked baseline).
+func BenchmarkPanels(b *testing.B) {
+	a := randPanel(1, 4096, TileCols)
+	for _, p := range []Panel{&CAQRPanel{}, MGSPanel{}, &HouseholderPanel{}, CholQRPanel{}} {
+		b.Run(p.Name(), func(b *testing.B) {
+			b.SetBytes(2 * 4096 * TileCols * TileCols)
+			for i := 0; i < b.N; i++ {
+				p.Factor(a)
+			}
+		})
+	}
+}
+
+func BenchmarkCAQRWide(b *testing.B) {
+	a := randPanel(2, 4096, 128)
+	p := &CAQRPanel{}
+	b.SetBytes(2 * 4096 * 128 * 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Factor(a)
+	}
+}

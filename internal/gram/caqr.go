@@ -1,0 +1,219 @@
+package gram
+
+import (
+	"fmt"
+	"sync"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/tcsim"
+)
+
+// Tile geometry of the paper's CUDA kernel: each threadblock owns a 256×32
+// tile held entirely in shared memory.
+const (
+	// TileRows is the number of rows one simulated threadblock factorizes.
+	TileRows = 256
+	// TileCols is the fixed CAQR panel width.
+	TileCols = 32
+)
+
+// Panel is a QR factorizer for tall panels (m >= n). Factor returns a fresh
+// orthonormal Q (m×n) and upper-triangular R (n×n); the input is not
+// modified. Implementations are the subject of the Figure 6 panel ablation.
+type Panel interface {
+	Factor(a *dense.M32) (q, r *dense.M32)
+	Name() string
+}
+
+// CAQRPanel is the communication-avoiding Gram-Schmidt panel of Section
+// 3.1.3. Panels wider than TileCols are reduced by the same
+// split-project-update recursion as the outer algorithm (with GEMMs through
+// Engine), and width-TileCols panels run the tile tree of Eq. 8.
+type CAQRPanel struct {
+	// Engine performs the panel's matrix multiplications. The paper keeps
+	// TensorCore OFF in the panel ("little gain in speed" for a loss of
+	// accuracy — Figure 7); a nil Engine defaults to FP32 accordingly.
+	Engine tcsim.Engine
+	// RowBlock overrides TileRows (for tests); 0 uses TileRows.
+	RowBlock int
+}
+
+// Name implements Panel.
+func (p *CAQRPanel) Name() string { return "CAQR" }
+
+func (p *CAQRPanel) engine() tcsim.Engine {
+	if p.Engine != nil {
+		return p.Engine
+	}
+	return defaultFP32
+}
+
+var defaultFP32 = &tcsim.FP32{}
+
+func (p *CAQRPanel) rowBlock() int {
+	if p.RowBlock > 0 {
+		return p.RowBlock
+	}
+	return TileRows
+}
+
+// Factor implements Panel.
+func (p *CAQRPanel) Factor(a *dense.M32) (q, r *dense.M32) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("gram: CAQR panel requires m >= n, got %dx%d", m, n))
+	}
+	q = a.Clone()
+	r = dense.New[float32](n, n)
+	p.factorInPlace(q, r)
+	return q, r
+}
+
+// factorInPlace turns w into Q and fills r (n×n, pre-zeroed upper written).
+func (p *CAQRPanel) factorInPlace(w, r *dense.M32) {
+	n := w.Cols
+	if n <= TileCols {
+		p.tileTree(w, r)
+		return
+	}
+	// Width reduction by the recursive Gram-Schmidt split, mirroring the
+	// outer RGSQRF but with the panel's own (FP32 by default) engine.
+	h := n / 2
+	m := w.Rows
+	w1 := w.View(0, 0, m, h)
+	w2 := w.View(0, h, m, n-h)
+	r11 := r.View(0, 0, h, h)
+	r12 := r.View(0, h, h, n-h)
+	r22 := r.View(h, h, n-h, n-h)
+	p.factorInPlace(w1, r11)
+	e := p.engine()
+	e.Gemm(blas.Trans, blas.NoTrans, 1, w1, w2, 0, r12)
+	e.Gemm(blas.NoTrans, blas.NoTrans, -1, w1, r12, 1, w2)
+	p.factorInPlace(w2, r22)
+}
+
+// tileTree runs the Eq. 8 pipeline on a width ≤ TileCols panel:
+//
+//  1. split the rows into tiles and MGS-factor each tile concurrently
+//     (threadblocks in shared memory);
+//  2. stack the tile R factors;
+//  3. recurse on the stack until it fits in one tile;
+//  4. apply the recursion's Q to each tile's Q with a batched GEMM;
+//  5. reinterpret the result as the panel's QR.
+func (p *CAQRPanel) tileTree(w, r *dense.M32) {
+	m, n := w.Rows, w.Cols
+	rb := p.rowBlock()
+	if rb < n {
+		rb = n
+	}
+	if m <= rb+n {
+		// Base case: a single threadblock suffices (the paper recurses
+		// "until the number of rows is below 256").
+		MGS(w, r)
+		return
+	}
+	// Step 1: tile boundaries. Every tile gets rb rows; the remainder is
+	// folded into the last tile so every tile has at least rb rows.
+	nt := m / rb
+	bounds := make([]int, nt+1)
+	for i := 0; i < nt; i++ {
+		bounds[i] = i * rb
+	}
+	bounds[nt] = m
+
+	tileQ := make([]*dense.M32, nt)
+	stack := dense.New[float32](nt*n, n) // step 2: stacked R factors
+	var wg sync.WaitGroup
+	for i := 0; i < nt; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tile := w.View(bounds[i], 0, bounds[i+1]-bounds[i], n)
+			ri := stack.View(i*n, 0, n, n)
+			MGS(tile, ri) // tile becomes Q_i in place
+			tileQ[i] = tile
+		}(i)
+	}
+	wg.Wait()
+
+	// Step 3: recurse on the stacked R factors.
+	q2 := stack.Clone()
+	rTop := dense.New[float32](n, n)
+	p.tileTree(q2, rTop)
+	r.CopyFrom(rTop)
+
+	// Step 4: batched GEMM Q_i ← Q_i · Q2_i. The multiplication cannot run
+	// in place, so stage each tile product in a scratch buffer.
+	q2Blocks := make([]*dense.M32, nt)
+	scratch := make([]*dense.M32, nt)
+	for i := 0; i < nt; i++ {
+		q2Blocks[i] = q2.View(i*n, 0, n, n)
+		scratch[i] = dense.New[float32](tileQ[i].Rows, n)
+	}
+	if e := p.engine(); e == defaultFP32 {
+		// The common path is exactly cuBLAS batched SGEMM.
+		blas.GemmBatch(blas.NoTrans, blas.NoTrans, 1, tileQ, q2Blocks, 0, scratch)
+	} else {
+		// Ablation path (TensorCore in the panel): the batch runs through
+		// the configured engine, one concurrent GEMM per tile.
+		var bw sync.WaitGroup
+		for i := 0; i < nt; i++ {
+			bw.Add(1)
+			go func(i int) {
+				defer bw.Done()
+				e.Gemm(blas.NoTrans, blas.NoTrans, 1, tileQ[i], q2Blocks[i], 0, scratch[i])
+			}(i)
+		}
+		bw.Wait()
+	}
+	for i := 0; i < nt; i++ {
+		tileQ[i].CopyFrom(scratch[i]) // step 5: w now holds the panel Q
+	}
+}
+
+// HouseholderPanel adapts blocked Householder QR (the cuSOLVER SGEQRF
+// baseline) to the Panel interface — the right bar of Figure 6.
+type HouseholderPanel struct {
+	// NB is the Householder block size; 0 uses the package default.
+	NB int
+}
+
+// Name implements Panel.
+func (p *HouseholderPanel) Name() string { return "SGEQRF" }
+
+// Factor implements Panel.
+func (p *HouseholderPanel) Factor(a *dense.M32) (q, r *dense.M32) {
+	qr := housePanelFactor(a, p.NB)
+	return qr.q, qr.r
+}
+
+// MGSPanel is the plain single-tile modified Gram-Schmidt panel, included
+// as the simplest baseline and for the §3.6 error comparisons.
+type MGSPanel struct{}
+
+// Name implements Panel.
+func (MGSPanel) Name() string { return "MGS" }
+
+// Factor implements Panel.
+func (MGSPanel) Factor(a *dense.M32) (q, r *dense.M32) {
+	q = a.Clone()
+	r = dense.New[float32](a.Cols, a.Cols)
+	MGS(q, r)
+	return q, r
+}
+
+// CGSPanel is the classical Gram-Schmidt panel (worst-case orthogonality
+// ∝ κ², per Giraud et al. as cited in §3.6).
+type CGSPanel struct{}
+
+// Name implements Panel.
+func (CGSPanel) Name() string { return "CGS" }
+
+// Factor implements Panel.
+func (CGSPanel) Factor(a *dense.M32) (q, r *dense.M32) {
+	q = a.Clone()
+	r = dense.New[float32](a.Cols, a.Cols)
+	CGS(q, r)
+	return q, r
+}

@@ -1,0 +1,14 @@
+package gram
+
+import (
+	"tcqr/internal/dense"
+	"tcqr/internal/house"
+)
+
+type houseQR struct{ q, r *dense.M32 }
+
+func housePanelFactor(a *dense.M32, nb int) houseQR {
+	f := a.Clone()
+	tau := house.Geqrf(f, nb)
+	return houseQR{q: house.Orgqr(f, tau, nb), r: house.ExtractR(f)}
+}

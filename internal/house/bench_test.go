@@ -1,0 +1,53 @@
+package house
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/blas"
+)
+
+func BenchmarkGeqrf(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sz := range []struct{ m, n int }{{512, 128}, {2048, 256}} {
+		a := randMat[float32](rng, sz.m, sz.n)
+		b.Run(byDims(sz.m, sz.n), func(b *testing.B) {
+			flops := 2*int64(sz.m)*int64(sz.n)*int64(sz.n) - 2*int64(sz.n)*int64(sz.n)*int64(sz.n)/3
+			b.SetBytes(flops)
+			for i := 0; i < b.N; i++ {
+				w := a.Clone()
+				Geqrf(w, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkOrmqr(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat[float32](rng, 1024, 128)
+	qr := Factor(a, 0)
+	c := randMat[float32](rng, 1024, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := c.Clone()
+		Ormqr(blas.Trans, qr.Factored, qr.Tau, w, 0)
+	}
+}
+
+func byDims(m, n int) string {
+	return itoa(m) + "x" + itoa(n)
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for x > 0 {
+		i--
+		buf[i] = byte('0' + x%10)
+		x /= 10
+	}
+	return string(buf[i:])
+}

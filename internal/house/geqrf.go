@@ -1,0 +1,172 @@
+// Package house implements blocked Householder QR factorization and the
+// associated orthogonal-multiply routines, generically over float32 and
+// float64. It is the stand-in for cuSOLVER's SGEQRF/DGEQRF, SORMQR/DORMQR
+// and SORGQR/DORGQR: the baselines every experiment in the paper compares
+// against, and also the reference ("panelQR") used inside the recursive
+// algorithms.
+//
+// The factorization follows LAPACK's storage convention: on return from
+// Geqrf the upper triangle of A holds R, and the columns below the diagonal
+// hold the Householder vectors v_j (with implicit unit diagonal), scaled so
+// that H_j = I - τ_j·v_j·v_jᵀ. Blocked updates use the compact WY
+// representation Q = I - V·T·Vᵀ (Schreiber & Van Loan), which turns the
+// trailing-matrix update into the GEMMs that the paper's Figure 1 analysis
+// is about.
+package house
+
+import (
+	"fmt"
+	"math"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+// DefaultBlockSize is the panel width used by Geqrf when the caller passes
+// nb <= 0. It mirrors typical LAPACK tuning for the problem sizes exercised
+// in this repository.
+const DefaultBlockSize = 32
+
+// Larfg generates an elementary Householder reflector H = I - τ·v·vᵀ such
+// that H·[α; x] = [β; 0]. On return x holds the tail of v (v₀ = 1 is
+// implicit), *alpha holds β, and τ is returned. A zero tail yields τ = 0
+// (H = I).
+func Larfg[T dense.Float](alpha *T, x []T) T {
+	xnorm := blas.Nrm2(x)
+	if xnorm == 0 {
+		return 0
+	}
+	a := float64(*alpha)
+	beta := -math.Copysign(math.Hypot(a, float64(xnorm)), a)
+	tau := T((beta - a) / beta)
+	blas.Scal(T(1/(a-beta)), x)
+	*alpha = T(beta)
+	return tau
+}
+
+// Geqr2 computes the unblocked Householder QR of a in place, writing the
+// reflector scalars into tau (len >= min(m, n)).
+func Geqr2[T dense.Float](a *dense.Matrix[T], tau []T) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	if len(tau) < k {
+		panic(fmt.Sprintf("house: tau length %d < %d", len(tau), k))
+	}
+	var w []T
+	for j := 0; j < k; j++ {
+		col := a.Col(j)
+		tau[j] = Larfg(&col[j], col[j+1:])
+		if tau[j] != 0 && j < n-1 {
+			// Apply H_j to the trailing matrix A[j:m, j+1:n].
+			beta := col[j]
+			col[j] = 1
+			v := col[j:]
+			trail := a.View(j, j+1, m-j, n-j-1)
+			if cap(w) < trail.Cols {
+				w = make([]T, trail.Cols)
+			}
+			w = w[:trail.Cols]
+			blas.Gemv(blas.Trans, 1, trail, v, 0, w)
+			blas.Ger(-tau[j], v, w, trail)
+			col[j] = beta
+		}
+	}
+}
+
+// extractV materializes the unit lower-trapezoidal reflector matrix V (m×k)
+// from the factored panel.
+func extractV[T dense.Float](panel *dense.Matrix[T]) *dense.Matrix[T] {
+	m, k := panel.Rows, min(panel.Rows, panel.Cols)
+	v := dense.New[T](m, k)
+	for j := 0; j < k; j++ {
+		dst := v.Col(j)
+		src := panel.Col(j)
+		dst[j] = 1
+		copy(dst[j+1:], src[j+1:m])
+	}
+	return v
+}
+
+// Larft forms the upper-triangular block reflector factor t (k×k, zeroed
+// below the diagonal) for the forward columnwise WY representation
+// Q = I - V·T·Vᵀ, where v is the explicit m×k unit lower-trapezoidal
+// reflector matrix.
+func Larft[T dense.Float](v *dense.Matrix[T], tau []T, t *dense.Matrix[T]) {
+	k := len(tau)
+	if v.Cols != k || t.Rows != k || t.Cols != k {
+		panic("house: larft shape mismatch")
+	}
+	t.Zero()
+	for i := 0; i < k; i++ {
+		if tau[i] == 0 {
+			continue
+		}
+		t.Set(i, i, tau[i])
+		if i == 0 {
+			continue
+		}
+		// t[0:i, i] = -τ_i · T[0:i,0:i] · (V[:,0:i]ᵀ v_i)
+		vi := v.Col(i)
+		ti := t.Col(i)[:i]
+		head := v.View(0, 0, v.Rows, i)
+		blas.Gemv(blas.Trans, -tau[i], head, vi, 0, ti)
+		blas.Trmv(blas.Upper, blas.NoTrans, blas.NonUnit, t.View(0, 0, i, i), ti)
+	}
+}
+
+// Larfb applies the block reflector to c from the left:
+// c ← (I - V·T'·Vᵀ)·c where T' = T when trans == NoTrans (applying Q) and
+// T' = Tᵀ when trans == Trans (applying Qᵀ).
+func Larfb[T dense.Float](trans blas.Transpose, v, t, c *dense.Matrix[T]) {
+	if v.Rows != c.Rows {
+		panic("house: larfb row mismatch")
+	}
+	k := v.Cols
+	w := dense.New[T](k, c.Cols)
+	// W = Vᵀ·C
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, v, c, 0, w)
+	// W = T'·W (triangular multiply, in place).
+	blas.Trmm(blas.Left, blas.Upper, trans, blas.NonUnit, 1, t, w)
+	// C = C - V·W
+	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, v, w, 1, c)
+}
+
+// Geqrf computes the blocked Householder QR factorization of a in place
+// with panel width nb (nb <= 0 selects DefaultBlockSize) and returns the
+// reflector scalars.
+func Geqrf[T dense.Float](a *dense.Matrix[T], nb int) []T {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	tau := make([]T, k)
+	if nb <= 0 {
+		nb = DefaultBlockSize
+	}
+	for j := 0; j < k; j += nb {
+		jb := min(nb, k-j)
+		panel := a.View(j, j, m-j, jb)
+		Geqr2(panel, tau[j:j+jb])
+		if j+jb < n {
+			v := extractV(panel)
+			t := dense.New[T](jb, jb)
+			Larft(v, tau[j:j+jb], t)
+			trail := a.View(j, j+jb, m-j, n-j-jb)
+			Larfb(blas.Trans, v, t, trail)
+		}
+	}
+	return tau
+}
+
+// ExtractR copies the upper-triangular factor out of a factored matrix into
+// a fresh min(m,n)×n matrix.
+func ExtractR[T dense.Float](a *dense.Matrix[T]) *dense.Matrix[T] {
+	k := min(a.Rows, a.Cols)
+	r := dense.New[T](k, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		src := a.Col(j)
+		dst := r.Col(j)
+		for i := 0; i <= min(j, k-1); i++ {
+			dst[i] = src[i]
+		}
+	}
+	return r
+}

@@ -1,0 +1,84 @@
+package house
+
+import (
+	"fmt"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+// Ormqr multiplies c from the left by Q or Qᵀ, where Q is the orthogonal
+// factor implicitly stored in the factored matrix a (output of Geqrf) and
+// tau. This is the cuSOLVER [S/D]ORMQR operation used by the direct least
+// squares solvers. nb <= 0 selects DefaultBlockSize.
+func Ormqr[T dense.Float](trans blas.Transpose, a *dense.Matrix[T], tau []T, c *dense.Matrix[T], nb int) {
+	m := a.Rows
+	k := len(tau)
+	if c.Rows != m {
+		panic(fmt.Sprintf("house: ormqr C has %d rows, want %d", c.Rows, m))
+	}
+	if nb <= 0 {
+		nb = DefaultBlockSize
+	}
+	// Q = H_0·H_1·…·H_{k-1}. Applying Qᵀ uses ascending blocks, Q descending.
+	type block struct{ j, jb int }
+	var blocks []block
+	for j := 0; j < k; j += nb {
+		blocks = append(blocks, block{j, min(nb, k-j)})
+	}
+	if trans == blas.NoTrans {
+		for i, j := 0, len(blocks)-1; i < j; i, j = i+1, j-1 {
+			blocks[i], blocks[j] = blocks[j], blocks[i]
+		}
+	}
+	for _, b := range blocks {
+		panel := a.View(b.j, b.j, m-b.j, b.jb)
+		v := extractV(panel)
+		t := dense.New[T](b.jb, b.jb)
+		Larft(v, tau[b.j:b.j+b.jb], t)
+		Larfb(trans, v, t, c.View(b.j, 0, m-b.j, c.Cols))
+	}
+}
+
+// OrmqrVec is the single right-hand-side convenience wrapper around Ormqr.
+func OrmqrVec[T dense.Float](trans blas.Transpose, a *dense.Matrix[T], tau []T, x []T, nb int) {
+	c := dense.NewFromColMajor(len(x), 1, x)
+	Ormqr(trans, a, tau, c, nb)
+}
+
+// Orgqr materializes the thin orthogonal factor Q (m×k, k = len(tau)) from
+// a factored matrix, the [S/D]ORGQR operation. The paper's orthogonality
+// experiments (Figure 4 and 5) compare against SGEQRF+SORMQR, i.e. exactly
+// this Geqrf+Orgqr pipeline.
+func Orgqr[T dense.Float](a *dense.Matrix[T], tau []T, nb int) *dense.Matrix[T] {
+	m := a.Rows
+	k := len(tau)
+	q := dense.New[T](m, k)
+	q.SetIdentity()
+	Ormqr(blas.NoTrans, a, tau, q, nb)
+	return q
+}
+
+// QR bundles a factored matrix with its reflector scalars, providing a
+// convenient handle for the solver layers.
+type QR[T dense.Float] struct {
+	Factored *dense.Matrix[T] // R in the upper triangle, V below
+	Tau      []T
+}
+
+// Factor runs Geqrf on a copy of a and returns the factorization handle.
+// The input matrix is not modified.
+func Factor[T dense.Float](a *dense.Matrix[T], nb int) *QR[T] {
+	f := a.Clone()
+	tau := Geqrf(f, nb)
+	return &QR[T]{Factored: f, Tau: tau}
+}
+
+// R returns a copy of the upper-triangular factor.
+func (qr *QR[T]) R() *dense.Matrix[T] { return ExtractR(qr.Factored) }
+
+// Q materializes the thin orthogonal factor.
+func (qr *QR[T]) Q() *dense.Matrix[T] { return Orgqr(qr.Factored, qr.Tau, 0) }
+
+// QTVec overwrites x with Qᵀx.
+func (qr *QR[T]) QTVec(x []T) { OrmqrVec(blas.Trans, qr.Factored, qr.Tau, x, 0) }

@@ -1,0 +1,76 @@
+package lls
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/house"
+	"tcqr/internal/rgs"
+)
+
+// DirectQRMulti solves min ‖A·X − B‖ column-wise with a single Householder
+// factorization (the LAPACK xGELS pattern): factor once, apply Qᵀ to all
+// right-hand sides, then one triangular solve with multiple RHS.
+func DirectQRMulti[T dense.Float](a *dense.Matrix[T], b *dense.Matrix[T]) *dense.Matrix[T] {
+	m, n := a.Rows, a.Cols
+	if b.Rows != m {
+		panic(fmt.Sprintf("lls: B has %d rows, want %d", b.Rows, m))
+	}
+	qr := house.Factor(a, 0)
+	w := b.Clone()
+	house.Ormqr(blas.Trans, qr.Factored, qr.Tau, w, 0)
+	x := w.View(0, 0, n, b.Cols).Clone()
+	blas.Trsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, qr.Factored.View(0, 0, n, n), x)
+	return x
+}
+
+// MultiSolution is the result of SolveMulti: one column of X per column of
+// B, with per-column refinement metadata.
+type MultiSolution struct {
+	X          *dense.M64
+	Iterations []int
+	Converged  []bool
+	Factor     *rgs.Result
+}
+
+// SolveMulti runs the paper's pipeline for many right-hand sides: one
+// RGSQRF factorization amortized over all columns of B, then independent
+// CGLS refinements running concurrently (each column's Krylov iteration is
+// independent given the shared preconditioner R).
+func SolveMulti(a *dense.M64, b *dense.M64, opts SolveOptions) (*MultiSolution, error) {
+	if b.Rows != a.Rows {
+		return nil, fmt.Errorf("lls: B has %d rows but A has %d", b.Rows, a.Rows)
+	}
+	a32 := dense.ToF32(a)
+	f, err := rgs.Factor(a32, opts.QR)
+	if err != nil {
+		return nil, err
+	}
+	r64 := dense.ToF64(f.R)
+
+	nrhs := b.Cols
+	out := &MultiSolution{
+		X:          dense.New[float64](a.Cols, nrhs),
+		Iterations: make([]int, nrhs),
+		Converged:  make([]bool, nrhs),
+		Factor:     f,
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for j := 0; j < nrhs; j++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j int) {
+			defer func() { <-sem; wg.Done() }()
+			res := CGLS(a, b.Col(j), r64, opts.Tol, opts.MaxIter)
+			copy(out.X.Col(j), res.X)
+			out.Iterations[j] = res.Iterations
+			out.Converged[j] = res.Converged
+		}(j)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,34 @@
+package lls
+
+import (
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+// Operator is the matrix-free interface of Section 2.2: an iterative least
+// squares solver only ever needs A·v and Aᵀ·v. internal/sparse.CSR
+// satisfies it; denseOperator adapts dense matrices.
+type Operator interface {
+	// Dims returns (rows, cols).
+	Dims() (rows, cols int)
+	// Apply computes dst = A·src (len(dst) = rows, len(src) = cols).
+	Apply(dst, src []float64)
+	// ApplyTranspose computes dst = Aᵀ·src.
+	ApplyTranspose(dst, src []float64)
+}
+
+// denseOperator adapts a dense matrix to the Operator interface.
+type denseOperator struct{ m *dense.M64 }
+
+// AsOperator wraps a dense matrix as an Operator.
+func AsOperator(m *dense.M64) Operator { return denseOperator{m} }
+
+func (d denseOperator) Dims() (int, int) { return d.m.Rows, d.m.Cols }
+
+func (d denseOperator) Apply(dst, src []float64) {
+	blas.Gemv(blas.NoTrans, 1, d.m, src, 0, dst)
+}
+
+func (d denseOperator) ApplyTranspose(dst, src []float64) {
+	blas.Gemv(blas.Trans, 1, d.m, src, 0, dst)
+}

@@ -1,0 +1,162 @@
+package lls
+
+import (
+	"fmt"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/rgs"
+)
+
+// RefineQR performs classical iterative refinement for least squares (the
+// "iterative refinement in the literature" of Section 3.2.3, in its simple
+// residual-correction form): starting from the low-precision direct
+// solution, repeatedly compute the residual in float64 and solve for a
+// correction with the same float32 QR factors. It converges when
+// κ(A)·ε_half ≪ 1 but, unlike the Krylov refinement, stalls once the
+// correction equation itself is too inaccurate — which is why the paper
+// prefers CGLS.
+func RefineQR(f *rgs.Result, a *dense.M64, b []float64, tol float64, maxIter int) *IterResult {
+	m, n := a.Rows, a.Cols
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	x := make([]float64, n)
+	res := make([]float64, m)
+	grad := make([]float64, n)
+	r32 := make([]float32, m)
+	out := &IterResult{X: x}
+	var grad0 float64
+	for k := 0; k <= maxIter; k++ {
+		// res = b − A·x, gradient g = Aᵀ·res, both in float64.
+		copy(res, b)
+		blas.Gemv(blas.NoTrans, -1, a, x, 1, res)
+		blas.Gemv(blas.Trans, 1, a, res, 0, grad)
+		g := blas.Nrm2(grad)
+		out.GradNorms = append(out.GradNorms, g)
+		if k == 0 {
+			grad0 = g
+		}
+		if g <= tol*grad0 || grad0 == 0 {
+			out.Converged = true
+			break
+		}
+		if k == maxIter {
+			break
+		}
+		// Correction d = R⁻¹·Qᵀ·res with the float32 factors.
+		for i, v := range res {
+			r32[i] = float32(v)
+		}
+		d := DirectRGS(f, r32)
+		for i := range x {
+			x[i] += float64(d[i])
+		}
+		out.Iterations = k + 1
+	}
+	return out
+}
+
+// Method selects the refinement engine used by Solve.
+type Method int
+
+const (
+	// MethodCGLS is Algorithm 3 — the paper's solver.
+	MethodCGLS Method = iota
+	// MethodLSQR swaps in preconditioned LSQR.
+	MethodLSQR
+	// MethodRefine uses classical residual-correction refinement.
+	MethodRefine
+	// MethodDirect returns the float32 direct solution without refinement
+	// (the "RGSQRF direct solver" of Figure 9).
+	MethodDirect
+)
+
+// String names the method as the paper does.
+func (m Method) String() string {
+	switch m {
+	case MethodCGLS:
+		return "RGSQRF+CGLS"
+	case MethodLSQR:
+		return "RGSQRF+LSQR"
+	case MethodRefine:
+		return "RGSQRF+IR"
+	case MethodDirect:
+		return "RGSQRF direct"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// SolveOptions configures Solve.
+type SolveOptions struct {
+	// QR configures the RGSQRF factorization (engine, panel, safeguards).
+	QR rgs.Options
+	// Method selects the refinement engine (default CGLS).
+	Method Method
+	// Tol is the relative refinement tolerance (default DefaultTol).
+	Tol float64
+	// MaxIter caps refinement iterations (default DefaultMaxIter).
+	MaxIter int
+}
+
+// Solution is the result of the full RGSQRF-accelerated least squares
+// pipeline.
+type Solution struct {
+	X          []float64
+	Iterations int
+	Converged  bool
+	GradNorms  []float64
+	// Factor is the RGSQRF factorization used (for reuse across multiple
+	// right-hand sides).
+	Factor *rgs.Result
+}
+
+// Solve runs the paper's full pipeline on a float64 problem: narrow A to
+// float32, factor it with the TensorCore-accelerated RGSQRF, then refine
+// min ‖Ax − b‖ to double precision with the selected method.
+func Solve(a *dense.M64, b []float64, opts SolveOptions) (*Solution, error) {
+	a32 := dense.ToF32(a)
+	f, err := rgs.Factor(a32, opts.QR)
+	if err != nil {
+		return nil, err
+	}
+	return SolveWithFactor(f, a, b, opts)
+}
+
+// SolveWithFactor is Solve with a precomputed factorization (amortizing one
+// QR over many right-hand sides).
+func SolveWithFactor(f *rgs.Result, a *dense.M64, b []float64, opts SolveOptions) (*Solution, error) {
+	if f.Q.Rows != a.Rows || f.Q.Cols != a.Cols {
+		return nil, fmt.Errorf("lls: factorization is %dx%d but A is %dx%d", f.Q.Rows, f.Q.Cols, a.Rows, a.Cols)
+	}
+	switch opts.Method {
+	case MethodDirect:
+		b32 := make([]float32, len(b))
+		for i, v := range b {
+			b32[i] = float32(v)
+		}
+		x32 := DirectRGS(f, b32)
+		x := make([]float64, len(x32))
+		for i, v := range x32 {
+			x[i] = float64(v)
+		}
+		return &Solution{X: x, Converged: true, Factor: f}, nil
+	case MethodRefine:
+		res := RefineQR(f, a, b, opts.Tol, opts.MaxIter)
+		return fromIter(res, f), nil
+	case MethodLSQR:
+		res := LSQR(a, b, dense.ToF64(f.R), opts.Tol, opts.MaxIter)
+		return fromIter(res, f), nil
+	case MethodCGLS:
+		res := CGLS(a, b, dense.ToF64(f.R), opts.Tol, opts.MaxIter)
+		return fromIter(res, f), nil
+	}
+	return nil, fmt.Errorf("lls: unknown method %d", opts.Method)
+}
+
+func fromIter(r *IterResult, f *rgs.Result) *Solution {
+	return &Solution{X: r.X, Iterations: r.Iterations, Converged: r.Converged, GradNorms: r.GradNorms, Factor: f}
+}

@@ -1,0 +1,76 @@
+package lu
+
+import (
+	"fmt"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+// IterativeResult reports a mixed-precision solve.
+type IterativeResult struct {
+	X          []float64
+	Iterations int
+	Converged  bool
+	// ResidualNorms[k] is ‖b − A·x_k‖ after k refinement steps.
+	ResidualNorms []float64
+}
+
+// SolveRefined solves the square system A·x = b to (near) double precision
+// using a low-precision LU factorization plus classical iterative
+// refinement — the Haidar et al. recipe the paper cites as the closest
+// related work. The factorization f must come from Factor on (a narrowing
+// of) a; residuals are computed in float64; corrections are solved with
+// the float32 factors. Convergence requires κ(A)·ε_effective ≲ 1, where
+// ε_effective is the half precision of the engine used in the trailing
+// updates.
+func SolveRefined(f *Factorization, a *dense.M64, b []float64, tol float64, maxIter int) *IterativeResult {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic(fmt.Sprintf("lu: SolveRefined shapes A=%dx%d b=%d", a.Rows, a.Cols, len(b)))
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	r32 := make([]float32, n)
+	out := &IterativeResult{X: x}
+	bNorm := blas.Nrm2(b)
+	if bNorm == 0 {
+		out.Converged = true
+		return out
+	}
+	best := append([]float64(nil), x...)
+	bestNorm := bNorm
+	for k := 0; k <= maxIter; k++ {
+		copy(r, b)
+		blas.Gemv(blas.NoTrans, -1, a, x, 1, r) // r = b − A·x in float64
+		rn := blas.Nrm2(r)
+		out.ResidualNorms = append(out.ResidualNorms, rn)
+		if rn < bestNorm {
+			bestNorm = rn
+			copy(best, x)
+		}
+		if rn <= tol*bNorm {
+			out.Converged = true
+			return out
+		}
+		if k == maxIter || rn != rn /* NaN */ || rn > 100*bestNorm {
+			break
+		}
+		for i, v := range r {
+			r32[i] = float32(v)
+		}
+		f.Solve(r32)
+		for i := range x {
+			x[i] += float64(r32[i])
+		}
+		out.Iterations = k + 1
+	}
+	copy(x, best)
+	return out
+}

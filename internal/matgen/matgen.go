@@ -1,0 +1,228 @@
+// Package matgen generates the random test matrices used throughout the
+// paper's evaluation (Section 4): elementwise uniform and normal matrices,
+// and — following MAGMA's latms-style generator the authors used — matrices
+// with a prescribed condition number and singular value distribution, built
+// as A = U·Σ·Vᵀ with Haar-distributed orthogonal factors.
+//
+// All generation happens in float64; callers narrow to float32 at the
+// boundary of the device they are simulating, the same way the paper's
+// experiments hand a well-defined matrix to the GPU.
+package matgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/house"
+)
+
+// Dist enumerates the singular value distributions of Section 4.2.
+type Dist int
+
+const (
+	// Geometric spaces log σ_i evenly between 0 and -log κ (matrix type 3).
+	Geometric Dist = iota
+	// Arithmetic spaces σ_i evenly between 1 and 1/κ (matrix type 4).
+	Arithmetic
+	// Cluster2 sets every singular value to 1 except the smallest, which is
+	// 1/κ (matrix type 5, "SVD cluster2" in Figure 9).
+	Cluster2
+)
+
+// String returns the paper's name for the distribution.
+func (d Dist) String() string {
+	switch d {
+	case Geometric:
+		return "geometric"
+	case Arithmetic:
+		return "arithmetic"
+	case Cluster2:
+		return "cluster2"
+	}
+	return fmt.Sprintf("Dist(%d)", int(d))
+}
+
+// SingularValues returns n singular values with σ₁ = 1 and σ_n = 1/cond
+// following the given distribution.
+func SingularValues(n int, cond float64, dist Dist) []float64 {
+	if n < 1 {
+		panic("matgen: need at least one singular value")
+	}
+	if cond < 1 {
+		panic(fmt.Sprintf("matgen: condition number %g < 1", cond))
+	}
+	s := make([]float64, n)
+	if n == 1 {
+		s[0] = 1
+		return s
+	}
+	switch dist {
+	case Geometric:
+		// log σ evenly spaced: σ_i = κ^{-i/(n-1)}.
+		for i := range s {
+			s[i] = math.Pow(cond, -float64(i)/float64(n-1))
+		}
+	case Arithmetic:
+		lo := 1 / cond
+		for i := range s {
+			t := float64(i) / float64(n-1)
+			s[i] = 1 - t*(1-lo)
+		}
+	case Cluster2:
+		for i := range s {
+			s[i] = 1
+		}
+		s[n-1] = 1 / cond
+	default:
+		panic(fmt.Sprintf("matgen: unknown distribution %d", dist))
+	}
+	return s
+}
+
+// Uniform01 returns an m×n matrix with i.i.d. entries from U(0, 1)
+// (matrix type 1a).
+func Uniform01(rng *rand.Rand, m, n int) *dense.M64 {
+	a := dense.New[float64](m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	return a
+}
+
+// UniformSym returns an m×n matrix with i.i.d. entries from U(-1, 1)
+// (matrix type 1b).
+func UniformSym(rng *rand.Rand, m, n int) *dense.M64 {
+	a := dense.New[float64](m, n)
+	for i := range a.Data {
+		a.Data[i] = 2*rng.Float64() - 1
+	}
+	return a
+}
+
+// Normal returns an m×n matrix with i.i.d. N(0, 1) entries (matrix type 2).
+func Normal(rng *rand.Rand, m, n int) *dense.M64 {
+	a := dense.New[float64](m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+// haarApply overwrites c with Q·c where Q is a Haar-distributed r×r
+// orthogonal matrix, applied implicitly through the Householder QR of a
+// Gaussian matrix (the standard Stewart construction; MAGMA does the same).
+func haarApply(rng *rand.Rand, c *dense.M64) {
+	r := c.Rows
+	k := min(r, c.Cols+8) // enough reflectors to mix every direction used
+	if k > r {
+		k = r
+	}
+	g := Normal(rng, r, k)
+	tau := house.Geqrf(g, 0)
+	house.Ormqr(blas.NoTrans, g, tau, c, 0)
+}
+
+// WithSpectrum builds an m×n (m >= n) matrix with the exact singular values
+// sigma: A = U·diag(σ)·Vᵀ with Haar factors. Deterministic given rng state.
+func WithSpectrum(rng *rand.Rand, m, n int, sigma []float64) *dense.M64 {
+	if len(sigma) != n {
+		panic(fmt.Sprintf("matgen: %d singular values for %d columns", len(sigma), n))
+	}
+	if m < n {
+		panic(fmt.Sprintf("matgen: WithSpectrum requires m >= n, got %dx%d", m, n))
+	}
+	// B = V·diag(σ) for Haar V (n×n).
+	b := dense.New[float64](n, n)
+	for i, s := range sigma {
+		b.Set(i, i, s)
+	}
+	gv := Normal(rng, n, n)
+	tauV := house.Geqrf(gv, 0)
+	house.Ormqr(blas.NoTrans, gv, tauV, b, 0)
+	// C = [Bᵀ; 0] (m×n), then A = U·C for Haar U (m×m, thin columns used).
+	c := dense.New[float64](m, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c.Set(i, j, b.At(j, i))
+		}
+	}
+	gu := Normal(rng, m, n)
+	tauU := house.Geqrf(gu, 0)
+	house.Ormqr(blas.NoTrans, gu, tauU, c, 0)
+	return c
+}
+
+// WithCond builds an m×n matrix with condition number cond and the given
+// singular value distribution — the workhorse generator for Figures 3, 4, 8
+// and 9 and Table 4.
+func WithCond(rng *rand.Rand, m, n int, cond float64, dist Dist) *dense.M64 {
+	return WithSpectrum(rng, m, n, SingularValues(n, cond, dist))
+}
+
+// HaarOrthonormal returns an m×n matrix with Haar-distributed orthonormal
+// columns.
+func HaarOrthonormal(rng *rand.Rand, m, n int) *dense.M64 {
+	c := dense.New[float64](m, n)
+	c.SetIdentity()
+	haarApply(rng, c)
+	return c
+}
+
+// BadlyScaled returns a well-conditioned matrix whose column norms span
+// 10^±decades — the inputs that overflow FP16 without the column scaling
+// safeguard of Section 3.5.
+func BadlyScaled(rng *rand.Rand, m, n int, decades float64) *dense.M64 {
+	a := Normal(rng, m, n)
+	for j := 0; j < n; j++ {
+		e := (2*rng.Float64() - 1) * decades
+		blas.Scal(math.Pow(10, e), a.Col(j))
+	}
+	return a
+}
+
+// LLSProblem is a random over-determined least squares instance. The right
+// hand side is b = A·x + r with a residual r orthogonal to range(A) scaled
+// to resNorm, so the true minimizer xTrue and minimum residual are known.
+type LLSProblem struct {
+	A     *dense.M64
+	B     []float64
+	XTrue []float64
+}
+
+// NewLLSProblem builds an LLS instance over the given matrix. resNorm
+// controls the size of the incompatible component of b; 0 gives a
+// consistent system.
+func NewLLSProblem(rng *rand.Rand, a *dense.M64, resNorm float64) *LLSProblem {
+	m, n := a.Rows, a.Cols
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b := make([]float64, m)
+	blas.Gemv(blas.NoTrans, 1, a, x, 0, b)
+	if resNorm > 0 {
+		// Project a random vector onto the complement of range(A) using a
+		// QR of A, then add it scaled to resNorm.
+		r := make([]float64, m)
+		for i := range r {
+			r[i] = rng.NormFloat64()
+		}
+		f := a.Clone()
+		tau := house.Geqrf(f, 0)
+		// r ← (I - Q_thin·Q_thinᵀ)·r via ormqr: w = Qᵀr, zero first n, r = Q·w... cheaper:
+		w := append([]float64(nil), r...)
+		house.OrmqrVec(blas.Trans, f, tau, w, 0)
+		for i := 0; i < n; i++ {
+			w[i] = 0
+		}
+		house.OrmqrVec(blas.NoTrans, f, tau, w, 0)
+		nw := blas.Nrm2(w)
+		if nw > 0 {
+			blas.Axpy(resNorm/nw, w, b)
+		}
+	}
+	return &LLSProblem{A: a, B: b, XTrue: x}
+}

@@ -1,0 +1,242 @@
+package matgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+func TestSingularValuesShapes(t *testing.T) {
+	for _, dist := range []Dist{Geometric, Arithmetic, Cluster2} {
+		s := SingularValues(10, 1e4, dist)
+		if s[0] != 1 {
+			t.Errorf("%v: σ₁ = %v, want 1", dist, s[0])
+		}
+		if math.Abs(s[9]-1e-4) > 1e-12 {
+			t.Errorf("%v: σ_n = %v, want 1e-4", dist, s[9])
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] > s[i-1] {
+				t.Errorf("%v: singular values not non-increasing at %d", dist, i)
+			}
+		}
+	}
+	// Geometric: ratios constant.
+	s := SingularValues(5, 1e4, Geometric)
+	for i := 1; i < 4; i++ {
+		r1 := s[i] / s[i-1]
+		r2 := s[i+1] / s[i]
+		if math.Abs(r1-r2) > 1e-12 {
+			t.Errorf("geometric ratios differ: %v vs %v", r1, r2)
+		}
+	}
+	// Arithmetic: differences constant.
+	s = SingularValues(5, 1e4, Arithmetic)
+	for i := 1; i < 4; i++ {
+		d1 := s[i-1] - s[i]
+		d2 := s[i] - s[i+1]
+		if math.Abs(d1-d2) > 1e-12 {
+			t.Errorf("arithmetic gaps differ: %v vs %v", d1, d2)
+		}
+	}
+	// Cluster2: all ones except last.
+	s = SingularValues(6, 1e3, Cluster2)
+	for i := 0; i < 5; i++ {
+		if s[i] != 1 {
+			t.Errorf("cluster2 σ_%d = %v", i, s[i])
+		}
+	}
+	// Single value.
+	if s := SingularValues(1, 1e6, Geometric); s[0] != 1 {
+		t.Errorf("n=1: %v", s)
+	}
+	if Geometric.String() != "geometric" || Cluster2.String() != "cluster2" {
+		t.Error("Dist.String wrong")
+	}
+}
+
+func TestElementwiseGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform01(rng, 50, 40)
+	var mean float64
+	for _, v := range u.Data {
+		if v < 0 || v >= 1 {
+			t.Fatalf("Uniform01 out of range: %v", v)
+		}
+		mean += v
+	}
+	mean /= float64(len(u.Data))
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("Uniform01 mean %v", mean)
+	}
+	s := UniformSym(rng, 50, 40)
+	for _, v := range s.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("UniformSym out of range: %v", v)
+		}
+	}
+	n := Normal(rng, 80, 50)
+	var m2 float64
+	for _, v := range n.Data {
+		m2 += v * v
+	}
+	m2 /= float64(len(n.Data))
+	if math.Abs(m2-1) > 0.1 {
+		t.Errorf("Normal variance %v", m2)
+	}
+}
+
+func orthoErr(q *dense.M64) float64 {
+	g := dense.New[float64](q.Cols, q.Cols)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, q, q, 0, g)
+	for i := 0; i < q.Cols; i++ {
+		g.Set(i, i, g.At(i, i)-1)
+	}
+	return dense.NormFro(g)
+}
+
+func TestHaarOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := HaarOrthonormal(rng, 60, 20)
+	if e := orthoErr(q); e > 1e-13 {
+		t.Errorf("Haar columns not orthonormal: %g", e)
+	}
+}
+
+func TestWithSpectrumExactSigma(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sigma := []float64{5, 3, 1, 0.5, 0.01}
+	a := WithSpectrum(rng, 30, 5, sigma)
+	// Frobenius norm equals ‖σ‖₂.
+	wantFro := blas.Nrm2(sigma)
+	if got := dense.NormFro(a); math.Abs(got-wantFro)/wantFro > 1e-12 {
+		t.Errorf("‖A‖_F = %v, want %v", got, wantFro)
+	}
+	// Spectral norm equals σ₁.
+	if got := dense.Norm2Est(a, 100); math.Abs(got-5)/5 > 1e-6 {
+		t.Errorf("‖A‖₂ = %v, want 5", got)
+	}
+	// Product of squared singular values: det(AᵀA) = Π σᵢ².
+	g := dense.New[float64](5, 5)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, a, a, 0, g)
+	det := detViaGauss(g)
+	want := 1.0
+	for _, s := range sigma {
+		want *= s * s
+	}
+	if math.Abs(det-want)/want > 1e-8 {
+		t.Errorf("det(AᵀA) = %v, want %v", det, want)
+	}
+}
+
+func detViaGauss(a *dense.M64) float64 {
+	n := a.Rows
+	m := a.Clone()
+	det := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(m.At(i, k)) > math.Abs(m.At(p, k)) {
+				p = i
+			}
+		}
+		if p != k {
+			det = -det
+			for j := 0; j < n; j++ {
+				v1, v2 := m.At(k, j), m.At(p, j)
+				m.Set(k, j, v2)
+				m.Set(p, j, v1)
+			}
+		}
+		piv := m.At(k, k)
+		det *= piv
+		if piv == 0 {
+			return 0
+		}
+		for i := k + 1; i < n; i++ {
+			f := m.At(i, k) / piv
+			for j := k; j < n; j++ {
+				m.Set(i, j, m.At(i, j)-f*m.At(k, j))
+			}
+		}
+	}
+	return det
+}
+
+func TestWithCondConditionNumber(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := WithCond(rng, 40, 8, 1e3, Geometric)
+	// σmax = 1.
+	if got := dense.Norm2Est(a, 200); math.Abs(got-1) > 1e-6 {
+		t.Errorf("σ₁ = %v, want 1", got)
+	}
+	// det(AᵀA) should equal Π σᵢ² for geometric distribution.
+	g := dense.New[float64](8, 8)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, a, a, 0, g)
+	sig := SingularValues(8, 1e3, Geometric)
+	want := 1.0
+	for _, s := range sig {
+		want *= s * s
+	}
+	got := detViaGauss(g)
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("det = %g, want %g", got, want)
+	}
+}
+
+func TestBadlyScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := BadlyScaled(rng, 100, 30, 8)
+	var minN, maxN float64 = math.Inf(1), 0
+	for j := 0; j < 30; j++ {
+		n := blas.Nrm2(a.Col(j))
+		if n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN/minN < 1e6 {
+		t.Errorf("column norm spread only %g", maxN/minN)
+	}
+}
+
+func TestNewLLSProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := Normal(rng, 60, 10)
+
+	// Consistent system: residual at xTrue is 0.
+	p := NewLLSProblem(rng, a, 0)
+	r := append([]float64(nil), p.B...)
+	blas.Gemv(blas.NoTrans, -1, a, p.XTrue, 1, r)
+	if n := blas.Nrm2(r); n > 1e-12 {
+		t.Errorf("consistent problem residual %g", n)
+	}
+
+	// Inconsistent system: residual has the requested norm and is
+	// orthogonal to range(A) (so Aᵀr ≈ 0 at the minimizer).
+	p2 := NewLLSProblem(rng, a, 0.5)
+	r2 := append([]float64(nil), p2.B...)
+	blas.Gemv(blas.NoTrans, -1, a, p2.XTrue, 1, r2)
+	if n := blas.Nrm2(r2); math.Abs(n-0.5) > 1e-10 {
+		t.Errorf("residual norm %v, want 0.5", n)
+	}
+	atr := make([]float64, 10)
+	blas.Gemv(blas.Trans, 1, a, r2, 0, atr)
+	if n := blas.Nrm2(atr); n > 1e-10 {
+		t.Errorf("residual not orthogonal to range(A): ‖Aᵀr‖ = %g", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := WithCond(rand.New(rand.NewSource(7)), 20, 6, 100, Arithmetic)
+	b := WithCond(rand.New(rand.NewSource(7)), 20, 6, 100, Arithmetic)
+	if !dense.Equal(a, b) {
+		t.Error("same seed must reproduce the same matrix")
+	}
+}

@@ -1,0 +1,258 @@
+package perfmodel
+
+import "math"
+
+// This file contains the paper's own composition formulas — equation (4)
+// for tiled Householder QR (Figure 1) and equation (7) for recursive
+// Gram-Schmidt QR (Figure 2) — plus full pipeline timers for every
+// algorithm variant benchmarked in Section 4.
+
+// HouseholderEstimate evaluates equation (4): the estimated throughput (in
+// TFLOPS) of a blocked Householder QR on an m×n matrix with block size B,
+// with the trailing update on the TensorCore (tc) or in FP32. The model
+// charges 2 parts of the flops to the panel and n/B parts to the update,
+// following Bischof & Van Loan's accounting as the paper does.
+func HouseholderEstimate(n, b float64, tc bool) float64 {
+	gemm := SGemmNN
+	if tc {
+		gemm = TCGemmNN
+	}
+	parts := n / b
+	return (parts + 2) / (2/SGeqrf.At(b) + parts/gemm.At(b))
+}
+
+// RGSQRFEstimate evaluates the recurrence (7): the estimated throughput of
+// RGSQRF on an m×n matrix with recursion cutoff B, the panel running at
+// panelRate(m, B) TFLOPS and the split GEMMs on the TensorCore (tc) or in
+// FP32. Each recursion level spends half its flops in GEMMs with inner
+// dimension n/2 and half in the two recursive calls.
+func RGSQRFEstimate(m, n, b float64, tc bool, panelRate func(m, b float64) float64) float64 {
+	if n <= b {
+		return panelRate(m, n)
+	}
+	gemmRate := gemmPairRate(n/2, tc)
+	sub := RGSQRFEstimate(m, n/2, b, tc, panelRate)
+	return 2 / (1/sub + 1/gemmRate)
+}
+
+// gemmPairRate is the harmonic mean of the two GEMM shapes at inner
+// dimension k: each recursion level runs one projection-shape GEMM
+// (R12 = Q1ᵀA2) and one update-shape GEMM (A2 − Q1·R12) of equal flops.
+func gemmPairRate(k float64, tc bool) float64 {
+	var tn, nn float64
+	if tc {
+		tn, nn = TCGemmTN.At(k), TCGemmNN.At(k)
+	} else {
+		tn, nn = SGemmTN.At(k), SGemmNN.At(k)
+	}
+	return 2 / (1/tn + 1/nn)
+}
+
+// SGeqrfPanelRate adapts the cuSOLVER panel curve to the panelRate
+// signature of RGSQRFEstimate.
+func SGeqrfPanelRate(_, b float64) float64 { return SGeqrf.At(b) }
+
+// CAQRPanelRate adapts the CAQR panel model to the panelRate signature.
+func CAQRPanelRate(_, b float64) float64 { return CAQRPanel(b) }
+
+// PanelKind selects the panel model for pipeline timing.
+type PanelKind int
+
+const (
+	// PanelCAQR is the hand-written communication-avoiding panel.
+	PanelCAQR PanelKind = iota
+	// PanelSGEQRF is the cuSOLVER panel.
+	PanelSGEQRF
+)
+
+// QRConfig describes an RGSQRF variant for pipeline timing: the Figure 6
+// panel ablation and the Figure 7 engine ablation are points in this space.
+type QRConfig struct {
+	Panel    PanelKind
+	TCUpdate bool // TensorCore in the split GEMMs
+	TCPanel  bool // TensorCore inside the panel's own GEMMs
+	Cutoff   float64
+}
+
+// PaperConfig is the configuration behind the paper's headline numbers:
+// CAQR panel (FP32), TensorCore update, cutoff 128.
+var PaperConfig = QRConfig{Panel: PanelCAQR, TCUpdate: true, TCPanel: false, Cutoff: 128}
+
+func (c QRConfig) cutoff() float64 {
+	if c.Cutoff > 0 {
+		return c.Cutoff
+	}
+	return 128
+}
+
+// panelTime returns the modelled time for one m×b panel factorization.
+func (c QRConfig) panelTime(m, b float64) float64 {
+	flops := RGSFlops(m, b)
+	switch c.Panel {
+	case PanelSGEQRF:
+		// cuSOLVER panel does Householder flops at the panel curve's rate.
+		return HouseQRFlops(m, b) / (SGeqrf.At(b) * 1e12)
+	default:
+		rate := CAQRPanel(b)
+		if c.TCPanel {
+			// Figure 7 left bar: TensorCore inside the panel buys little —
+			// the tile MGS stays in shared memory and only the small tree
+			// GEMMs can use it. Model a 15% improvement.
+			rate *= 1.15
+		}
+		return flops / (rate * 1e12)
+	}
+}
+
+// RGSQRFTime returns the modelled execution time (seconds) of RGSQRF on an
+// m×n matrix: the exact recursion of Algorithm 1 with per-level GEMM times
+// from the calibration curves plus panel times at the cutoff.
+func RGSQRFTime(m, n float64, cfg QRConfig) float64 {
+	b := cfg.cutoff()
+	if n <= b {
+		return cfg.panelTime(m, n)
+	}
+	h := n / 2
+	var tnRate, nnRate float64
+	if cfg.TCUpdate {
+		tnRate, nnRate = TCGemmTN.At(h), TCGemmNN.At(h)
+	} else {
+		tnRate, nnRate = SGemmTN.At(h), SGemmNN.At(h)
+	}
+	gemms := GemmFlops(h, n-h, m)/(tnRate*1e12) + GemmFlops(m, n-h, h)/(nnRate*1e12)
+	return RGSQRFTime(m, h, cfg) + gemms + RGSQRFTime(m, n-h, cfg)
+}
+
+// RGSQRFTFLOPS converts RGSQRFTime into a throughput normalized by the
+// algorithm's own 2mn² flops, matching how the paper reports Figure 6.
+func RGSQRFTFLOPS(m, n float64, cfg QRConfig) float64 {
+	return RGSFlops(m, n) / RGSQRFTime(m, n, cfg) / 1e12
+}
+
+// ReorthoTime is the RGSQRF-ReOrtho pipeline (Figure 5, left bars): two
+// full RGSQRF passes; the R₂·R triangular product is negligible next to
+// them but included for completeness.
+func ReorthoTime(m, n float64, cfg QRConfig) float64 {
+	rmul := n * n * n / 3 / (SGemmNN.At(n) * 1e12)
+	return 2*RGSQRFTime(m, n, cfg) + rmul
+}
+
+// SGeqrfRate is the cuSOLVER SGEQRF full-matrix throughput model. Within
+// the Table 3 calibration range it is the measured panel curve (at
+// n = 16384 that point *is* the paper's full 32768×16384 matrix, 6.67
+// TFLOPS, consistent with the ">6 TFLOPS" quoted in Section 3.1.1). Beyond
+// the calibration range the rate decays — calibrated so the paper's two
+// quoted numbers for 32768×32768, RGSQRF at 36.6 TFLOPS and a 14.6×
+// speedup over cuSOLVER, are mutually consistent (36.6/14.6 ≈ 2.5 TFLOPS).
+func SGeqrfRate(n float64) float64 {
+	const edge = 16384
+	if n <= edge {
+		return SGeqrf.At(n)
+	}
+	return SGeqrf.At(edge) * math.Pow(edge/n, 1.4)
+}
+
+// SGeqrfTime is the cuSOLVER SGEQRF baseline on the full matrix.
+func SGeqrfTime(m, n float64) float64 {
+	return HouseQRFlops(m, n) / (SGeqrfRate(n) * 1e12)
+}
+
+// DGeqrfTime is the cuSOLVER DGEQRF baseline.
+func DGeqrfTime(m, n float64) float64 {
+	return HouseQRFlops(m, n) / (SGeqrfRate(n) / DoubleFactor * 1e12)
+}
+
+// SOrmqrFormQTime models SORMQR materializing the thin Q (the Figure 5
+// right bars are SGEQRF + this).
+func SOrmqrFormQTime(m, n float64) float64 {
+	return OrgqrFlops(m, n) / (SOrmqr(n) * 1e12)
+}
+
+// GemvTime models one dense matrix-vector product: bandwidth-bound at one
+// matrix read per call.
+func GemvTime(m, n float64, bytesPerElem float64) float64 {
+	return m * n * bytesPerElem / MemBandwidth
+}
+
+// TrsvTime models one triangular solve against an n×n factor.
+func TrsvTime(n float64, bytesPerElem float64) float64 {
+	return n * n / 2 * bytesPerElem / MemBandwidth
+}
+
+// CGLSIterTime is the per-iteration cost of preconditioned CGLS
+// (Algorithm 3): two GEMVs with A and two triangular solves with R, run in
+// double precision as the refinement demands.
+func CGLSIterTime(m, n float64) float64 {
+	return 2*GemvTime(m, n, 8) + 2*TrsvTime(n, 8)
+}
+
+// LLSSolverTimes bundles the three Figure 8 solvers for one problem shape.
+type LLSSolverTimes struct {
+	RGSQRFCGLS float64 // RGSQRF factorization + iters refinement sweeps
+	SCuSolve   float64 // SGEQRF + SORMQR(b) + STRSM
+	DCuSolve   float64 // DGEQRF + DORMQR(b) + DTRSM
+}
+
+// LLSTimes returns the modelled times of the three solvers with the given
+// CGLS iteration count (measured numerically by the experiment harness).
+func LLSTimes(m, n float64, iters int, cfg QRConfig) LLSSolverTimes {
+	return LLSSolverTimes{
+		RGSQRFCGLS: RGSQRFTime(m, n, cfg) + float64(iters)*CGLSIterTime(m, n),
+		SCuSolve:   SGeqrfTime(m, n) + GemvTime(m, n, 4) + TrsvTime(n, 4),
+		DCuSolve:   DGeqrfTime(m, n) + GemvTime(m, n, 8) + TrsvTime(n, 8),
+	}
+}
+
+// QRSVDTimes models Table 4: the QR stage dominates for tall-skinny
+// matrices; the small n×n Jacobi SVD and the Q·U_R GEMM are charged at the
+// FP32 GEMM rate.
+func QRSVDTimes(m, n float64) (rgsqrfSVD, sgeqrfSVD float64) {
+	svdCost := 12 * n * n * n / (SGemmNN.At(n) * 1e12) // Jacobi sweeps on R
+	qu := GemmFlops(m, n, n) / (SGemmNN.At(n) * 1e12)
+	rgsqrfSVD = RGSQRFTime(m, n, PaperConfig) + svdCost + qu
+	sgeqrfSVD = SGeqrfTime(m, n) + SOrmqrFormQTime(m, n) + svdCost + qu
+	return rgsqrfSVD, sgeqrfSVD
+}
+
+// Breakdown itemizes the modelled RGSQRF time into panel and GEMM
+// components. The panel fraction explains the Figure 6 observation that
+// "the CAQR panel contributes more when the matrix is skinny": panel work
+// is Θ(m·n·B) against Θ(m·n²) of GEMM work, so its share scales like B/n.
+type Breakdown struct {
+	PanelSeconds float64
+	GemmSeconds  float64
+}
+
+// Total returns the summed time.
+func (b Breakdown) Total() float64 { return b.PanelSeconds + b.GemmSeconds }
+
+// PanelFraction returns the share of time spent in the panel.
+func (b Breakdown) PanelFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.PanelSeconds / t
+}
+
+// TimeBreakdown decomposes RGSQRFTime into its components.
+func TimeBreakdown(m, n float64, cfg QRConfig) Breakdown {
+	b := cfg.cutoff()
+	if n <= b {
+		return Breakdown{PanelSeconds: cfg.panelTime(m, n)}
+	}
+	h := n / 2
+	var tnRate, nnRate float64
+	if cfg.TCUpdate {
+		tnRate, nnRate = TCGemmTN.At(h), TCGemmNN.At(h)
+	} else {
+		tnRate, nnRate = SGemmTN.At(h), SGemmNN.At(h)
+	}
+	gemms := GemmFlops(h, n-h, m)/(tnRate*1e12) + GemmFlops(m, n-h, h)/(nnRate*1e12)
+	left := TimeBreakdown(m, h, cfg)
+	right := TimeBreakdown(m, n-h, cfg)
+	return Breakdown{
+		PanelSeconds: left.PanelSeconds + right.PanelSeconds,
+		GemmSeconds:  left.GemmSeconds + right.GemmSeconds + gemms,
+	}
+}

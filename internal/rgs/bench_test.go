@@ -1,0 +1,43 @@
+package rgs
+
+import (
+	"testing"
+
+	"tcqr/internal/matgen"
+	"tcqr/internal/tcsim"
+)
+
+// BenchmarkRGSQRF measures the software execution of the full recursive
+// factorization under each engine (quick scale). Simulated-V100 numbers
+// for the paper's sizes come from internal/perfmodel, not from these
+// timings.
+func BenchmarkRGSQRF(b *testing.B) {
+	a := condMat(1, 1024, 256, 100, matgen.Geometric)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"TC", Options{Cutoff: 64}},
+		{"FP32", Options{Cutoff: 64, Engine: &tcsim.FP32{}}},
+		{"TC-reortho", Options{Cutoff: 64, ReOrthogonalize: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.SetBytes(FlopCount(1024, 256, 64))
+			for i := 0; i < b.N; i++ {
+				if _, err := Factor(a, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkColumnScaling(b *testing.B) {
+	a := condMat(2, 2048, 256, 100, matgen.Arithmetic)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := a.Clone()
+		scaleColumns(w)
+	}
+}

@@ -1,0 +1,135 @@
+package rgs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcqr/internal/accuracy"
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/tcsim"
+)
+
+// TestPropFactorInvariants checks the structural invariants of the
+// factorization over random shapes, cutoffs and engines:
+//
+//   - R upper triangular with non-negative diagonal (the Gram-Schmidt
+//     convention, preserved by the recursion);
+//   - Q columns of unit norm (within the engine's precision);
+//   - A ≈ Q·R within the engine's precision;
+//   - the input untouched.
+func TestPropFactorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(56)
+		m := n + r.Intn(200)
+		cutoff := 8 << r.Intn(3) // 8, 16, 32
+		var engine tcsim.Engine
+		tol := 1e-2 // TC precision budget
+		if r.Intn(2) == 0 {
+			engine = &tcsim.FP32{}
+			tol = 1e-4
+		}
+		a := dense.New[float32](m, n)
+		for i := range a.Data {
+			a.Data[i] = float32(r.NormFloat64())
+		}
+		orig := a.Clone()
+
+		res, err := Factor(a, Options{Cutoff: cutoff, Engine: engine})
+		if err != nil {
+			return false
+		}
+		if !dense.Equal(a, orig) {
+			t.Log("input modified")
+			return false
+		}
+		if !accuracy.UpperTriangular(res.R) {
+			t.Log("R not triangular")
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if res.R.At(i, i) < 0 {
+				t.Logf("negative diagonal R(%d,%d)=%v", i, i, res.R.At(i, i))
+				return false
+			}
+		}
+		for j := 0; j < n; j++ {
+			nrm := float64(blas.Nrm2(res.Q.Col(j)))
+			if math.Abs(nrm-1) > tol {
+				t.Logf("‖q_%d‖ = %v (cutoff %d)", j, nrm, cutoff)
+				return false
+			}
+		}
+		if be := accuracy.BackwardError(a, res.Q, res.R); be > tol {
+			t.Logf("backward error %g at %dx%d cutoff %d", be, m, n, cutoff)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropScalingInvariance: scaling any column of A by a power of two
+// leaves Q bit-identical when the FP32 engine is used with the safeguard
+// on (the scaling is undone exactly, and the panel/GEMM inputs coincide).
+func TestPropScalingInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 96, 32
+		a := dense.New[float32](m, n)
+		for i := range a.Data {
+			a.Data[i] = float32(r.NormFloat64())
+		}
+		scaled := a.Clone()
+		for j := 0; j < n; j++ {
+			s := float32(math.Exp2(float64(r.Intn(9) - 4)))
+			blas.Scal(s, scaled.Col(j))
+		}
+		eng := &tcsim.FP32{}
+		r1, err := Factor(a, Options{Cutoff: 16, Engine: eng})
+		if err != nil {
+			return false
+		}
+		r2, err := Factor(scaled, Options{Cutoff: 16, Engine: eng})
+		if err != nil {
+			return false
+		}
+		// Column scaling maps every column to max-abs in [1, 2); the same
+		// normalized matrix is factored in both runs, so Q must agree
+		// exactly.
+		return dense.Equal(r1.Q, r2.Q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropReorthoNeverHurts: the second pass never increases the
+// orthogonality error (up to a tiny tolerance).
+func TestPropReorthoNeverHurts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 128+r.Intn(128), 32
+		a := dense.New[float32](m, n)
+		for i := range a.Data {
+			a.Data[i] = float32(r.NormFloat64())
+		}
+		one, err := Factor(a, Options{Cutoff: 16})
+		if err != nil {
+			return false
+		}
+		two, err := Factor(a, Options{Cutoff: 16, ReOrthogonalize: true})
+		if err != nil {
+			return false
+		}
+		return accuracy.OrthoError(two.Q) <= accuracy.OrthoError(one.Q)*1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

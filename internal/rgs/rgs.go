@@ -1,0 +1,246 @@
+// Package rgs implements the paper's primary contribution: RGSQRF, the
+// recursive Gram-Schmidt QR factorization (Algorithm 1) that routes almost
+// all of its floating point work through large GEMMs so a neural engine
+// (TensorCore) can execute them, together with the two safeguards the paper
+// attaches to it:
+//
+//   - automatic column scaling (Section 3.5), which maps every column of A
+//     into the binary16 range so the half-precision GEMMs can never
+//     overflow — scaling columns changes R (R ← R·P) but provably leaves Q
+//     untouched;
+//   - re-orthogonalization (Section 3.3), "twice is enough": factoring the
+//     computed Q a second time restores orthogonality to working precision
+//     for ill-conditioned inputs.
+//
+// The recursion is Algorithm 1 verbatim: split the columns in half, factor
+// the left half, form R12 = Q1ᵀ·A2 and the update A2 ← A2 − Q1·R12 with two
+// GEMMs (these two lines carry ~half of all flops and are what the engine
+// accelerates), factor the updated right half, assemble. At the cutoff
+// width the panel factorizer takes over (CAQR by default, Householder for
+// the Figure 6 ablation).
+package rgs
+
+import (
+	"fmt"
+	"math"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/gram"
+	"tcqr/internal/tcsim"
+)
+
+// DefaultCutoff is the recursion cutoff of Algorithm 1: panels of this
+// width (or less) are handed to the panel factorizer.
+const DefaultCutoff = 128
+
+// Options configures a factorization. The zero value reproduces the paper's
+// best configuration: TensorCore GEMM in the update, FP32 CAQR panel,
+// cutoff 128, column scaling on, re-orthogonalization off.
+type Options struct {
+	// Engine executes the split GEMMs (R12 and the trailing update). nil
+	// selects the TensorCore simulator — the paper's headline setting.
+	Engine tcsim.Engine
+	// Panel factors width <= Cutoff panels. nil selects the FP32 CAQR
+	// panel.
+	Panel gram.Panel
+	// Cutoff is the recursion cutoff width; <= 0 selects DefaultCutoff.
+	Cutoff int
+	// DisableScaling turns off the Section 3.5 column scaling. Scaling is
+	// exact (powers of two) and cheap, so it is on by default.
+	DisableScaling bool
+	// ReOrthogonalize runs the "twice is enough" pass: Q ← Q₂ where
+	// Q = Q₂·R₂, R ← R₂·R.
+	ReOrthogonalize bool
+}
+
+func (o *Options) engine() tcsim.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return defaultTC
+}
+
+func (o *Options) panel() gram.Panel {
+	if o.Panel != nil {
+		return o.Panel
+	}
+	return defaultPanel
+}
+
+func (o *Options) cutoff() int {
+	if o.Cutoff > 0 {
+		return o.Cutoff
+	}
+	return DefaultCutoff
+}
+
+var (
+	defaultTC    = &tcsim.TensorCore{}
+	defaultPanel = &gram.CAQRPanel{}
+)
+
+// Result is a computed factorization A = Q·R with Q m×n orthonormal and R
+// n×n upper triangular.
+type Result struct {
+	Q *dense.M32
+	R *dense.M32
+	// ColumnScales holds the power-of-two scale applied to each column
+	// before factorization (nil when scaling was disabled). R has already
+	// been unscaled; the scales are reported for diagnostics only.
+	ColumnScales []float32
+	// Reorthogonalized records whether the second pass ran.
+	Reorthogonalized bool
+}
+
+// Factor computes the RGSQRF factorization of a (m×n, m >= n). The input is
+// not modified.
+func Factor(a *dense.M32, opts Options) (*Result, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("rgs: matrix is %dx%d; RGSQRF requires m >= n", m, n)
+	}
+	if n == 0 {
+		return &Result{Q: dense.New[float32](m, 0), R: dense.New[float32](0, 0)}, nil
+	}
+	w := a.Clone()
+
+	var scales []float32
+	if !opts.DisableScaling {
+		scales = scaleColumns(w)
+	}
+
+	r := dense.New[float32](n, n)
+	recurse(w, r, &opts)
+
+	if scales != nil {
+		// A·P = Q·(R·P) was factored; recover R for A by unscaling the
+		// columns of R. Powers of two make this exact.
+		for j := 0; j < n; j++ {
+			if scales[j] != 1 {
+				blas.Scal(1/scales[j], r.Col(j)[:j+1])
+			}
+		}
+	}
+
+	res := &Result{Q: w, R: r, ColumnScales: scales}
+	if opts.ReOrthogonalize {
+		if err := reorthogonalize(res, &opts); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// recurse is Algorithm 1 operating in place: w (m×n) holds A on entry and Q
+// on exit; r is the n×n block of R being produced.
+func recurse(w, r *dense.M32, opts *Options) {
+	n := w.Cols
+	if n <= opts.cutoff() {
+		q, rr := opts.panel().Factor(w)
+		w.CopyFrom(q)
+		r.CopyFrom(rr)
+		return
+	}
+	m := w.Rows
+	h := n / 2
+	w1 := w.View(0, 0, m, h)
+	w2 := w.View(0, h, m, n-h)
+	r11 := r.View(0, 0, h, h)
+	r12 := r.View(0, h, h, n-h)
+	r22 := r.View(h, h, n-h, n-h)
+
+	recurse(w1, r11, opts)
+	e := opts.engine()
+	// R12 = Q1ᵀ·A2 and A2 ← A2 − Q1·R12: the two neural-engine GEMMs.
+	e.Gemm(blas.Trans, blas.NoTrans, 1, w1, w2, 0, r12)
+	e.Gemm(blas.NoTrans, blas.NoTrans, -1, w1, r12, 1, w2)
+	recurse(w2, r22, opts)
+}
+
+// reorthogonalize applies the Section 3.3 second pass to res in place.
+func reorthogonalize(res *Result, opts *Options) error {
+	n := res.R.Rows
+	// Factor Q = Q₂·R₂ with the same engine/panel (scaling unnecessary: the
+	// columns of Q are already within a rounding error of unit norm).
+	second := Options{
+		Engine:         opts.Engine,
+		Panel:          opts.Panel,
+		Cutoff:         opts.Cutoff,
+		DisableScaling: true,
+	}
+	r2 := dense.New[float32](n, n)
+	recurse(res.Q, r2, &second) // res.Q becomes Q₂ in place
+
+	// R ← R₂·R. R₂ is within rounding of the identity, so this triangular
+	// product barely perturbs R; run it in FP32 (the paper keeps safeguard
+	// arithmetic out of the half-precision unit).
+	newR := dense.New[float32](n, n)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, r2, res.R, 0, newR)
+	// Enforce exact triangularity (the product of uppers is upper up to
+	// rounding of explicitly stored zeros — both factors store hard zeros,
+	// so the strict lower triangle is exactly zero already; this is a cheap
+	// invariant check in disguise).
+	for j := 0; j < n; j++ {
+		col := newR.Col(j)
+		for i := j + 1; i < n; i++ {
+			if col[i] != 0 {
+				return fmt.Errorf("rgs: re-orthogonalization broke triangularity at (%d,%d)", i, j)
+			}
+		}
+	}
+	res.R = newR
+	res.Reorthogonalized = true
+	return nil
+}
+
+// scaleColumns scales every column of w by a power of two so that its
+// largest magnitude lands in [1, 2) — comfortably inside the binary16 range
+// regardless of the later orthogonal transformations (which preserve column
+// 2-norms; with max element < 2 the column norm is at most 2√m, and
+// 2√m ≪ 65504 for every m this library targets). Returns the applied
+// scales.
+func scaleColumns(w *dense.M32) []float32 {
+	scales := make([]float32, w.Cols)
+	for j := range scales {
+		scales[j] = 1
+		col := w.Col(j)
+		var mx float32
+		for _, v := range col {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > mx {
+				mx = a
+			}
+		}
+		if mx == 0 || math.IsInf(float64(mx), 0) || math.IsNaN(float64(mx)) {
+			continue
+		}
+		e := math.Floor(math.Log2(float64(mx)))
+		s := float32(math.Exp2(-e)) // mx·s in [1, 2)
+		if s != 1 {
+			blas.Scal(s, col)
+			scales[j] = s
+		}
+	}
+	return scales
+}
+
+// FlopCount returns the floating point operations RGSQRF performs on an
+// m×n matrix, ~2mn² by the recurrence (5) of the paper (panel flops
+// included at 2·m·B² per panel). Used by the benchmarks to report
+// normalized rates.
+func FlopCount(m, n, cutoff int) int64 {
+	if cutoff <= 0 {
+		cutoff = DefaultCutoff
+	}
+	if n <= cutoff {
+		return 2 * int64(m) * int64(n) * int64(n)
+	}
+	h := n / 2
+	// Two GEMMs of h×(n-h)×m each: R12 and the update.
+	gemms := 2 * (2 * int64(m) * int64(h) * int64(n-h))
+	return FlopCount(m, h, cutoff) + FlopCount(m, n-h, cutoff) + gemms
+}

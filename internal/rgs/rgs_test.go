@@ -1,0 +1,292 @@
+package rgs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/accuracy"
+	"tcqr/internal/dense"
+	"tcqr/internal/f16"
+	"tcqr/internal/gram"
+	"tcqr/internal/matgen"
+	"tcqr/internal/tcsim"
+)
+
+func condMat(seed int64, m, n int, cond float64, dist matgen.Dist) *dense.M32 {
+	rng := rand.New(rand.NewSource(seed))
+	return dense.ToF32(matgen.WithCond(rng, m, n, cond, dist))
+}
+
+func TestFactorBasicShapes(t *testing.T) {
+	a := condMat(1, 600, 256, 10, matgen.Arithmetic)
+	res, err := Factor(a, Options{Cutoff: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Q.Rows != 600 || res.Q.Cols != 256 || res.R.Rows != 256 || res.R.Cols != 256 {
+		t.Fatalf("shapes Q %dx%d R %dx%d", res.Q.Rows, res.Q.Cols, res.R.Rows, res.R.Cols)
+	}
+	if !accuracy.UpperTriangular(res.R) {
+		t.Error("R not upper triangular")
+	}
+	if be := accuracy.BackwardError(a, res.Q, res.R); be > 5e-3 {
+		t.Errorf("backward error %g", be)
+	}
+}
+
+func TestFactorRejectsWide(t *testing.T) {
+	if _, err := Factor(dense.New[float32](3, 5), Options{}); err == nil {
+		t.Fatal("wide matrix must be rejected")
+	}
+}
+
+func TestFactorEmpty(t *testing.T) {
+	res, err := Factor(dense.New[float32](4, 0), Options{})
+	if err != nil || res.Q.Cols != 0 {
+		t.Fatalf("empty factorization: %v %+v", err, res)
+	}
+}
+
+func TestInputNotModified(t *testing.T) {
+	a := condMat(2, 300, 128, 100, matgen.Geometric)
+	orig := a.Clone()
+	if _, err := Factor(a, Options{Cutoff: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Equal(a, orig) {
+		t.Error("Factor modified its input")
+	}
+}
+
+// TestBackwardErrorFlatInCond reproduces the Figure 3 claim at test scale:
+// the backward error of RGSQRF sits at the half-precision level and does
+// not grow with the condition number.
+func TestBackwardErrorFlatInCond(t *testing.T) {
+	var prev float64
+	for i, cond := range []float64{1e1, 1e3, 1e5, 1e7} {
+		a := condMat(3, 512, 128, cond, matgen.Arithmetic)
+		res, err := Factor(a, Options{Cutoff: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		be := accuracy.BackwardError(a, res.Q, res.R)
+		if be > 50*f16.Eps {
+			t.Errorf("cond=%g: backward error %g above half-precision level", cond, be)
+		}
+		if i > 0 && be > 100*prev {
+			t.Errorf("backward error grew with cond: %g -> %g", prev, be)
+		}
+		prev = be
+	}
+}
+
+// TestOrthogonalityDegradesAndReorthoRestores reproduces the Figure 4
+// claims: RGSQRF orthogonality deteriorates roughly linearly in κ(A), and
+// one re-orthogonalization pass restores it to working precision.
+func TestOrthogonalityDegradesAndReorthoRestores(t *testing.T) {
+	oeAt := func(cond float64, reortho bool) float64 {
+		a := condMat(4, 512, 128, cond, matgen.Arithmetic)
+		res, err := Factor(a, Options{Cutoff: 32, ReOrthogonalize: reortho})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reortho && !res.Reorthogonalized {
+			t.Fatal("reortho flag not set")
+		}
+		return accuracy.OrthoError(res.Q)
+	}
+	oeLow := oeAt(1e1, false)
+	oeHigh := oeAt(1e5, false)
+	if oeHigh < 20*oeLow {
+		t.Errorf("orthogonality should degrade with cond: κ=10: %g, κ=1e5: %g", oeLow, oeHigh)
+	}
+	oeFixed := oeAt(1e5, true)
+	if oeFixed > oeHigh/20 {
+		t.Errorf("re-orthogonalization barely helped: %g -> %g", oeHigh, oeFixed)
+	}
+	if oeFixed > 0.05 {
+		t.Errorf("re-orthogonalized Q still far from orthogonal: %g", oeFixed)
+	}
+}
+
+// TestEngineAblation reproduces the Figure 7 accuracy ordering: the FP32
+// engine is strictly more accurate than the TensorCore engine.
+func TestEngineAblation(t *testing.T) {
+	a := condMat(5, 512, 128, 1e2, matgen.Geometric)
+	tc, err := Factor(a, Options{Cutoff: 32, Engine: &tcsim.TensorCore{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Factor(a, Options{Cutoff: 32, Engine: &tcsim.FP32{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beTC := accuracy.BackwardError(a, tc.Q, tc.R)
+	beFP := accuracy.BackwardError(a, fp.Q, fp.R)
+	if beTC < 10*beFP {
+		t.Errorf("TC backward error %g should be ≫ FP32's %g", beTC, beFP)
+	}
+	if beFP > 1e-5 {
+		t.Errorf("FP32 backward error %g too large", beFP)
+	}
+}
+
+// TestColumnScalingPreventsOverflow reproduces the Section 3.5 safeguard: a
+// badly scaled matrix overflows fp16 (poisoning the result with Inf/NaN)
+// without scaling, and factors cleanly with it.
+func TestColumnScalingPreventsOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a64 := matgen.BadlyScaled(rng, 512, 128, 7) // columns up to ~1e7: overflows fp16
+	a := dense.ToF32(a64)
+
+	engine := &tcsim.TensorCore{TrackSpecials: true}
+	res, err := Factor(a, Options{Cutoff: 32, Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.Stats().Overflows != 0 {
+		t.Errorf("scaling enabled but %d operands overflowed", engine.Stats().Overflows)
+	}
+	if res.Q.HasNaN() || res.R.HasNaN() {
+		t.Error("scaled factorization contains NaN/Inf")
+	}
+	if be := accuracy.BackwardError(a, res.Q, res.R); be > 1e-2 {
+		t.Errorf("scaled backward error %g", be)
+	}
+	if res.ColumnScales == nil {
+		t.Error("ColumnScales not reported")
+	}
+
+	engine2 := &tcsim.TensorCore{TrackSpecials: true}
+	res2, err := Factor(a, Options{Cutoff: 32, Engine: engine2, DisableScaling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine2.Stats().Overflows == 0 {
+		t.Error("expected fp16 overflows without scaling")
+	}
+	if !res2.Q.HasNaN() && !res2.R.HasNaN() {
+		t.Error("expected Inf/NaN poisoning without scaling")
+	}
+}
+
+// TestScalingLeavesQUnchanged verifies the mathematical property scaling
+// relies on: column scaling changes R but not Q (up to fp32 roundoff from
+// the exact power-of-two scaling).
+func TestScalingLeavesQUnchanged(t *testing.T) {
+	a := condMat(7, 384, 96, 10, matgen.Arithmetic)
+	// Mild, well-in-range scaling so both runs stay finite.
+	for j := 0; j < a.Cols; j++ {
+		s := float32(math.Exp2(float64(j%5 - 2)))
+		for i := 0; i < a.Rows; i++ {
+			a.Set(i, j, a.At(i, j)*s)
+		}
+	}
+	fp := &tcsim.FP32{}
+	with, err := Factor(a, Options{Cutoff: 32, Engine: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Factor(a, Options{Cutoff: 32, Engine: fp, DisableScaling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxQ float64
+	for i := range with.Q.Data {
+		d := math.Abs(float64(with.Q.Data[i] - without.Q.Data[i]))
+		if d > maxQ {
+			maxQ = d
+		}
+	}
+	// Power-of-two scaling is exact, so even the floating point trajectory
+	// matches up to tiny reassociation effects in norms.
+	if maxQ > 1e-5 {
+		t.Errorf("Q changed by %g under column scaling", maxQ)
+	}
+	// R must match too (scaling is undone exactly).
+	var maxR float64
+	for i := range with.R.Data {
+		d := math.Abs(float64(with.R.Data[i] - without.R.Data[i]))
+		if d > maxR {
+			maxR = d
+		}
+	}
+	if maxR > 1e-3 {
+		t.Errorf("R changed by %g after unscaling", maxR)
+	}
+}
+
+func TestPanelAblation(t *testing.T) {
+	// CAQR vs Householder panel: both must deliver a valid factorization
+	// through the full recursion.
+	a := condMat(8, 700, 192, 50, matgen.Geometric)
+	for _, p := range []gram.Panel{&gram.CAQRPanel{}, &gram.HouseholderPanel{}} {
+		res, err := Factor(a, Options{Cutoff: 48, Panel: p})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if be := accuracy.BackwardError(a, res.Q, res.R); be > 5e-3 {
+			t.Errorf("%s panel: backward error %g", p.Name(), be)
+		}
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	// For n == cutoff the count is the panel's 2mn².
+	if got, want := FlopCount(100, 16, 16), int64(2*100*16*16); got != want {
+		t.Errorf("panel flops %d, want %d", got, want)
+	}
+	// For n ≫ cutoff the total approaches 2mn² (recurrence (5)).
+	m, n := 4096, 1024
+	got := FlopCount(m, n, 128)
+	want := 2 * int64(m) * int64(n) * int64(n)
+	ratio := float64(got) / float64(want)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("flop ratio %g, want ~1 (got %d, 2mn² = %d)", ratio, got, want)
+	}
+	// Odd sizes must not lose flops to integer division.
+	if FlopCount(511, 333, 100) <= 0 {
+		t.Error("odd-size flop count non-positive")
+	}
+}
+
+func TestNonPowerOfTwoSizes(t *testing.T) {
+	a := condMat(9, 517, 133, 10, matgen.Arithmetic)
+	res, err := Factor(a, Options{Cutoff: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be := accuracy.BackwardError(a, res.Q, res.R); be > 5e-3 {
+		t.Errorf("odd sizes backward error %g", be)
+	}
+	if !accuracy.UpperTriangular(res.R) {
+		t.Error("R not triangular for odd sizes")
+	}
+}
+
+func TestNaNInputPropagatesWithoutPanic(t *testing.T) {
+	// Rank deficiency and NaN inputs are outside the algorithm's contract
+	// (as in LAPACK); the guaranteed behaviour is "no panic, poison
+	// propagates" so callers can detect it with HasNaN.
+	a := condMat(30, 256, 64, 10, matgen.Arithmetic)
+	a.Set(5, 3, float32(math.NaN()))
+	res, err := Factor(a, Options{Cutoff: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Q.HasNaN() && !res.R.HasNaN() {
+		t.Error("NaN input should surface in the factors")
+	}
+	// Zero matrix: no panic, R = 0.
+	z := dense.New[float32](64, 16)
+	rz, err := Factor(z, Options{Cutoff: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rz.R.Data {
+		if v != 0 {
+			t.Fatal("zero matrix should give zero R")
+		}
+	}
+}

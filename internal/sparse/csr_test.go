@@ -1,0 +1,146 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func smallCSR(t *testing.T) *CSR {
+	t.Helper()
+	// [[1 0 2], [0 3 0], [4 0 5], [0 0 6]]
+	m, err := FromTriplets(4, 3, []Triplet{
+		{0, 0, 1}, {0, 2, 2}, {1, 1, 3}, {2, 0, 4}, {2, 2, 5}, {3, 2, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFromTripletsAndAt(t *testing.T) {
+	m := smallCSR(t)
+	if r, c := m.Dims(); r != 4 || c != 3 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	if m.NNZ() != 6 {
+		t.Fatalf("nnz %d", m.NNZ())
+	}
+	want := [][]float64{{1, 0, 2}, {0, 3, 0}, {4, 0, 5}, {0, 0, 6}}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != want[i][j] {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestDuplicatesSummed(t *testing.T) {
+	m, err := FromTriplets(2, 2, []Triplet{{0, 0, 1}, {0, 0, 2.5}, {1, 1, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 3.5 {
+		t.Errorf("duplicate sum = %v", m.At(0, 0))
+	}
+	if m.NNZ() != 2 {
+		t.Errorf("nnz %d", m.NNZ())
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	if _, err := FromTriplets(2, 2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := FromTriplets(2, 2, []Triplet{{0, -1, 1}}); err == nil {
+		t.Error("negative column accepted")
+	}
+}
+
+func TestApplyAndTranspose(t *testing.T) {
+	m := smallCSR(t)
+	x := []float64{1, 2, 3}
+	y := make([]float64, 4)
+	m.Apply(y, x)
+	want := []float64{7, 6, 19, 18}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("Apply[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	u := []float64{1, -1, 2, 0.5}
+	v := make([]float64, 3)
+	m.ApplyTranspose(v, u)
+	wantT := []float64{1*1 + 4*2, -1 * 3, 2*1 + 5*2 + 6*0.5}
+	for i := range wantT {
+		if v[i] != wantT[i] {
+			t.Errorf("ApplyTranspose[%d] = %v, want %v", i, v[i], wantT[i])
+		}
+	}
+}
+
+func TestAgainstDenseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows, cols := 40, 25
+	dense := make([][]float64, rows)
+	var trips []Triplet
+	for i := range dense {
+		dense[i] = make([]float64, cols)
+		for j := range dense[i] {
+			if rng.Float64() < 0.15 {
+				v := rng.NormFloat64()
+				dense[i][j] = v
+				trips = append(trips, Triplet{i, j, v})
+			}
+		}
+	}
+	m, err := FromTriplets(rows, cols, trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, rows)
+	m.Apply(got, x)
+	for i := 0; i < rows; i++ {
+		var want float64
+		for j := 0; j < cols; j++ {
+			want += dense[i][j] * x[j]
+		}
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Fatalf("Apply row %d: %v vs %v", i, got[i], want)
+		}
+	}
+	u := make([]float64, rows)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	gotT := make([]float64, cols)
+	m.ApplyTranspose(gotT, u)
+	for j := 0; j < cols; j++ {
+		var want float64
+		for i := 0; i < rows; i++ {
+			want += dense[i][j] * u[i]
+		}
+		if math.Abs(gotT[j]-want) > 1e-12 {
+			t.Fatalf("ApplyTranspose col %d: %v vs %v", j, gotT[j], want)
+		}
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m, err := FromTriplets(3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 3)
+	m.Apply(y, []float64{1, 1})
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("empty matrix product nonzero")
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package svd
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/dense"
+	"tcqr/internal/matgen"
+	"tcqr/internal/rgs"
+)
+
+func BenchmarkJacobi(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := matgen.WithCond(rng, 64, 64, 1e3, matgen.Geometric)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Jacobi(a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQRSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := dense.ToF32(matgen.WithCond(rng, 2048, 64, 1e4, matgen.Arithmetic))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := QRSVD(a, rgs.Options{Cutoff: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package svd
+
+import (
+	"math"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/house"
+	"tcqr/internal/rgs"
+)
+
+// TallSVD is the thin SVD of a tall-skinny matrix computed by the QR-SVD
+// algorithm of Section 3.4.
+type TallSVD struct {
+	U *dense.M32 // m×n = Q·U_R
+	S []float32  // descending singular values
+	V *dense.M32 // n×n
+}
+
+// QRSVDWithFactor completes the QR-SVD pipeline from an existing RGSQRF
+// factorization: R = U_R·Σ·Vᵀ (one-sided Jacobi), then U = Q·U_R (one more
+// GEMM, also a neural-engine candidate, but the paper runs only the QR on
+// the TensorCore so this stays in FP32).
+func QRSVDWithFactor(f *rgs.Result) (*TallSVD, error) {
+	rsvd, err := Jacobi(f.R, 0)
+	if err != nil {
+		return nil, err
+	}
+	u := dense.New[float32](f.Q.Rows, f.Q.Cols)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, f.Q, rsvd.U, 0, u)
+	return &TallSVD{U: u, S: rsvd.S, V: rsvd.V}, nil
+}
+
+// QRSVD runs the full RGSQRF-SVD pipeline on a. opts configures the QR
+// stage (TensorCore engine by default).
+func QRSVD(a *dense.M32, opts rgs.Options) (*TallSVD, error) {
+	f, err := rgs.Factor(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	return QRSVDWithFactor(f)
+}
+
+// QRSVDHouseholder is the SGEQRF-SVD baseline of Table 4: single-precision
+// Householder QR followed by the same Jacobi SVD of R.
+func QRSVDHouseholder(a *dense.M32) (*TallSVD, error) {
+	qr := house.Factor(a, 0)
+	r := qr.R()
+	rsvd, err := Jacobi(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	q := qr.Q()
+	u := dense.New[float32](a.Rows, a.Cols)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, q, rsvd.U, 0, u)
+	return &TallSVD{U: u, S: rsvd.S, V: rsvd.V}, nil
+}
+
+// TruncationError returns ‖A − U_r·Σ_r·V_rᵀ‖_F / ‖A‖_F evaluated in
+// float64 — the Table 4 quality metric.
+func (t *TallSVD) TruncationError(a *dense.M32, rank int) float64 {
+	if rank > len(t.S) {
+		rank = len(t.S)
+	}
+	a64 := dense.ToF64(a)
+	us := dense.New[float64](t.U.Rows, rank)
+	for j := 0; j < rank; j++ {
+		src := t.U.Col(j)
+		dst := us.Col(j)
+		s := float64(t.S[j])
+		for i, v := range src {
+			dst[i] = float64(v) * s
+		}
+	}
+	v64 := dense.ToF64(t.V.View(0, 0, t.V.Rows, rank))
+	approx := dense.New[float64](a.Rows, a.Cols)
+	blas.Gemm(blas.NoTrans, blas.Trans, 1, us, v64, 0, approx)
+	for i := range approx.Data {
+		approx.Data[i] -= a64.Data[i]
+	}
+	return dense.NormFro(approx) / dense.NormFro(a64)
+}
+
+// OptimalTruncationError returns the theoretically optimal relative rank-r
+// error given the exact singular values: √(Σ_{i>r} σᵢ²)/‖σ‖₂ (Eckart-Young
+// in the Frobenius norm). Used to validate that QR-SVD truncation is
+// near-optimal.
+func OptimalTruncationError(sigma []float64, rank int) float64 {
+	var tail, total float64
+	for i, s := range sigma {
+		total += s * s
+		if i >= rank {
+			tail += s * s
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return math.Sqrt(tail / total)
+}

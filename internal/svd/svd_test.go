@@ -1,0 +1,180 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/accuracy"
+	"tcqr/internal/dense"
+	"tcqr/internal/matgen"
+	"tcqr/internal/rgs"
+)
+
+func TestJacobiKnownSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sigma := []float64{9, 4, 2, 1, 0.25, 0.01}
+	a := matgen.WithSpectrum(rng, 20, 6, sigma)
+	res, err := Jacobi(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range sigma {
+		if math.Abs(res.S[i]-want) > 1e-10*want {
+			t.Errorf("σ_%d = %v, want %v", i, res.S[i], want)
+		}
+	}
+	if oe := accuracy.OrthoError64(res.U); oe > 1e-12 {
+		t.Errorf("U orthogonality %g", oe)
+	}
+	if oe := accuracy.OrthoError64(res.V); oe > 1e-12 {
+		t.Errorf("V orthogonality %g", oe)
+	}
+	// Reconstruction.
+	rec := res.Reconstruct()
+	for i := range rec.Data {
+		if math.Abs(rec.Data[i]-a.Data[i]) > 1e-11 {
+			t.Fatalf("reconstruction differs at %d: %v vs %v", i, rec.Data[i], a.Data[i])
+		}
+	}
+}
+
+func TestJacobiSquareAndEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Square random.
+	a := matgen.Normal(rng, 12, 12)
+	res, err := Jacobi(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Reconstruct()
+	var worst float64
+	for i := range rec.Data {
+		if d := math.Abs(rec.Data[i] - a.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-11 {
+		t.Errorf("square reconstruction error %g", worst)
+	}
+	// Descending order.
+	for i := 1; i < len(res.S); i++ {
+		if res.S[i] > res.S[i-1] {
+			t.Fatal("singular values not sorted")
+		}
+	}
+	// Identity.
+	id := dense.New[float64](5, 5)
+	id.SetIdentity()
+	ri, err := Jacobi(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ri.S {
+		if math.Abs(s-1) > 1e-14 {
+			t.Errorf("identity σ = %v", s)
+		}
+	}
+	// Rank-deficient: a zero column.
+	z := matgen.Normal(rng, 8, 3)
+	for i := 0; i < 8; i++ {
+		z.Set(i, 1, 0)
+	}
+	rz, err := Jacobi(z, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rz.S[2] > 1e-12 {
+		t.Errorf("smallest σ of rank-2 matrix = %v", rz.S[2])
+	}
+	// Wide input rejected.
+	if _, err := Jacobi(dense.New[float64](2, 4), 0); err == nil {
+		t.Error("wide input must be rejected")
+	}
+}
+
+func TestJacobiFloat32(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a64 := matgen.WithCond(rng, 30, 10, 100, matgen.Geometric)
+	a := dense.ToF32(a64)
+	res, err := Jacobi(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.S[0])-1) > 1e-5 {
+		t.Errorf("σ₁ = %v, want 1", res.S[0])
+	}
+	if math.Abs(float64(res.S[9])-0.01) > 1e-5 {
+		t.Errorf("σ_n = %v, want 0.01", res.S[9])
+	}
+}
+
+func TestQRSVDMatchesBaseline(t *testing.T) {
+	// Table 4's claim: RGSQRF-SVD and SGEQRF-SVD give the same truncation
+	// quality, because truncation error dominates fp16 roundoff.
+	rng := rand.New(rand.NewSource(4))
+	m, n := 2048, 64
+	a := dense.ToF32(matgen.WithCond(rng, m, n, 1e4, matgen.Arithmetic))
+
+	rgsSVD, err := QRSVD(a, rgs.Options{Cutoff: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	houseSVD, err := QRSVDHouseholder(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := matgen.SingularValues(n, 1e4, matgen.Arithmetic)
+	for _, rank := range []int{4, 16, 32} {
+		eR := rgsSVD.TruncationError(a, rank)
+		eH := houseSVD.TruncationError(a, rank)
+		eOpt := OptimalTruncationError(sigma, rank)
+		// Same quality to within a relative percent …
+		if math.Abs(eR-eH) > 0.01*eH {
+			t.Errorf("rank %d: RGSQRF-SVD %v vs SGEQRF-SVD %v", rank, eR, eH)
+		}
+		// … and both near the Eckart–Young optimum.
+		if eR > eOpt*1.02+1e-3 {
+			t.Errorf("rank %d: error %v far above optimal %v", rank, eR, eOpt)
+		}
+	}
+}
+
+func TestTruncationErrorMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := dense.ToF32(matgen.WithCond(rng, 256, 32, 1e3, matgen.Geometric))
+	s, err := QRSVD(a, rgs.Options{Cutoff: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, rank := range []int{1, 2, 4, 8, 16, 32} {
+		e := s.TruncationError(a, rank)
+		if e > prev+1e-9 {
+			t.Errorf("error not monotone at rank %d: %v > %v", rank, e, prev)
+		}
+		prev = e
+	}
+	// Full rank reconstructs to fp16-factorization accuracy.
+	if full := s.TruncationError(a, 32); full > 5e-3 {
+		t.Errorf("full-rank residual %v", full)
+	}
+	// Rank beyond n is clamped.
+	if e := s.TruncationError(a, 100); math.Abs(e-prev) > 1e-9 {
+		t.Errorf("clamped rank error %v vs %v", e, prev)
+	}
+}
+
+func TestOptimalTruncationError(t *testing.T) {
+	sigma := []float64{2, 1, 1}
+	// rank 1: sqrt(2/6); rank 3: 0.
+	if got, want := OptimalTruncationError(sigma, 1), math.Sqrt(2.0/6.0); math.Abs(got-want) > 1e-15 {
+		t.Errorf("rank1 = %v, want %v", got, want)
+	}
+	if OptimalTruncationError(sigma, 3) != 0 {
+		t.Error("full rank should be 0")
+	}
+	if OptimalTruncationError(nil, 1) != 0 {
+		t.Error("empty spectrum should be 0")
+	}
+}

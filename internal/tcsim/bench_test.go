@@ -1,0 +1,53 @@
+package tcsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+func benchPair(m, n, k int) (*dense.M32, *dense.M32, *dense.M32) {
+	rng := rand.New(rand.NewSource(1))
+	a := dense.New[float32](m, k)
+	b := dense.New[float32](k, n)
+	for i := range a.Data {
+		a.Data[i] = float32(rng.NormFloat64())
+	}
+	for i := range b.Data {
+		b.Data[i] = float32(rng.NormFloat64())
+	}
+	return a, b, dense.New[float32](m, n)
+}
+
+// BenchmarkEngines compares the software cost of the engines: the
+// TensorCore path pays for two fp16 rounding passes per call; on the real
+// device the same rounding is what makes it *faster*.
+func BenchmarkEngines(b *testing.B) {
+	a, bb, c := benchPair(512, 512, 512)
+	for _, e := range []Engine{&FP32{}, &TensorCore{}, &BFloat16{}} {
+		b.Run(e.Name(), func(b *testing.B) {
+			b.SetBytes(2 * 512 * 512 * 512)
+			for i := 0; i < b.N; i++ {
+				e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, bb, 0, c)
+			}
+		})
+	}
+}
+
+func BenchmarkTrackSpecialsOverhead(b *testing.B) {
+	a, bb, c := benchPair(512, 512, 128)
+	b.Run("off", func(b *testing.B) {
+		e := &TensorCore{}
+		for i := 0; i < b.N; i++ {
+			e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, bb, 0, c)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		e := &TensorCore{TrackSpecials: true}
+		for i := 0; i < b.N; i++ {
+			e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, bb, 0, c)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package tcsim
+
+import (
+	"sync/atomic"
+
+	"tcqr/internal/bf16"
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+// BFloat16 is a TPU-style neural engine: GEMM operands are rounded to
+// bfloat16 and products accumulate in float32 (the paper's §2.1 notes
+// Google's TPU and Intel's bfloat16 hardware both accumulate in FP32).
+// Compared with TensorCore it embodies the other side of the half-
+// precision trade-off: ~10× coarser resolution (unit roundoff 2⁻⁸ vs
+// 2⁻¹¹) but the full float32 exponent range, so the §3.5 overflow hazard
+// essentially disappears — at the cost of ~8× larger rounding errors in
+// every result. The zero value is ready to use.
+type BFloat16 struct {
+	// TrackSpecials counts operands that still overflow (only possible at
+	// the extreme top of the float32 range).
+	TrackSpecials bool
+
+	stats Stats
+}
+
+// Gemm implements Engine with bfloat16 operand rounding and float32
+// accumulation.
+func (e *BFloat16) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, beta float32, c *dense.M32) {
+	recordCall(&e.stats, tA, a, tB, b)
+	ra := bfRoundedCopy(a)
+	rb := bfRoundedCopy(b)
+	if e.TrackSpecials {
+		atomic.AddInt64(&e.stats.Overflows, bfCountOverflows(a)+bfCountOverflows(b))
+	}
+	blas.Gemm(tA, tB, alpha, ra, rb, beta, c)
+}
+
+// Name implements Engine.
+func (e *BFloat16) Name() string { return "BF16-GEMM" }
+
+// Stats returns a snapshot of the accumulated counters.
+func (e *BFloat16) Stats() Stats { return snapshot(&e.stats) }
+
+// ResetStats zeroes the counters.
+func (e *BFloat16) ResetStats() { reset(&e.stats) }
+
+func bfRoundedCopy(m *dense.M32) *dense.M32 {
+	out := dense.New[float32](m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		bf16.RoundSlice(out.Col(j), m.Col(j))
+	}
+	return out
+}
+
+func bfCountOverflows(m *dense.M32) int64 {
+	var n int64
+	for j := 0; j < m.Cols; j++ {
+		for _, v := range m.Col(j) {
+			if bf16.Overflows(v) {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package tcsim
+
+import (
+	"fmt"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/f16"
+)
+
+// Half is a device-resident matrix stored in binary16, column-major — the
+// way a production TensorCore pipeline keeps its GEMM operands (half the
+// memory and half the bandwidth of float32, converted once instead of per
+// call). Numerically, a GEMM over Half storage is identical to
+// TensorCore.Gemm over the float32 original: the per-call rounding is
+// idempotent on already-rounded data.
+type Half struct {
+	Rows, Cols int
+	Stride     int
+	Data       []f16.Float16
+}
+
+// EncodeHalf converts a float32 matrix to fp16 storage (round-to-nearest-
+// even, ±Inf past 65504 — run the §3.5 column scaling first for data that
+// can exceed the range).
+func EncodeHalf(m *dense.M32) *Half {
+	h := &Half{Rows: m.Rows, Cols: m.Cols, Stride: max(1, m.Rows), Data: make([]f16.Float16, m.Rows*m.Cols)}
+	for j := 0; j < m.Cols; j++ {
+		f16.Encode(h.col(j), m.Col(j))
+	}
+	return h
+}
+
+func (h *Half) col(j int) []f16.Float16 {
+	return h.Data[j*h.Stride : j*h.Stride+h.Rows]
+}
+
+// Decode converts the half storage back to float32 (exact).
+func (h *Half) Decode() *dense.M32 {
+	out := dense.New[float32](h.Rows, h.Cols)
+	for j := 0; j < h.Cols; j++ {
+		f16.Decode(out.Col(j), h.col(j))
+	}
+	return out
+}
+
+// Bytes returns the device-memory footprint of the half storage.
+func (h *Half) Bytes() int64 { return int64(len(h.Data)) * 2 }
+
+// GemmHalf computes C ← α·op(A)·op(B) + β·C with both operands in fp16
+// storage and float32 accumulation — the steady-state form of the
+// TensorCore contract when operands live in device memory as halves.
+func (e *TensorCore) GemmHalf(tA, tB blas.Transpose, alpha float32, a, b *Half, beta float32, c *dense.M32) {
+	da, db := a.Decode(), b.Decode()
+	if got, want := gemmInner(tA, da, tB, db); got != want {
+		panic(fmt.Sprintf("tcsim: GemmHalf inner dimensions %d vs %d", got, want))
+	}
+	recordCall(&e.stats, tA, da, tB, db)
+	// Decoded values are already exactly representable in fp16; no second
+	// rounding is needed (or performed — Round is idempotent).
+	blas.Gemm(tA, tB, alpha, da, db, beta, c)
+}
+
+func gemmInner(tA blas.Transpose, a *dense.M32, tB blas.Transpose, b *dense.M32) (int, int) {
+	ka := a.Cols
+	if tA == blas.Trans {
+		ka = a.Rows
+	}
+	kb := b.Rows
+	if tB == blas.Trans {
+		kb = b.Cols
+	}
+	return ka, kb
+}

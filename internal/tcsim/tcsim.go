@@ -1,0 +1,161 @@
+// Package tcsim simulates the numerical behaviour of a neural engine
+// (NVIDIA TensorCore) matrix-multiply unit in software, and provides the
+// pluggable compute-engine abstraction the QR algorithms are written
+// against.
+//
+// The V100 tensor core contract, which all accuracy results in the paper
+// derive from, is:
+//
+//   - both GEMM operands are converted to IEEE binary16 with
+//     round-to-nearest-even (values above 65504 in magnitude become ±Inf);
+//   - products of binary16 operands are formed exactly (an 11×11-bit
+//     significand product fits in binary32's 24-bit significand);
+//   - accumulation happens in binary32.
+//
+// The simulator reproduces this bit-for-bit by rounding the operands through
+// binary16 (see internal/f16) and then running a float32 GEMM, whose
+// products are exact and whose additions round in binary32 — the same
+// pipeline as the hardware, with a fixed deterministic accumulation order.
+//
+// Engines:
+//
+//   - TensorCore: the half-precision unit described above (TC-GEMM).
+//   - FP32: plain float32 GEMM (cuBLAS SGEMM stand-in).
+//
+// Both satisfy the Engine interface consumed by internal/rgs, internal/gram
+// and internal/lls, so every algorithm in the repository can be run with the
+// neural engine enabled or disabled, which is exactly the ablation in
+// Figure 7 of the paper.
+package tcsim
+
+import (
+	"sync/atomic"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/f16"
+)
+
+// Engine is a GEMM provider. Implementations must be safe for concurrent
+// use.
+type Engine interface {
+	// Gemm computes C ← α·op(A)·op(B) + β·C in the engine's arithmetic.
+	Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, beta float32, c *dense.M32)
+	// Name identifies the engine in reports ("TC-GEMM", "SGEMM").
+	Name() string
+}
+
+// Stats counts the work an engine has performed. All fields are updated
+// atomically so engines can be shared across goroutines.
+type Stats struct {
+	Calls     int64 // number of GEMM invocations
+	Flops     int64 // 2·m·n·k per call
+	Overflows int64 // finite operands that became ±Inf in fp16 (TensorCore only)
+	Underflow int64 // nonzero operands that flushed to zero in fp16
+}
+
+// FP32 is the plain single-precision engine (the paper's SGEMM baseline).
+// The zero value is ready to use.
+type FP32 struct {
+	stats Stats
+}
+
+// Gemm implements Engine using float32 arithmetic throughout.
+func (e *FP32) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, beta float32, c *dense.M32) {
+	recordCall(&e.stats, tA, a, tB, b)
+	blas.Gemm(tA, tB, alpha, a, b, beta, c)
+}
+
+// Name implements Engine.
+func (e *FP32) Name() string { return "SGEMM" }
+
+// Stats returns a snapshot of the accumulated counters.
+func (e *FP32) Stats() Stats { return snapshot(&e.stats) }
+
+// ResetStats zeroes the counters.
+func (e *FP32) ResetStats() { reset(&e.stats) }
+
+// TensorCore is the simulated neural engine: fp16 operands, fp32
+// accumulation. The zero value is ready to use.
+type TensorCore struct {
+	// TrackSpecials enables counting of fp16 overflow/underflow events in
+	// the operands (an extra pass over the data). The column-scaling
+	// safeguard tests use this to demonstrate that scaling eliminates
+	// overflow.
+	TrackSpecials bool
+
+	stats Stats
+}
+
+// Gemm implements Engine with TensorCore semantics: both operands are
+// rounded through binary16 (±Inf past 65504) and the multiply-accumulate
+// runs in float32.
+func (e *TensorCore) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, beta float32, c *dense.M32) {
+	recordCall(&e.stats, tA, a, tB, b)
+	ra := roundedCopy(a)
+	rb := roundedCopy(b)
+	if e.TrackSpecials {
+		ovA, ufA := countSpecials(a)
+		ovB, ufB := countSpecials(b)
+		atomic.AddInt64(&e.stats.Overflows, ovA+ovB)
+		atomic.AddInt64(&e.stats.Underflow, ufA+ufB)
+	}
+	blas.Gemm(tA, tB, alpha, ra, rb, beta, c)
+}
+
+// Name implements Engine.
+func (e *TensorCore) Name() string { return "TC-GEMM" }
+
+// Stats returns a snapshot of the accumulated counters.
+func (e *TensorCore) Stats() Stats { return snapshot(&e.stats) }
+
+// ResetStats zeroes the counters.
+func (e *TensorCore) ResetStats() { reset(&e.stats) }
+
+func recordCall(s *Stats, tA blas.Transpose, a *dense.M32, tB blas.Transpose, b *dense.M32) {
+	m, k := a.Rows, a.Cols
+	if tA == blas.Trans {
+		m, k = k, m
+	}
+	n := b.Cols
+	if tB == blas.Trans {
+		n = b.Rows
+	}
+	atomic.AddInt64(&s.Calls, 1)
+	atomic.AddInt64(&s.Flops, 2*int64(m)*int64(n)*int64(k))
+}
+
+func snapshot(s *Stats) Stats {
+	return Stats{
+		Calls:     atomic.LoadInt64(&s.Calls),
+		Flops:     atomic.LoadInt64(&s.Flops),
+		Overflows: atomic.LoadInt64(&s.Overflows),
+		Underflow: atomic.LoadInt64(&s.Underflow),
+	}
+}
+
+func reset(s *Stats) {
+	atomic.StoreInt64(&s.Calls, 0)
+	atomic.StoreInt64(&s.Flops, 0)
+	atomic.StoreInt64(&s.Overflows, 0)
+	atomic.StoreInt64(&s.Underflow, 0)
+}
+
+// roundedCopy returns a tightly-strided copy of m with every element rounded
+// through binary16.
+func roundedCopy(m *dense.M32) *dense.M32 {
+	out := dense.New[float32](m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		f16.RoundSlice(out.Col(j), m.Col(j))
+	}
+	return out
+}
+
+func countSpecials(m *dense.M32) (ov, uf int64) {
+	for j := 0; j < m.Cols; j++ {
+		o, u := f16.CountSpecials(m.Col(j))
+		ov += int64(o)
+		uf += int64(u)
+	}
+	return ov, uf
+}

@@ -1,0 +1,57 @@
+package tcqr
+
+import (
+	"tcqr/internal/dense"
+	"tcqr/internal/lu"
+	"tcqr/internal/tcsim"
+)
+
+// LinearSolveResult is the outcome of SolveLinearSystem.
+type LinearSolveResult struct {
+	X          []float64
+	Iterations int
+	Converged  bool
+	// ResidualNorms[k] is ‖b − A·x_k‖ after k refinement steps.
+	ResidualNorms []float64
+	// GrowthFactor is max|U|/max|A| of the elimination — the quantity that
+	// makes LU, unlike column-scaled QR, able to overflow a
+	// limited-range format mid-factorization (§3.5 of the paper).
+	GrowthFactor float64
+}
+
+// SolveLinearSystem solves the square system A·x = b with the
+// mixed-precision pipeline of the paper's closest related work (Haidar et
+// al.): LU with partial pivoting whose trailing updates run on the
+// simulated neural engine, followed by float64 iterative refinement. It is
+// included as the LU counterpart of SolveLeastSquares so the QR-vs-LU
+// co-design discussion in the paper's conclusion can be explored directly.
+//
+// Note the caveat this repository demonstrates in internal/lu's tests: LU's
+// elimination growth is unbounded, so unlike the column-scaled QR there
+// exist well-scaled inputs (growth factor ≳ 65504/max|A|) on which the
+// half-precision engine overflows; SolveLinearSystem returns the
+// factorization error in that case.
+func SolveLinearSystem(a *Matrix, b []float64, cfg Config) (*LinearSolveResult, error) {
+	a32 := dense.ToF32(a)
+	var engine tcsim.Engine
+	switch {
+	case cfg.DisableTensorCore:
+		engine = &tcsim.FP32{}
+	case cfg.UseBFloat16:
+		engine = &tcsim.BFloat16{TrackSpecials: cfg.TrackEngineStats}
+	default:
+		engine = &tcsim.TensorCore{TrackSpecials: cfg.TrackEngineStats}
+	}
+	f, err := lu.Factor(a32, lu.Options{Engine: engine})
+	if err != nil {
+		return nil, err
+	}
+	res := lu.SolveRefined(f, a, b, 0, 0)
+	return &LinearSolveResult{
+		X:             res.X,
+		Iterations:    res.Iterations,
+		Converged:     res.Converged,
+		ResidualNorms: res.ResidualNorms,
+		GrowthFactor:  f.GrowthFactor(a32),
+	}, nil
+}

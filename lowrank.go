@@ -1,0 +1,78 @@
+package tcqr
+
+import (
+	"fmt"
+
+	"tcqr/internal/rgs"
+	"tcqr/internal/svd"
+)
+
+// LowRankApprox is a truncated SVD A ≈ U·diag(S)·Vᵀ computed by the QR-SVD
+// algorithm of Section 3.4.
+type LowRankApprox struct {
+	// U has orthonormal columns (m×rank).
+	U *Matrix32
+	// S holds the leading singular values, descending.
+	S []float32
+	// V has orthonormal columns (n×rank).
+	V *Matrix32
+	// Rank is the truncation rank actually used (≤ requested).
+	Rank int
+	full *svd.TallSVD
+}
+
+// LowRank computes the optimal rank-r approximation of a tall-skinny
+// matrix a (m×n, m >= n, r <= n) via RGSQRF + Jacobi SVD of R + truncation.
+// Per the paper, the fp16 roundoff of the QR stage is dwarfed by the
+// truncation error, so no refinement is needed — this is the cheapest
+// profitable use of the neural engine.
+func LowRank(a *Matrix32, rank int, cfg Config) (*LowRankApprox, error) {
+	if rank < 1 {
+		return nil, fmt.Errorf("tcqr: rank %d < 1", rank)
+	}
+	if rank > a.Cols {
+		rank = a.Cols
+	}
+	opts, _ := cfg.options()
+	f, err := rgs.Factor(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	t, err := svd.QRSVDWithFactor(f)
+	if err != nil {
+		return nil, err
+	}
+	return &LowRankApprox{
+		U:    t.U.View(0, 0, t.U.Rows, rank).Clone(),
+		S:    append([]float32(nil), t.S[:rank]...),
+		V:    t.V.View(0, 0, t.V.Rows, rank).Clone(),
+		Rank: rank,
+		full: t,
+	}, nil
+}
+
+// Error returns the relative approximation error ‖A − U·Σ·Vᵀ‖_F/‖A‖_F
+// against the original matrix (the Table 4 metric), in float64.
+func (l *LowRankApprox) Error(a *Matrix32) float64 {
+	return l.full.TruncationError(a, l.Rank)
+}
+
+// Reconstruct materializes the rank-Rank approximation as a dense matrix.
+func (l *LowRankApprox) Reconstruct() *Matrix32 {
+	return svd.ReconstructRank(l.full.U, l.full.S, l.full.V, l.Rank)
+}
+
+// SingularValues computes all n singular values of a by QR-SVD (no
+// truncation), useful for spectrum inspection.
+func SingularValues(a *Matrix32, cfg Config) ([]float32, error) {
+	opts, _ := cfg.options()
+	f, err := rgs.Factor(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	t, err := svd.QRSVDWithFactor(f)
+	if err != nil {
+		return nil, err
+	}
+	return t.S, nil
+}

@@ -1,0 +1,75 @@
+package tcqr
+
+import (
+	"tcqr/internal/accuracy"
+	"tcqr/internal/rgs"
+	"tcqr/internal/tcsim"
+)
+
+// Factorization is a thin QR factorization A = Q·R with Q (m×n) having
+// orthonormal columns and R (n×n) upper triangular.
+type Factorization struct {
+	Q *Matrix32
+	R *Matrix32
+	// ColumnScales are the power-of-two scales applied per column by the
+	// overflow safeguard (nil if scaling was disabled). R is already
+	// expressed for the unscaled A.
+	ColumnScales []float32
+	// Reorthogonalized records whether the second orthogonalization pass
+	// ran.
+	Reorthogonalized bool
+	// EngineStats summarizes the neural-engine work (zero value when the
+	// engine was disabled).
+	EngineStats EngineStats
+}
+
+// Factorize computes the RGSQRF factorization of a (m×n, m >= n) on the
+// simulated neural engine. The input is not modified.
+func Factorize(a *Matrix32, cfg Config) (*Factorization, error) {
+	opts, st := cfg.options()
+	res, err := rgs.Factor(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	f := &Factorization{
+		Q:                res.Q,
+		R:                res.R,
+		ColumnScales:     res.ColumnScales,
+		Reorthogonalized: res.Reorthogonalized,
+	}
+	if st != nil {
+		s := st.Stats()
+		f.EngineStats = EngineStats{GemmCalls: s.Calls, Flops: s.Flops, Overflows: s.Overflows, Underflows: s.Underflow}
+	}
+	return f, nil
+}
+
+// Orthonormalize returns an orthonormal basis for the columns of a,
+// applying re-orthogonalization so the result is orthogonal to working
+// precision regardless of κ(A) — the Section 3.3 application.
+func Orthonormalize(a *Matrix32, cfg Config) (*Matrix32, error) {
+	cfg.ReOrthogonalize = true
+	f, err := Factorize(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Q, nil
+}
+
+// BackwardError returns ‖A − QR‖_F/‖A‖_F of the factorization against the
+// original matrix, evaluated in float64 (the Figure 3 metric).
+func (f *Factorization) BackwardError(a *Matrix32) float64 {
+	return accuracy.BackwardError(a, f.Q, f.R)
+}
+
+// OrthogonalityError returns ‖I − QᵀQ‖_F in float64 (the Figure 4 metric).
+func (f *Factorization) OrthogonalityError() float64 {
+	return accuracy.OrthoError(f.Q)
+}
+
+// compile-time checks that both engines satisfy the internal interface the
+// Config wiring relies on.
+var (
+	_ tcsim.Engine = (*tcsim.TensorCore)(nil)
+	_ tcsim.Engine = (*tcsim.FP32)(nil)
+)

@@ -1,0 +1,106 @@
+package tcqr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/matgen"
+)
+
+func TestRandomizedLowRankTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Fast-decaying spectrum: rank-8 captures almost everything.
+	sigma := make([]float64, 64)
+	for i := range sigma {
+		sigma[i] = math.Pow(0.5, float64(i))
+	}
+	a := ToFloat32(matgen.WithSpectrum(rng, 512, 64, sigma))
+
+	lr, err := RandomizedLowRank(a, 8, 8, 1, rng, Config{Cutoff: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Rank != 8 || lr.U.Cols != 8 || lr.V.Cols != 8 {
+		t.Fatalf("rank bookkeeping: %d %d %d", lr.Rank, lr.U.Cols, lr.V.Cols)
+	}
+	// Optimal rank-8 error is σ₉-dominated ≈ 2^-8/‖σ‖ ≈ 0.0034.
+	var tail, tot float64
+	for i, s := range sigma {
+		tot += s * s
+		if i >= 8 {
+			tail += s * s
+		}
+	}
+	opt := math.Sqrt(tail / tot)
+	if e := lr.Error(a); e > 3*opt+5e-3 {
+		t.Errorf("randomized rank-8 error %g vs optimal %g", e, opt)
+	}
+	// Leading singular values approximated.
+	for i := 0; i < 4; i++ {
+		if math.Abs(float64(lr.S[i])-sigma[i]) > 0.05*sigma[i]+1e-3 {
+			t.Errorf("σ_%d estimate %v, want %v", i, lr.S[i], sigma[i])
+		}
+	}
+}
+
+func TestRandomizedLowRankWide(t *testing.T) {
+	// The direct LowRank cannot handle m < n; the randomized path can.
+	rng := rand.New(rand.NewSource(2))
+	sigma := make([]float64, 48)
+	for i := range sigma {
+		sigma[i] = math.Pow(0.6, float64(i))
+	}
+	tall := matgen.WithSpectrum(rng, 256, 48, sigma)
+	wide := ToFloat32(tall.Transpose()) // 48×256
+
+	lr, err := RandomizedLowRank(wide, 6, 10, 2, rng, Config{Cutoff: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.U.Rows != 48 || lr.V.Rows != 256 {
+		t.Fatalf("shapes U %dx%d V %dx%d", lr.U.Rows, lr.U.Cols, lr.V.Rows, lr.V.Cols)
+	}
+	var tail, tot float64
+	for i, s := range sigma {
+		tot += s * s
+		if i >= 6 {
+			tail += s * s
+		}
+	}
+	opt := math.Sqrt(tail / tot)
+	if e := lr.Error(wide); e > 3*opt+5e-3 {
+		t.Errorf("wide randomized error %g vs optimal %g", e, opt)
+	}
+}
+
+func TestRandomizedLowRankValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewMatrix32(20, 20)
+	if _, err := RandomizedLowRank(a, 0, 4, 0, rng, Config{}); err == nil {
+		t.Error("rank 0 must be rejected")
+	}
+	if _, err := RandomizedLowRank(a, 18, 8, 0, rng, Config{}); err == nil {
+		t.Error("rank+oversample beyond min dim must be rejected")
+	}
+}
+
+func TestConditionNumber(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := ToFloat32(matgen.WithCond(rng, 512, 64, 1e3, matgen.Geometric))
+	kappa, err := ConditionNumber(a, Config{Cutoff: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kappa < 0.8e3 || kappa > 1.3e3 {
+		t.Errorf("κ estimate %g, want ≈1e3", kappa)
+	}
+	// Rank-deficient input reports an error.
+	z := NewMatrix32(10, 3)
+	for i := 0; i < 10; i++ {
+		z.Set(i, 0, 1)
+	}
+	if _, err := ConditionNumber(z, Config{}); err == nil {
+		t.Error("rank-deficient matrix should error")
+	}
+}

@@ -1,0 +1,157 @@
+package tcqr
+
+import (
+	"tcqr/internal/accuracy"
+	"tcqr/internal/lls"
+	"tcqr/internal/rgs"
+)
+
+// RefineMethod selects how a least squares solution is refined to high
+// accuracy after the half-precision factorization.
+type RefineMethod int
+
+const (
+	// RefineCGLS is Algorithm 3 of the paper: conjugate gradients on the
+	// preconditioned normal equations with R as right preconditioner.
+	// This is the default and reaches double-precision optimality.
+	RefineCGLS RefineMethod = iota
+	// RefineLSQR uses preconditioned LSQR instead (mathematically
+	// equivalent, more robust on extreme spectra).
+	RefineLSQR
+	// RefineClassical uses classical residual-correction iterative
+	// refinement (stalls at the float32 correction floor).
+	RefineClassical
+	// RefineNone returns the float32 direct solution x = R⁻¹Qᵀb.
+	RefineNone
+)
+
+// LeastSquaresResult is the outcome of SolveLeastSquares.
+type LeastSquaresResult struct {
+	// X minimizes ‖Ax − b‖₂.
+	X []float64
+	// Iterations is the number of refinement iterations performed.
+	Iterations int
+	// Converged reports whether the refinement met its tolerance.
+	Converged bool
+	// Optimality is ‖Aᵀ(Ax − b)‖₂, the paper's Figure 9 accuracy metric,
+	// evaluated in float64.
+	Optimality float64
+	// Factorization is the RGSQRF factor used (reusable via
+	// SolveLeastSquaresWithFactor for further right-hand sides).
+	Factorization *Factorization
+}
+
+// SolveOptions configures SolveLeastSquares.
+type SolveOptions struct {
+	// QR configures the factorization stage.
+	QR Config
+	// Method selects the refinement engine (default RefineCGLS).
+	Method RefineMethod
+	// Tol is the relative convergence tolerance on the preconditioned
+	// gradient (0 = 1e-14, effectively double precision).
+	Tol float64
+	// MaxIterations caps refinement (0 = 200, the paper's stress limit).
+	MaxIterations int
+}
+
+func (o SolveOptions) method() lls.Method {
+	switch o.Method {
+	case RefineLSQR:
+		return lls.MethodLSQR
+	case RefineClassical:
+		return lls.MethodRefine
+	case RefineNone:
+		return lls.MethodDirect
+	default:
+		return lls.MethodCGLS
+	}
+}
+
+// SolveLeastSquares solves min ‖Ax − b‖₂ for a tall full-column-rank A
+// using the paper's pipeline: narrow A to float32, factor it with the
+// neural-engine RGSQRF, then refine to double precision.
+func SolveLeastSquares(a *Matrix, b []float64, opts SolveOptions) (*LeastSquaresResult, error) {
+	qrOpts, st := opts.QR.options()
+	sol, err := lls.Solve(a, b, lls.SolveOptions{
+		QR:      qrOpts,
+		Method:  opts.method(),
+		Tol:     opts.Tol,
+		MaxIter: opts.MaxIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrapSolution(sol, a, b, st)
+}
+
+// SolveLeastSquaresWithFactor reuses an existing factorization of A for a
+// new right-hand side (one QR amortized over many solves).
+func SolveLeastSquaresWithFactor(f *Factorization, a *Matrix, b []float64, opts SolveOptions) (*LeastSquaresResult, error) {
+	inner := &rgs.Result{Q: f.Q, R: f.R, ColumnScales: f.ColumnScales, Reorthogonalized: f.Reorthogonalized}
+	sol, err := lls.SolveWithFactor(inner, a, b, lls.SolveOptions{
+		Method:  opts.method(),
+		Tol:     opts.Tol,
+		MaxIter: opts.MaxIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrapSolution(sol, a, b, nil)
+}
+
+func wrapSolution(sol *lls.Solution, a *Matrix, b []float64, st statser) (*LeastSquaresResult, error) {
+	res := &LeastSquaresResult{
+		X:          sol.X,
+		Iterations: sol.Iterations,
+		Converged:  sol.Converged,
+		Optimality: accuracy.LLSOptimality(a, sol.X, b),
+		Factorization: &Factorization{
+			Q:                sol.Factor.Q,
+			R:                sol.Factor.R,
+			ColumnScales:     sol.Factor.ColumnScales,
+			Reorthogonalized: sol.Factor.Reorthogonalized,
+		},
+	}
+	if st != nil {
+		s := st.Stats()
+		res.Factorization.EngineStats = EngineStats{GemmCalls: s.Calls, Flops: s.Flops, Overflows: s.Overflows, Underflows: s.Underflow}
+	}
+	return res, nil
+}
+
+// MultiResult is the outcome of SolveLeastSquaresMulti: column j of X
+// minimizes ‖A·X[:,j] − B[:,j]‖.
+type MultiResult struct {
+	X          *Matrix
+	Iterations []int
+	Converged  []bool
+	// Factorization is the shared RGSQRF factor (one QR amortized over
+	// all right-hand sides — the economics behind Figure 8's pipeline).
+	Factorization *Factorization
+}
+
+// SolveLeastSquaresMulti solves min ‖A·X − B‖ column-wise: one
+// neural-engine factorization shared by every right-hand side, with the
+// CGLS refinements running concurrently.
+func SolveLeastSquaresMulti(a *Matrix, b *Matrix, opts SolveOptions) (*MultiResult, error) {
+	qrOpts, _ := opts.QR.options()
+	sol, err := lls.SolveMulti(a, b, lls.SolveOptions{
+		QR:      qrOpts,
+		Tol:     opts.Tol,
+		MaxIter: opts.MaxIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MultiResult{
+		X:          sol.X,
+		Iterations: sol.Iterations,
+		Converged:  sol.Converged,
+		Factorization: &Factorization{
+			Q:                sol.Factor.Q,
+			R:                sol.Factor.R,
+			ColumnScales:     sol.Factor.ColumnScales,
+			Reorthogonalized: sol.Factor.Reorthogonalized,
+		},
+	}, nil
+}

@@ -1,0 +1,158 @@
+// Package tcqr is a Go reproduction of "High Accuracy Matrix Computations
+// on Neural Engines: A Study of QR Factorization and its Applications"
+// (Zhang, Baharlouei, Wu — HPDC 2020): a QR factorization that routes its
+// floating point work through a (simulated) neural engine — a TensorCore-
+// style unit that multiplies binary16 operands and accumulates in binary32
+// — together with the safeguards that recover full accuracy:
+//
+//   - Factorize: the recursive Gram-Schmidt QR (RGSQRF, Algorithm 1) with a
+//     communication-avoiding Gram-Schmidt panel (Section 3.1.3), automatic
+//     column scaling against fp16 overflow (Section 3.5), and optional
+//     re-orthogonalization (Section 3.3);
+//   - SolveLeastSquares: the least squares pipeline of Algorithm 3 — a
+//     half-precision QR used as a right preconditioner for CGLS, reaching
+//     double-precision optimality in a handful of iterations;
+//   - Orthonormalize: orthogonalization with "twice is enough"
+//     re-orthogonalization;
+//   - LowRank: optimal low-rank approximation by truncated QR-SVD
+//     (Section 3.4).
+//
+// Because no physical neural engine is available to a pure-Go library, the
+// half-precision unit is simulated bit-faithfully in software (package
+// tcqr/internal/tcsim): operands are rounded to IEEE binary16 with
+// round-to-nearest-even (saturating to ±Inf past 65504, the hazard column
+// scaling protects against) and products are accumulated in float32,
+// exactly the V100 TensorCore contract. Every algorithm can also run with
+// the engine disabled (plain float32 GEMM) for the paper's ablations.
+//
+// Matrices are column-major with a leading-dimension stride, so LAPACK
+// conventions transliterate directly. User-facing data is float64
+// (tcqr.Matrix); the simulated device consumes float32 (tcqr.Matrix32),
+// mirroring how the paper hands problems to the GPU.
+package tcqr
+
+import (
+	"tcqr/internal/dense"
+	"tcqr/internal/gram"
+	"tcqr/internal/rgs"
+	"tcqr/internal/tcsim"
+)
+
+// Matrix is a column-major float64 dense matrix; element (i, j) lives at
+// Data[i + j*Stride].
+type Matrix = dense.Matrix[float64]
+
+// Matrix32 is the float32 matrix type consumed by the simulated device.
+type Matrix32 = dense.Matrix[float32]
+
+// NewMatrix allocates a zeroed r×c float64 matrix.
+func NewMatrix(r, c int) *Matrix { return dense.New[float64](r, c) }
+
+// NewMatrix32 allocates a zeroed r×c float32 matrix.
+func NewMatrix32(r, c int) *Matrix32 { return dense.New[float32](r, c) }
+
+// FromColMajor wraps an existing column-major float64 slice (no copy).
+func FromColMajor(r, c int, data []float64) *Matrix {
+	return dense.NewFromColMajor(r, c, data)
+}
+
+// ToFloat32 narrows a float64 matrix to the device precision.
+func ToFloat32(a *Matrix) *Matrix32 { return dense.ToF32(a) }
+
+// ToFloat64 widens a float32 matrix back to float64.
+func ToFloat64(a *Matrix32) *Matrix { return dense.ToF64(a) }
+
+// PanelAlgorithm selects the panel factorizer used below the recursion
+// cutoff — the Figure 6 ablation of the paper.
+type PanelAlgorithm int
+
+const (
+	// PanelCAQR is the communication-avoiding Gram-Schmidt panel (default,
+	// the paper's fast configuration).
+	PanelCAQR PanelAlgorithm = iota
+	// PanelHouseholder is the blocked Householder (cuSOLVER SGEQRF) panel.
+	PanelHouseholder
+)
+
+// Config controls the RGSQRF factorization. The zero value is the paper's
+// recommended configuration: neural engine enabled, CAQR panel, cutoff 128,
+// column scaling on.
+type Config struct {
+	// DisableTensorCore runs the split GEMMs in plain float32 instead of
+	// the simulated neural engine (the Figure 7 ablation).
+	DisableTensorCore bool
+	// UseBFloat16 swaps the FP16 TensorCore for a TPU-style bfloat16
+	// engine (§2.1 of the paper): ~10× coarser resolution but the full
+	// float32 exponent range, so fp16-style overflow cannot occur.
+	// Ignored when DisableTensorCore is set.
+	UseBFloat16 bool
+	// TensorCoreInPanel additionally routes the panel's internal GEMMs
+	// through the neural engine (the paper found this trades accuracy for
+	// almost no speed and leaves it off).
+	TensorCoreInPanel bool
+	// Panel selects the panel algorithm at the recursion cutoff.
+	Panel PanelAlgorithm
+	// Cutoff is the recursion cutoff width (0 = 128, the paper's choice).
+	Cutoff int
+	// ReOrthogonalize runs the "twice is enough" second pass, restoring
+	// ‖I − QᵀQ‖ to working precision for ill-conditioned inputs.
+	ReOrthogonalize bool
+	// DisableColumnScaling turns off the Section 3.5 overflow safeguard.
+	DisableColumnScaling bool
+	// TrackEngineStats counts fp16 overflow/underflow events in the engine
+	// (visible in Factorization.EngineStats); costs an extra pass per GEMM.
+	TrackEngineStats bool
+}
+
+// statser is satisfied by the engines that report work statistics.
+type statser interface{ Stats() tcsim.Stats }
+
+// options translates the public Config into the internal rgs.Options,
+// materializing the engine so its statistics can be reported.
+func (c Config) options() (rgs.Options, statser) {
+	var engine tcsim.Engine
+	var st statser
+	switch {
+	case c.DisableTensorCore:
+		engine = &tcsim.FP32{}
+	case c.UseBFloat16:
+		b := &tcsim.BFloat16{TrackSpecials: c.TrackEngineStats}
+		engine, st = b, b
+	default:
+		t := &tcsim.TensorCore{TrackSpecials: c.TrackEngineStats}
+		engine, st = t, t
+	}
+	var panel gram.Panel
+	switch c.Panel {
+	case PanelHouseholder:
+		panel = &gram.HouseholderPanel{}
+	default:
+		p := &gram.CAQRPanel{}
+		if c.TensorCoreInPanel && !c.DisableTensorCore {
+			if c.UseBFloat16 {
+				p.Engine = &tcsim.BFloat16{TrackSpecials: c.TrackEngineStats}
+			} else {
+				p.Engine = &tcsim.TensorCore{TrackSpecials: c.TrackEngineStats}
+			}
+		}
+		panel = p
+	}
+	return rgs.Options{
+		Engine:          engine,
+		Panel:           panel,
+		Cutoff:          c.Cutoff,
+		DisableScaling:  c.DisableColumnScaling,
+		ReOrthogonalize: c.ReOrthogonalize,
+	}, st
+}
+
+// EngineStats reports the work the simulated neural engine performed during
+// a factorization.
+type EngineStats struct {
+	GemmCalls int64
+	Flops     int64
+	// Overflows/Underflows are fp16 conversion events (only counted when
+	// Config.TrackEngineStats is set).
+	Overflows  int64
+	Underflows int64
+}

@@ -1,0 +1,422 @@
+package tcqr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/accuracy"
+	"tcqr/internal/matgen"
+)
+
+func testMatrix(seed int64, m, n int, cond float64) *Matrix32 {
+	rng := rand.New(rand.NewSource(seed))
+	return ToFloat32(matgen.WithCond(rng, m, n, cond, matgen.Arithmetic))
+}
+
+func TestMatrixConstructors(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.Set(2, 1, 5)
+	if m.At(2, 1) != 5 {
+		t.Fatal("NewMatrix indexing")
+	}
+	w := FromColMajor(2, 2, []float64{1, 2, 3, 4})
+	if w.At(1, 0) != 2 || w.At(0, 1) != 3 {
+		t.Fatal("FromColMajor layout")
+	}
+	f32 := ToFloat32(w)
+	back := ToFloat64(f32)
+	for i := range back.Data {
+		if back.Data[i] != w.Data[i] {
+			t.Fatal("precision round trip")
+		}
+	}
+	m32 := NewMatrix32(4, 4)
+	if m32.Rows != 4 {
+		t.Fatal("NewMatrix32")
+	}
+}
+
+func TestFactorizeDefaults(t *testing.T) {
+	a := testMatrix(1, 384, 160, 100)
+	f, err := Factorize(a, Config{Cutoff: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be := f.BackwardError(a); be > 5e-3 {
+		t.Errorf("backward error %g", be)
+	}
+	if f.ColumnScales == nil {
+		t.Error("column scaling should be on by default")
+	}
+	if f.EngineStats.GemmCalls == 0 || f.EngineStats.Flops == 0 {
+		t.Error("engine stats not collected")
+	}
+	if !accuracy.UpperTriangular(f.R) {
+		t.Error("R not upper triangular")
+	}
+}
+
+func TestFactorizeAblations(t *testing.T) {
+	a := testMatrix(2, 384, 128, 100)
+	tc, err := Factorize(a, Config{Cutoff: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Factorize(a, Config{Cutoff: 32, DisableTensorCore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.EngineStats.GemmCalls != 0 {
+		t.Error("FP32 run should not report neural-engine stats")
+	}
+	if tc.BackwardError(a) < 10*fp.BackwardError(a) {
+		t.Errorf("TC error (%g) should exceed FP32 error (%g)", tc.BackwardError(a), fp.BackwardError(a))
+	}
+	// Householder panel variant works.
+	hh, err := Factorize(a, Config{Cutoff: 32, Panel: PanelHouseholder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be := hh.BackwardError(a); be > 5e-3 {
+		t.Errorf("householder panel backward error %g", be)
+	}
+	// TC-in-panel variant works and is less accurate than default.
+	pp, err := Factorize(a, Config{Cutoff: 32, TensorCoreInPanel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.BackwardError(a) < tc.BackwardError(a)/10 {
+		t.Error("TC-in-panel should not be dramatically more accurate")
+	}
+}
+
+func TestOrthonormalize(t *testing.T) {
+	a := testMatrix(3, 512, 128, 1e5)
+	q, err := Orthonormalize(a, Config{Cutoff: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oe := accuracy.OrthoError(q); oe > 0.05 {
+		t.Errorf("orthogonality after reortho %g", oe)
+	}
+	// Single-pass factorization of the same matrix is much less orthogonal.
+	one, err := Factorize(a, Config{Cutoff: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.OrthogonalityError() < 10*accuracy.OrthoError(q) {
+		t.Errorf("reortho should improve orthogonality by ≥10×: %g vs %g",
+			one.OrthogonalityError(), accuracy.OrthoError(q))
+	}
+}
+
+func TestSolveLeastSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := matgen.WithCond(rng, 512, 128, 1e3, matgen.Cluster2)
+	p := matgen.NewLLSProblem(rng, a, 0.3)
+
+	sol, err := SolveLeastSquares(p.A, p.B, SolveOptions{QR: Config{Cutoff: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged {
+		t.Error("CGLS did not converge")
+	}
+	if sol.Optimality > 1e-9 {
+		t.Errorf("optimality %g", sol.Optimality)
+	}
+	// The unrefined direct solve is orders of magnitude worse.
+	direct, err := SolveLeastSquares(p.A, p.B, SolveOptions{QR: Config{Cutoff: 32}, Method: RefineNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Optimality < 1e4*sol.Optimality {
+		t.Errorf("direct optimality %g should dwarf refined %g", direct.Optimality, sol.Optimality)
+	}
+	// Factor reuse across right-hand sides.
+	b2 := make([]float64, 512)
+	for i := range b2 {
+		b2[i] = rng.NormFloat64()
+	}
+	sol2, err := SolveLeastSquaresWithFactor(sol.Factorization, p.A, b2, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Optimality > 1e-9 {
+		t.Errorf("reused-factor optimality %g", sol2.Optimality)
+	}
+}
+
+func TestSolveMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := matgen.WithCond(rng, 400, 100, 1e2, matgen.Geometric)
+	p := matgen.NewLLSProblem(rng, a, 0.1)
+	for _, m := range []RefineMethod{RefineCGLS, RefineLSQR, RefineClassical, RefineNone} {
+		sol, err := SolveLeastSquares(p.A, p.B, SolveOptions{QR: Config{Cutoff: 32}, Method: m, Tol: 1e-6})
+		if err != nil {
+			t.Fatalf("method %d: %v", m, err)
+		}
+		// All methods produce a usable solution; refined ones much better.
+		limit := 1e-3
+		if m == RefineNone {
+			limit = 10
+		}
+		if sol.Optimality > limit {
+			t.Errorf("method %d: optimality %g", m, sol.Optimality)
+		}
+	}
+}
+
+func TestLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := ToFloat32(matgen.WithCond(rng, 1024, 64, 1e6, matgen.Arithmetic))
+	lr, err := LowRank(a, 16, Config{Cutoff: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Rank != 16 || lr.U.Cols != 16 || len(lr.S) != 16 || lr.V.Cols != 16 {
+		t.Fatalf("rank bookkeeping: %d %d %d %d", lr.Rank, lr.U.Cols, len(lr.S), lr.V.Cols)
+	}
+	sigma := matgen.SingularValues(64, 1e6, matgen.Arithmetic)
+	eOpt := 0.0
+	var tail, tot float64
+	for i, s := range sigma {
+		tot += s * s
+		if i >= 16 {
+			tail += s * s
+		}
+	}
+	eOpt = math.Sqrt(tail / tot)
+	if e := lr.Error(a); e > eOpt*1.02+1e-3 {
+		t.Errorf("rank-16 error %g vs optimal %g", e, eOpt)
+	}
+	// Reconstruct has the right shape and is close to A for high rank.
+	full, err := LowRank(a, 64, Config{Cutoff: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := full.Reconstruct()
+	if rec.Rows != 1024 || rec.Cols != 64 {
+		t.Fatal("reconstruct shape")
+	}
+	if e := full.Error(a); e > 5e-3 {
+		t.Errorf("full-rank error %g", e)
+	}
+	// Invalid rank.
+	if _, err := LowRank(a, 0, Config{}); err == nil {
+		t.Error("rank 0 must be rejected")
+	}
+	// Oversized rank clamps.
+	if lr2, err := LowRank(a, 1000, Config{Cutoff: 32}); err != nil || lr2.Rank != 64 {
+		t.Errorf("rank clamp: %v %d", err, lr2.Rank)
+	}
+}
+
+func TestSingularValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := ToFloat32(matgen.WithCond(rng, 256, 32, 100, matgen.Geometric))
+	s, err := SingularValues(a, Config{Cutoff: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 32 {
+		t.Fatalf("%d singular values", len(s))
+	}
+	if math.Abs(float64(s[0])-1) > 1e-2 || math.Abs(float64(s[31])-0.01) > 1e-3 {
+		t.Errorf("spectrum endpoints %v %v", s[0], s[31])
+	}
+}
+
+func TestTrackEngineStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := ToFloat32(matgen.BadlyScaled(rng, 384, 96, 7))
+	// With scaling (default): no overflows.
+	f, err := Factorize(a, Config{Cutoff: 32, TrackEngineStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.EngineStats.Overflows != 0 {
+		t.Errorf("scaled factorization overflowed %d times", f.EngineStats.Overflows)
+	}
+	// Without scaling: overflows recorded.
+	f2, err := Factorize(a, Config{Cutoff: 32, TrackEngineStats: true, DisableColumnScaling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.EngineStats.Overflows == 0 {
+		t.Error("expected overflow events without scaling")
+	}
+}
+
+func TestFactorizeRejectsWide(t *testing.T) {
+	if _, err := Factorize(NewMatrix32(3, 5), Config{}); err == nil {
+		t.Error("wide input must be rejected")
+	}
+}
+
+func TestUseBFloat16(t *testing.T) {
+	a := testMatrix(9, 384, 128, 100)
+	bf, err := Factorize(a, Config{Cutoff: 32, UseBFloat16: true, TrackEngineStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp16, err := Factorize(a, Config{Cutoff: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.EngineStats.GemmCalls == 0 {
+		t.Error("BF16 engine stats missing")
+	}
+	// The bfloat16 engine is coarser than the fp16 one.
+	if bf.BackwardError(a) < fp16.BackwardError(a) {
+		t.Errorf("BF16 error (%g) should exceed FP16 error (%g)",
+			bf.BackwardError(a), fp16.BackwardError(a))
+	}
+	// DisableTensorCore wins over UseBFloat16.
+	plain, err := Factorize(a, Config{Cutoff: 32, UseBFloat16: true, DisableTensorCore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.EngineStats.GemmCalls != 0 {
+		t.Error("FP32 run should not report engine stats")
+	}
+	if plain.BackwardError(a) > 1e-5 {
+		t.Errorf("FP32 backward error %g", plain.BackwardError(a))
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 128
+	a := matgen.Normal(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n)/4) // diagonally dominant
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			b[i] += a.At(i, j) * xTrue[j]
+		}
+	}
+	res, err := SolveLinearSystem(a, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %v", res.ResidualNorms)
+	}
+	for i := range xTrue {
+		if math.Abs(res.X[i]-xTrue[i]) > 1e-9 {
+			t.Fatalf("x[%d] off by %g", i, math.Abs(res.X[i]-xTrue[i]))
+		}
+	}
+	if res.GrowthFactor <= 0 {
+		t.Error("growth factor missing")
+	}
+	// FP32 engine converges in fewer (or equal) refinement steps.
+	resFP, err := SolveLinearSystem(a, b, Config{DisableTensorCore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFP.Iterations > res.Iterations {
+		t.Errorf("FP32 LU (%d iters) should not need more refinement than TC (%d)", resFP.Iterations, res.Iterations)
+	}
+	// BFloat16 engine also reaches double precision, with more iterations
+	// than FP16 (coarser factors precondition worse).
+	resBF, err := SolveLinearSystem(a, b, Config{UseBFloat16: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resBF.Converged {
+		t.Error("BF16 LU+IR did not converge")
+	}
+	if resBF.Iterations < res.Iterations {
+		t.Errorf("BF16 (%d iters) should need at least as many as FP16 (%d)", resBF.Iterations, res.Iterations)
+	}
+}
+
+func TestSolveLeastSquaresMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := matgen.WithCond(rng, 384, 96, 1e2, matgen.Arithmetic)
+	b := matgen.Normal(rng, 384, 4)
+	res, err := SolveLeastSquaresMulti(a, b, SolveOptions{QR: Config{Cutoff: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X.Rows != 96 || res.X.Cols != 4 {
+		t.Fatalf("X shape %dx%d", res.X.Rows, res.X.Cols)
+	}
+	for j := 0; j < 4; j++ {
+		if !res.Converged[j] {
+			t.Errorf("rhs %d unconverged after %d iters", j, res.Iterations[j])
+		}
+		if opt := accuracy.LLSOptimality(a, res.X.Col(j), b.Col(j)); opt > 1e-9 {
+			t.Errorf("rhs %d optimality %g", j, opt)
+		}
+	}
+	if res.Factorization == nil || res.Factorization.Q == nil {
+		t.Error("shared factorization missing")
+	}
+}
+
+func TestSymmetricEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	// A = U·diag(λ)·Uᵀ with known spectrum.
+	lambda := []float64{-2, 0.5, 1, 3, 10}
+	u := matgen.HaarOrthonormal(rng, 5, 5)
+	a := NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			var s float64
+			for k := 0; k < 5; k++ {
+				s += u.At(i, k) * lambda[k] * u.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	dec, err := SymmetricEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range lambda {
+		if math.Abs(dec.Values[i]-want) > 1e-10 {
+			t.Errorf("λ_%d = %v, want %v", i, dec.Values[i], want)
+		}
+	}
+	if dec.Vectors.Rows != 5 || dec.Vectors.Cols != 5 {
+		t.Error("vectors shape")
+	}
+}
+
+func TestRayleighRitz(t *testing.T) {
+	// Diagonal operator; basis = leading coordinate directions: Ritz
+	// values must equal the corresponding eigenvalues exactly.
+	q := NewMatrix32(10, 3)
+	q.Set(0, 0, 1)
+	q.Set(1, 1, 1)
+	q.Set(2, 2, 1)
+	diag := []float64{9, 7, 5, 1, 1, 1, 1, 1, 1, 1}
+	apply := func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = diag[i] * src[i]
+		}
+	}
+	ritz, err := RayleighRitz(q, apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 7, 5}
+	for i := range want {
+		if math.Abs(ritz[i]-want[i]) > 1e-12 {
+			t.Errorf("ritz[%d] = %v, want %v", i, ritz[i], want[i])
+		}
+	}
+	if _, err := RayleighRitz(NewMatrix32(5, 0), apply); err == nil {
+		t.Error("empty basis must be rejected")
+	}
+}
