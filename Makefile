@@ -1,0 +1,30 @@
+# Developer entry points. The Go toolchain is the only dependency.
+
+GO ?= go
+
+.PHONY: build check check-race bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification: everything must build and pass.
+check:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Tier-2 verification: vet plus the full suite under the race detector
+# (the packed GEMM parallelizes over C tiles; this is the gate for it).
+check-race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Kernel-layer benchmarks with allocation accounting.
+bench:
+	$(GO) test -run '^$$' -bench 'Gemm|Trsm|Engines|TrackSpecials' -benchmem ./internal/blas ./internal/tcsim
+
+# Machine-readable benchmark report (BENCH_1.json).
+bench-json:
+	$(GO) run ./cmd/tcqr-bench -out BENCH_1.json
+
+clean:
+	$(GO) clean ./...

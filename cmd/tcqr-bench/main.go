@@ -1,0 +1,179 @@
+// Command tcqr-bench runs the repository's Go benchmarks and distills them
+// into a machine-readable JSON report (BENCH_1.json by default): one record
+// per benchmark with ns/op, GFLOP/s and allocs/op.
+//
+// Throughput convention: the GEMM-family benchmarks call b.SetBytes(2·m·n·k),
+// i.e. they report *flops* through the bytes channel, so the "MB/s" column of
+// `go test -bench` is really Mflop/s and GFLOP/s = MB/s ÷ 1000. Benchmarks
+// that do not call SetBytes get a zero GFLOP/s field.
+//
+// Usage:
+//
+//	go run ./cmd/tcqr-bench [-out BENCH_1.json] [-bench regex] [-count 1] [pkg ...]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	GFlops      float64 `json:"gflops,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the whole JSON document.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	CPU         string   `json:"cpu,omitempty"`
+	Bench       string   `json:"bench_regex"`
+	Packages    []string `json:"packages"`
+	Results     []Result `json:"results"`
+}
+
+// defaultPackages covers the kernel layer, the simulated engines, and the
+// paper-figure benchmarks at the module root.
+var defaultPackages = []string{"./internal/blas", "./internal/tcsim", "."}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	bench := flag.String("bench", "Gemm|Trsm|Engines|TrackSpecials|Fig1|Fig2", "benchmark regex passed to go test")
+	count := flag.Int("count", 1, "-count passed to go test")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = defaultPackages
+	}
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Bench:       *bench,
+		Packages:    pkgs,
+	}
+	for _, pkg := range pkgs {
+		results, cpu, err := runPackage(pkg, *bench, *count)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcqr-bench: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		if cpu != "" {
+			rep.CPU = cpu
+		}
+		rep.Results = append(rep.Results, results...)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcqr-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tcqr-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// runPackage shells out to `go test -bench` for one package and parses its
+// output. The benchmark binary prints context lines (goos, cpu, pkg) that we
+// mine for the report header.
+func runPackage(pkg, bench string, count int) ([]Result, string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count), pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, "", fmt.Errorf("go test: %w", err)
+	}
+	var results []Result
+	var cpu string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = rest
+			continue
+		}
+		if r, ok := parseBenchLine(line); ok {
+			r.Package = pkg
+			results = append(results, r)
+		}
+	}
+	return results, cpu, sc.Err()
+}
+
+// parseBenchLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkGemmNN256-4  1455  806146 ns/op  41623.26 MB/s  0 B/op  0 allocs/op
+//
+// returning ok == false for non-benchmark lines. The "-N" GOMAXPROCS suffix
+// is stripped when present (go test omits it when GOMAXPROCS is 1, and
+// sub-benchmark names like Engines/TC-GEMM legitimately contain dashes).
+func parseBenchLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	var r Result
+	r.Name = f[0]
+	if i := strings.LastIndex(r.Name, "-"); i >= 0 && isDigits(r.Name[i+1:]) {
+		r.Name = r.Name[:i]
+	}
+	iter, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iter
+	// The remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "MB/s":
+			// SetBytes carries flops, so MB/s is Mflop/s.
+			r.GFlops = v / 1000
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return r, true
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkGemmNN256-4  \t1455\t  806146 ns/op\t41623.26 MB/s\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkGemmNN256" || r.Iterations != 1455 {
+		t.Errorf("name/iterations = %q/%d", r.Name, r.Iterations)
+	}
+	if r.NsPerOp != 806146 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+	if r.GFlops < 41.6 || r.GFlops > 41.7 {
+		t.Errorf("gflops = %v, want ~41.62", r.GFlops)
+	}
+	if r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("mem fields = %d/%d", r.BytesPerOp, r.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineNoSuffix(t *testing.T) {
+	// GOMAXPROCS=1 omits the -N suffix; dashed sub-benchmark names keep
+	// their dashes.
+	r, ok := parseBenchLine("BenchmarkEngines/TC-GEMM \t 100 \t 18281466 ns/op")
+	if !ok || r.Name != "BenchmarkEngines/TC-GEMM" {
+		t.Fatalf("got ok=%v name=%q", ok, r.Name)
+	}
+	r, ok = parseBenchLine("BenchmarkGemmNN256 \t 1455 \t 806146 ns/op \t 41623.26 MB/s")
+	if !ok || r.Name != "BenchmarkGemmNN256" {
+		t.Fatalf("got ok=%v name=%q", ok, r.Name)
+	}
+}
+
+func TestParseBenchLineNoThroughput(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkFig1_HouseholderEstimate-4   12  95000000 ns/op  128 B/op  3 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.GFlops != 0 || r.AllocsPerOp != 3 {
+		t.Errorf("gflops=%v allocs=%d", r.GFlops, r.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: tcqr/internal/blas",
+		"PASS",
+		"ok  \ttcqr/internal/blas\t3.9s",
+		"BenchmarkBroken-4 notanumber ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q should be rejected", line)
+		}
+	}
+}

@@ -66,6 +66,24 @@ func RoundSlice(dst, src []float32) {
 	}
 }
 
+// RoundInPlace rounds every element of x through bfloat16.
+func RoundInPlace(x []float32) { RoundSlice(x, x) }
+
+// RoundInPlaceCount rounds every element of x through bfloat16 and reports
+// how many finite elements became infinite, fusing the Overflows scan into
+// the rounding pass. (bfloat16 spans the full float32 exponent range, so
+// nothing can flush to zero and no underflow count is needed.)
+func RoundInPlaceCount(x []float32) (overflow int64) {
+	for i, v := range x {
+		h := FromFloat32(v)
+		x[i] = h.Float32()
+		if h&0x7fff == 0x7f80 && math.Float32bits(v)&0x7fffffff < 0x7f800000 {
+			overflow++
+		}
+	}
+	return overflow
+}
+
 // IsNaN reports whether h is a NaN.
 func (h BFloat16) IsNaN() bool { return h&0x7f80 == 0x7f80 && h&0x007f != 0 }
 

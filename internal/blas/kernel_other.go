@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package blas
+
+// Non-amd64 platforms use the generic scalar micro-kernel everywhere.
+const useAVXKernels = false
+
+func gemmKernel16x4F32(kb int, ap, bp, out *float32) {
+	panic("blas: AVX kernel called on non-amd64 platform")
+}
+
+func gemmKernel8x4F64(kb int, ap, bp, out *float64) {
+	panic("blas: AVX kernel called on non-amd64 platform")
+}

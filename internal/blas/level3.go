@@ -2,155 +2,300 @@ package blas
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"tcqr/internal/dense"
 )
 
-// Gemm computes C ← α·op(A)·op(B) + β·C. Work is parallelized over column
-// blocks of C; each block is owned by exactly one goroutine.
+// Gemm computes C ← α·op(A)·op(B) + β·C.
+//
+// Large products run through a GotoBLAS-style packed kernel: panels of op(A)
+// and op(B) are packed into contiguous cache-sized slabs (both transpose
+// flags are resolved at pack time, so the inner loop is always NN) and an
+// unrolled 4×4 register-tiled micro-kernel sweeps 2-D tiles of C. Work is
+// parallelized over those C tiles; each tile is owned by exactly one task
+// and accumulates its k-slabs in a fixed ascending order, so results are
+// bit-identical for any GOMAXPROCS. Small products use the column-sweep
+// reference kernel, serially.
 func Gemm[T dense.Float](tA, tB Transpose, alpha T, a, b *dense.Matrix[T], beta T, c *dense.Matrix[T]) {
+	gemmHooked(tA, tB, alpha, a, b, beta, c, nil, nil, false)
+}
+
+// GemmHooked is Gemm with per-operand pack hooks: hookA/hookB are applied in
+// place to every packed panel of op(A)/op(B), while the panel is still cache
+// resident. The simulated neural engines use this to fuse operand rounding
+// (and, with count == true, overflow/underflow accounting) into the packing
+// pass, instead of making separate full sweeps over the operands.
+//
+// When count is true and a hook provides RoundCount, every source element
+// contributes to the returned totals exactly once, regardless of how many
+// times blocking re-packs it. Results are bit-identical to calling Gemm on
+// pre-rounded copies of the operands.
+func GemmHooked[T dense.Float](tA, tB Transpose, alpha T, a, b *dense.Matrix[T], beta T, c *dense.Matrix[T], hookA, hookB *PackHook[T], count bool) (overflow, underflow int64) {
+	return gemmHooked(tA, tB, alpha, a, b, beta, c, hookA, hookB, count)
+}
+
+func gemmHooked[T dense.Float](tA, tB Transpose, alpha T, a, b *dense.Matrix[T], beta T, c *dense.Matrix[T], hookA, hookB *PackHook[T], count bool) (ov, uf int64) {
 	m, n, k := checkGemm(tA, tB, a, b, c)
-	if m == 0 || n == 0 {
-		return
+	if m == 0 || n == 0 || alpha == 0 || k == 0 {
+		// Degenerate product: no packing happens, but engines that track
+		// fp16 specials still expect both operands to be inspected.
+		if count {
+			pb := getPackBuf[T]()
+			oa, ua := hookCountOnly(hookA, a, pb)
+			ob, ub := hookCountOnly(hookB, b, pb)
+			putPackBuf(pb)
+			ov, uf = oa+ob, ua+ub
+		}
+		if m > 0 && n > 0 {
+			scaleCols(c, beta, 0, n)
+		}
+		return ov, uf
 	}
-	if alpha == 0 || k == 0 {
-		scaleCols(c, beta, 0, n)
-		return
+	if useBlocked(m, n, k) {
+		return gemmBlocked(tA, tB, alpha, a, b, beta, c, m, n, k, hookA, hookB, count)
 	}
-	// Choose a chunk size that amortizes goroutine overhead: at least ~64k
-	// multiply-adds per task.
-	minChunk := 1 + (1<<16)/(m*k+1)
-	parallelRange(n, minChunk, func(j0, j1 int) {
-		gemmCols(tA, tB, alpha, a, b, beta, c, j0, j1, k, m)
-	})
+	return gemmSmall(tA, tB, alpha, a, b, beta, c, m, n, k, hookA, hookB, count)
 }
 
-func scaleCols[T dense.Float](c *dense.Matrix[T], beta T, j0, j1 int) {
-	if beta == 1 {
-		return
-	}
-	for j := j0; j < j1; j++ {
-		col := c.Col(j)
-		if beta == 0 {
-			for i := range col {
-				col[i] = 0
-			}
-		} else {
-			for i := range col {
-				col[i] *= beta
-			}
-		}
-	}
+// useBlocked reports whether the packed kernel pays for itself. Very narrow
+// outputs waste micro-tile lanes on padding, and tiny products are dominated
+// by packing traffic; both go to the reference kernel.
+func useBlocked(m, n, k int) bool {
+	return m >= scalarMR && n >= scalarNR && m*n*k >= gemmBlockedMinFlops
 }
 
-// gemmCols computes columns [j0, j1) of the GEMM output.
-func gemmCols[T dense.Float](tA, tB Transpose, alpha T, a, b *dense.Matrix[T], beta T, c *dense.Matrix[T], j0, j1, k, m int) {
-	switch {
-	case tA == NoTrans && tB == NoTrans:
-		scaleCols(c, beta, j0, j1)
-		for l := 0; l < k; l++ {
-			al := a.Col(l)
-			for j := j0; j < j1; j++ {
-				t := alpha * b.At(l, j)
-				if t == 0 {
-					continue
-				}
-				cj := c.Col(j)
-				for i, v := range al {
-					cj[i] += v * t
-				}
-			}
-		}
-	case tA == Trans && tB == NoTrans:
-		for j := j0; j < j1; j++ {
-			bj := b.Col(j)
-			cj := c.Col(j)
-			for i := 0; i < m; i++ {
-				s := alpha * Dot(a.Col(i), bj)
-				if beta == 0 {
-					cj[i] = s
-				} else {
-					cj[i] = beta*cj[i] + s
-				}
-			}
-		}
-	case tA == NoTrans && tB == Trans:
-		scaleCols(c, beta, j0, j1)
-		for l := 0; l < k; l++ {
-			al := a.Col(l)
-			for j := j0; j < j1; j++ {
-				t := alpha * b.At(j, l)
-				if t == 0 {
-					continue
-				}
-				cj := c.Col(j)
-				for i, v := range al {
-					cj[i] += v * t
-				}
-			}
-		}
-	default: // Trans, Trans
-		for j := j0; j < j1; j++ {
-			cj := c.Col(j)
-			for i := 0; i < m; i++ {
-				col := a.Col(i)
-				var s T
-				for l, v := range col {
-					s += v * b.At(j, l)
-				}
-				if beta == 0 {
-					cj[i] = alpha * s
-				} else {
-					cj[i] = beta*cj[i] + alpha*s
-				}
-			}
-		}
+// hookCountOnly runs a hook's RoundCount over a scratch copy of every column
+// of src purely for its counts, leaving src untouched.
+func hookCountOnly[T dense.Float](h *PackHook[T], src *dense.Matrix[T], pb *packBuf[T]) (ov, uf int64) {
+	if h == nil || h.RoundCount == nil || src.Rows == 0 || src.Cols == 0 {
+		return 0, 0
 	}
+	scratch := pb.growA(src.Rows)
+	for j := 0; j < src.Cols; j++ {
+		copy(scratch, src.Col(j))
+		o, u := h.RoundCount(scratch)
+		ov += o
+		uf += u
+	}
+	return ov, uf
+}
+
+// gemmSmall runs the reference kernel, applying hooks (if any) to pooled
+// tight copies of the operands first. Serial: at these sizes goroutine
+// fan-out costs more than it saves.
+func gemmSmall[T dense.Float](tA, tB Transpose, alpha T, a, b *dense.Matrix[T], beta T, c *dense.Matrix[T], m, n, k int, hookA, hookB *PackHook[T], count bool) (ov, uf int64) {
+	if hookA == nil && hookB == nil {
+		gemmCols(tA, tB, alpha, a, b, beta, c, 0, n, k, m)
+		return 0, 0
+	}
+	pb := getPackBuf[T]()
+	ra, oa, ua := hookedCopy(hookA, a, pb.growA(a.Rows*a.Cols), &pb.am, count)
+	rb, ob, ub := hookedCopy(hookB, b, pb.growB(b.Rows*b.Cols), &pb.bm, count)
+	gemmCols(tA, tB, alpha, ra, rb, beta, c, 0, n, k, m)
+	putPackBuf(pb)
+	return oa + ob, ua + ub
+}
+
+// hookedCopy copies src tightly into buf, applies the hook in place, and
+// returns hdr wired to the result (or src itself when the hook is nil).
+func hookedCopy[T dense.Float](h *PackHook[T], src *dense.Matrix[T], buf []T, hdr *dense.Matrix[T], count bool) (*dense.Matrix[T], int64, int64) {
+	if h == nil {
+		return src, 0, 0
+	}
+	rows := src.Rows
+	for j := 0; j < src.Cols; j++ {
+		copy(buf[j*rows:j*rows+rows], src.Col(j))
+	}
+	var ov, uf int64
+	if count && h.RoundCount != nil {
+		ov, uf = h.RoundCount(buf)
+	} else {
+		h.Round(buf)
+	}
+	hdr.Rows = rows
+	hdr.Cols = src.Cols
+	hdr.Stride = max(1, rows)
+	hdr.Data = buf
+	return hdr, ov, uf
+}
+
+// gemmJob carries one blocked GEMM invocation through parallelTasks. Task t
+// owns the C macro-tile (t mod mTiles, t div mTiles) — a gemmMC×gemmNC
+// rectangle — packs its own operand slabs into pooled buffers, and sweeps
+// the full k range in ascending slab order. Tiles are disjoint, so any
+// number of workers produces identical bits.
+type gemmJob[T dense.Float] struct {
+	tA, tB       Transpose
+	alpha, beta  T
+	a, b, c      *dense.Matrix[T]
+	m, n, k      int
+	mc, nc, kc   int
+	mr, nr       int
+	mTiles       int
+	hookA, hookB *PackHook[T]
+	count        bool
+	ov, uf       int64 // atomic
+}
+
+func (g *gemmJob[T]) runTask(task int) {
+	pb := getPackBuf[T]()
+	icIdx := task % g.mTiles
+	jcIdx := task / g.mTiles
+	i0 := icIdx * g.mc
+	ib := min(g.mc, g.m-i0)
+	j0 := jcIdx * g.nc
+	jb := min(g.nc, g.n-j0)
+	aPanels := (ib + g.mr - 1) / g.mr
+	bPanels := (jb + g.nr - 1) / g.nr
+	bufA := pb.growA(aPanels * g.mr * g.kc)
+	bufB := pb.growB(bPanels * g.nr * g.kc)
+	var ov, uf int64
+	for p0 := 0; p0 < g.k; p0 += g.kc {
+		kb := min(g.kc, g.k-p0)
+		bb := bufB[:bPanels*g.nr*kb]
+		packBPanel(bb, g.b, g.tB, p0, j0, kb, jb, g.nr)
+		if g.hookB != nil {
+			// Each op(B) block is re-packed once per row of macro-tiles;
+			// counting only on the first row tallies every element once.
+			if g.count && icIdx == 0 && g.hookB.RoundCount != nil {
+				o, u := g.hookB.RoundCount(bb)
+				ov += o
+				uf += u
+			} else {
+				g.hookB.Round(bb)
+			}
+		}
+		aa := bufA[:aPanels*g.mr*kb]
+		packAPanel(aa, g.a, g.tA, i0, p0, ib, kb, g.mr)
+		if g.hookA != nil {
+			// Symmetrically, op(A) blocks recur once per column of
+			// macro-tiles; count on the first column only.
+			if g.count && jcIdx == 0 && g.hookA.RoundCount != nil {
+				o, u := g.hookA.RoundCount(aa)
+				ov += o
+				uf += u
+			} else {
+				g.hookA.Round(aa)
+			}
+		}
+		gemmMacro(aa, bb, g.alpha, g.beta, g.c, i0, ib, j0, jb, kb, g.mr, g.nr, p0 == 0)
+	}
+	if ov != 0 {
+		atomic.AddInt64(&g.ov, ov)
+	}
+	if uf != 0 {
+		atomic.AddInt64(&g.uf, uf)
+	}
+	putPackBuf(pb)
+}
+
+func gemmBlocked[T dense.Float](tA, tB Transpose, alpha T, a, b *dense.Matrix[T], beta T, c *dense.Matrix[T], m, n, k int, hookA, hookB *PackHook[T], count bool) (int64, int64) {
+	job := getGemmJob[T]()
+	*job = gemmJob[T]{
+		tA: tA, tB: tB,
+		alpha: alpha, beta: beta,
+		a: a, b: b, c: c,
+		m: m, n: n, k: k,
+		mc: gemmMC, nc: gemmNC, kc: gemmKC,
+		hookA: hookA, hookB: hookB,
+		count: count,
+	}
+	job.mr, job.nr = kernelDims[T]()
+	job.mTiles = (m + job.mc - 1) / job.mc
+	nTiles := (n + job.nc - 1) / job.nc
+	parallelTasks(job.mTiles*nTiles, job)
+	ov, uf := job.ov, job.uf
+	putGemmJob(job)
+	return ov, uf
 }
 
 // Syrk computes the symmetric rank-k update. With t == NoTrans it forms
 // C ← α·A·Aᵀ + β·C; with t == Trans it forms C ← α·Aᵀ·A + β·C. Only the
-// triangle selected by uplo is referenced and written.
+// triangle selected by uplo is referenced and written. Off-diagonal
+// rectangles of the triangle are routed through the packed Gemm kernel;
+// diagonal blocks run a row-buffered (NoTrans) or column-dot (Trans) sweep.
 func Syrk[T dense.Float](uplo Uplo, t Transpose, alpha T, a *dense.Matrix[T], beta T, c *dense.Matrix[T]) {
 	n, k := opShape(t, a)
 	if c.Rows != n || c.Cols != n {
 		panic(fmt.Sprintf("blas: syrk output %dx%d, want %dx%d", c.Rows, c.Cols, n, n))
 	}
-	_ = k
-	parallelRange(n, 8, func(j0, j1 int) {
-		for j := j0; j < j1; j++ {
-			var lo, hi int
-			if uplo == Upper {
-				lo, hi = 0, j+1
+	const nb = 64
+	for j0 := 0; j0 < n; j0 += nb {
+		jb := min(nb, n-j0)
+		switch {
+		case uplo == Lower && j0+jb < n:
+			rows := n - (j0 + jb)
+			cv := c.View(j0+jb, j0, rows, jb)
+			if t == NoTrans {
+				Gemm(NoTrans, Trans, alpha, a.View(j0+jb, 0, rows, k), a.View(j0, 0, jb, k), beta, cv)
 			} else {
-				lo, hi = j, n
+				Gemm(Trans, NoTrans, alpha, a.View(0, j0+jb, k, rows), a.View(0, j0, k, jb), beta, cv)
 			}
-			cj := c.Col(j)
-			if t == Trans {
-				aj := a.Col(j)
-				for i := lo; i < hi; i++ {
-					s := alpha * Dot(a.Col(i), aj)
-					if beta == 0 {
-						cj[i] = s
-					} else {
-						cj[i] = beta*cj[i] + s
-					}
-				}
+		case uplo == Upper && j0 > 0:
+			cv := c.View(0, j0, j0, jb)
+			if t == NoTrans {
+				Gemm(NoTrans, Trans, alpha, a.View(0, 0, j0, k), a.View(j0, 0, jb, k), beta, cv)
 			} else {
-				for i := lo; i < hi; i++ {
-					var s T
-					for l := 0; l < a.Cols; l++ {
-						s += a.At(i, l) * a.At(j, l)
-					}
-					if beta == 0 {
-						cj[i] = alpha * s
-					} else {
-						cj[i] = beta*cj[i] + alpha*s
-					}
+				Gemm(Trans, NoTrans, alpha, a.View(0, 0, k, j0), a.View(0, j0, k, jb), beta, cv)
+			}
+		}
+		syrkDiag(uplo, t, alpha, a, beta, c, j0, jb, k)
+	}
+}
+
+// syrkDiag updates the jb×jb diagonal block of C anchored at (j0, j0). For
+// t == NoTrans the block's rows of A are first gathered into a contiguous
+// row-major scratch, so the inner products run over unit-stride slices
+// instead of strided At walks.
+func syrkDiag[T dense.Float](uplo Uplo, t Transpose, alpha T, a *dense.Matrix[T], beta T, c *dense.Matrix[T], j0, jb, k int) {
+	if t == Trans {
+		for j := 0; j < jb; j++ {
+			cj := c.Col(j0 + j)
+			aj := a.Col(j0 + j)
+			lo, hi := diagRange(uplo, j, jb)
+			for i := lo; i < hi; i++ {
+				s := alpha * Dot(a.Col(j0+i), aj)
+				if beta == 0 {
+					cj[j0+i] = s
+				} else {
+					cj[j0+i] = beta*cj[j0+i] + s
 				}
 			}
 		}
-	})
+		return
+	}
+	pb := getPackBuf[T]()
+	buf := pb.growA(jb * k)
+	for l := 0; l < k; l++ {
+		src := a.Col(l)
+		for r := 0; r < jb; r++ {
+			buf[r*k+l] = src[j0+r]
+		}
+	}
+	for j := 0; j < jb; j++ {
+		cj := c.Col(j0 + j)
+		rowj := buf[j*k : (j+1)*k]
+		lo, hi := diagRange(uplo, j, jb)
+		for i := lo; i < hi; i++ {
+			s := alpha * Dot(buf[i*k:(i+1)*k], rowj)
+			if beta == 0 {
+				cj[j0+i] = s
+			} else {
+				cj[j0+i] = beta*cj[j0+i] + s
+			}
+		}
+	}
+	putPackBuf(pb)
+}
+
+// diagRange returns the in-block row range [lo, hi) of a diagonal block
+// column that lies inside the stored triangle.
+func diagRange(uplo Uplo, j, jb int) (lo, hi int) {
+	if uplo == Upper {
+		return 0, j + 1
+	}
+	return j, jb
 }
 
 // FillSymmetric mirrors the triangle selected by uplo into the other half,
@@ -173,7 +318,9 @@ func FillSymmetric[T dense.Float](uplo Uplo, c *dense.Matrix[T]) {
 
 // Trsm solves a triangular system with multiple right-hand sides in place:
 // op(A)·X = α·B (side == Left) or X·op(A) = α·B (side == Right), overwriting
-// B with X.
+// B with X. The right-side sweep is blocked: cross-block dependencies are
+// applied as packed-kernel GEMM updates and only the nb×nb diagonal systems
+// run the scalar column sweep.
 func Trsm[T dense.Float](side Side, uplo Uplo, tA Transpose, diag Diag, alpha T, a *dense.Matrix[T], b *dense.Matrix[T]) {
 	n := a.Rows
 	if a.Cols != n {
@@ -197,14 +344,51 @@ func Trsm[T dense.Float](side Side, uplo Uplo, tA Transpose, diag Diag, alpha T,
 		})
 		return
 	}
-	// Right side: column sweeps with cross-column dependencies; the order
-	// depends on the effective orientation of op(A).
 	if alpha != 1 {
 		for j := 0; j < b.Cols; j++ {
 			Scal(alpha, b.Col(j))
 		}
 	}
+	const nb = 64
+	m := b.Rows
 	forward := (uplo == Upper) == (tA == NoTrans)
+	if forward {
+		for j0 := 0; j0 < n; j0 += nb {
+			jb := min(nb, n-j0)
+			if j0 > 0 {
+				bj := b.View(0, j0, m, jb)
+				solved := b.View(0, 0, m, j0)
+				if tA == NoTrans {
+					Gemm(NoTrans, NoTrans, -1, solved, a.View(0, j0, j0, jb), 1, bj)
+				} else {
+					Gemm(NoTrans, Trans, -1, solved, a.View(j0, 0, jb, j0), 1, bj)
+				}
+			}
+			trsmRightUnblocked(tA, diag, a.View(j0, j0, jb, jb), b.View(0, j0, m, jb), true)
+		}
+		return
+	}
+	blocks := (n + nb - 1) / nb
+	for bi := blocks - 1; bi >= 0; bi-- {
+		j0 := bi * nb
+		jb := min(nb, n-j0)
+		if j1 := j0 + jb; j1 < n {
+			bj := b.View(0, j0, m, jb)
+			solved := b.View(0, j1, m, n-j1)
+			if tA == NoTrans {
+				Gemm(NoTrans, NoTrans, -1, solved, a.View(j1, j0, n-j1, jb), 1, bj)
+			} else {
+				Gemm(NoTrans, Trans, -1, solved, a.View(j0, j1, jb, n-j1), 1, bj)
+			}
+		}
+		trsmRightUnblocked(tA, diag, a.View(j0, j0, jb, jb), b.View(0, j0, b.Rows, jb), false)
+	}
+}
+
+// trsmRightUnblocked solves X·op(A) = B in place for one triangular diagonal
+// block, sweeping columns forward or backward with cross-column axpys.
+func trsmRightUnblocked[T dense.Float](tA Transpose, diag Diag, a, b *dense.Matrix[T], forward bool) {
+	n := a.Rows
 	coef := func(l, j int) T { // coefficient of X[:,l] in equation for column j
 		if tA == NoTrans {
 			return a.At(l, j)
@@ -221,15 +405,15 @@ func Trsm[T dense.Float](side Side, uplo Uplo, tA Transpose, diag Diag, alpha T,
 				Scal(1/a.At(j, j), bj)
 			}
 		}
-	} else {
-		for j := n - 1; j >= 0; j-- {
-			bj := b.Col(j)
-			for l := j + 1; l < n; l++ {
-				Axpy(-coef(l, j), b.Col(l), bj)
-			}
-			if diag == NonUnit {
-				Scal(1/a.At(j, j), bj)
-			}
+		return
+	}
+	for j := n - 1; j >= 0; j-- {
+		bj := b.Col(j)
+		for l := j + 1; l < n; l++ {
+			Axpy(-coef(l, j), b.Col(l), bj)
+		}
+		if diag == NonUnit {
+			Scal(1/a.At(j, j), bj)
 		}
 	}
 }

@@ -1,0 +1,241 @@
+package blas
+
+import "tcqr/internal/dense"
+
+// microKernel4x4 computes one 4×4 tile of C from packed operand panels:
+//
+//	C[0:rows, 0:cols] ← β'·C + α·Σ_l ap[l]·bp[l]ᵀ
+//
+// where ap/bp hold kb quads in the layout produced by packAPanel/packBPanel,
+// c points at the tile's top-left element with leading dimension ldc, and
+// β' is beta on the first k-slab (first == true) and 1 afterwards. The
+// sixteen accumulators live in registers for the whole k loop; k is
+// traversed in ascending order, which fixes the accumulation order
+// independently of blocking and parallelism. rows/cols mask the write-back
+// for edge tiles (the padded lanes are computed and discarded).
+func microKernel4x4[T dense.Float](kb int, ap, bp []T, alpha, beta T, c []T, ldc, rows, cols int, first bool) {
+	var c00, c10, c20, c30 T
+	var c01, c11, c21, c31 T
+	var c02, c12, c22, c32 T
+	var c03, c13, c23, c33 T
+	ap = ap[: kb*scalarMR : kb*scalarMR]
+	bp = bp[: kb*scalarNR : kb*scalarNR]
+	for len(ap) >= 2*scalarMR {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c10 += a1 * b0
+		c20 += a2 * b0
+		c30 += a3 * b0
+		c01 += a0 * b1
+		c11 += a1 * b1
+		c21 += a2 * b1
+		c31 += a3 * b1
+		c02 += a0 * b2
+		c12 += a1 * b2
+		c22 += a2 * b2
+		c32 += a3 * b2
+		c03 += a0 * b3
+		c13 += a1 * b3
+		c23 += a2 * b3
+		c33 += a3 * b3
+		a0, a1, a2, a3 = ap[4], ap[5], ap[6], ap[7]
+		b0, b1, b2, b3 = bp[4], bp[5], bp[6], bp[7]
+		c00 += a0 * b0
+		c10 += a1 * b0
+		c20 += a2 * b0
+		c30 += a3 * b0
+		c01 += a0 * b1
+		c11 += a1 * b1
+		c21 += a2 * b1
+		c31 += a3 * b1
+		c02 += a0 * b2
+		c12 += a1 * b2
+		c22 += a2 * b2
+		c32 += a3 * b2
+		c03 += a0 * b3
+		c13 += a1 * b3
+		c23 += a2 * b3
+		c33 += a3 * b3
+		ap = ap[2*scalarMR:]
+		bp = bp[2*scalarNR:]
+	}
+	if len(ap) >= scalarMR {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c10 += a1 * b0
+		c20 += a2 * b0
+		c30 += a3 * b0
+		c01 += a0 * b1
+		c11 += a1 * b1
+		c21 += a2 * b1
+		c31 += a3 * b1
+		c02 += a0 * b2
+		c12 += a1 * b2
+		c22 += a2 * b2
+		c32 += a3 * b2
+		c03 += a0 * b3
+		c13 += a1 * b3
+		c23 += a2 * b3
+		c33 += a3 * b3
+	}
+
+	if rows == scalarMR && cols == scalarNR {
+		d0 := c[0*ldc : 0*ldc+scalarMR]
+		d1 := c[1*ldc : 1*ldc+scalarMR]
+		d2 := c[2*ldc : 2*ldc+scalarMR]
+		d3 := c[3*ldc : 3*ldc+scalarMR]
+		switch {
+		case !first:
+			d0[0] += alpha * c00
+			d0[1] += alpha * c10
+			d0[2] += alpha * c20
+			d0[3] += alpha * c30
+			d1[0] += alpha * c01
+			d1[1] += alpha * c11
+			d1[2] += alpha * c21
+			d1[3] += alpha * c31
+			d2[0] += alpha * c02
+			d2[1] += alpha * c12
+			d2[2] += alpha * c22
+			d2[3] += alpha * c32
+			d3[0] += alpha * c03
+			d3[1] += alpha * c13
+			d3[2] += alpha * c23
+			d3[3] += alpha * c33
+		case beta == 0:
+			d0[0] = alpha * c00
+			d0[1] = alpha * c10
+			d0[2] = alpha * c20
+			d0[3] = alpha * c30
+			d1[0] = alpha * c01
+			d1[1] = alpha * c11
+			d1[2] = alpha * c21
+			d1[3] = alpha * c31
+			d2[0] = alpha * c02
+			d2[1] = alpha * c12
+			d2[2] = alpha * c22
+			d2[3] = alpha * c32
+			d3[0] = alpha * c03
+			d3[1] = alpha * c13
+			d3[2] = alpha * c23
+			d3[3] = alpha * c33
+		default:
+			d0[0] = beta*d0[0] + alpha*c00
+			d0[1] = beta*d0[1] + alpha*c10
+			d0[2] = beta*d0[2] + alpha*c20
+			d0[3] = beta*d0[3] + alpha*c30
+			d1[0] = beta*d1[0] + alpha*c01
+			d1[1] = beta*d1[1] + alpha*c11
+			d1[2] = beta*d1[2] + alpha*c21
+			d1[3] = beta*d1[3] + alpha*c31
+			d2[0] = beta*d2[0] + alpha*c02
+			d2[1] = beta*d2[1] + alpha*c12
+			d2[2] = beta*d2[2] + alpha*c22
+			d2[3] = beta*d2[3] + alpha*c32
+			d3[0] = beta*d3[0] + alpha*c03
+			d3[1] = beta*d3[1] + alpha*c13
+			d3[2] = beta*d3[2] + alpha*c23
+			d3[3] = beta*d3[3] + alpha*c33
+		}
+		return
+	}
+
+	// Edge tile: stage the accumulators column-major and write the live part.
+	acc := [scalarMR * scalarNR]T{
+		c00, c10, c20, c30,
+		c01, c11, c21, c31,
+		c02, c12, c22, c32,
+		c03, c13, c23, c33,
+	}
+	for s := 0; s < cols; s++ {
+		d := c[s*ldc:]
+		for r := 0; r < rows; r++ {
+			v := alpha * acc[s*scalarMR+r]
+			switch {
+			case !first:
+				d[r] += v
+			case beta == 0:
+				d[r] = v
+			default:
+				d[r] = beta*d[r] + v
+			}
+		}
+	}
+}
+
+// microTile computes one mr×nr tile of C from packed panels, dispatching to
+// the AVX assembly kernel when T is exactly float32/float64 on an AVX-capable
+// CPU (the same condition under which kernelDims selected the wide shapes),
+// and to the generic scalar 4×4 kernel otherwise. All kernels accumulate each
+// C element's k terms in the same ascending order with identical per-op
+// rounding, so the paths produce bit-identical results.
+func microTile[T dense.Float](kb int, ap, bp []T, alpha, beta T, c []T, ldc, rows, cols int, first bool) {
+	if useAVXKernels {
+		switch any(ap).(type) {
+		case []float32:
+			microTile16x4F32(kb, any(ap).([]float32), any(bp).([]float32), float32(alpha), float32(beta), any(c).([]float32), ldc, rows, cols, first)
+			return
+		case []float64:
+			microTile8x4F64(kb, any(ap).([]float64), any(bp).([]float64), float64(alpha), float64(beta), any(c).([]float64), ldc, rows, cols, first)
+			return
+		}
+	}
+	microKernel4x4(kb, ap, bp, alpha, beta, c, ldc, rows, cols, first)
+}
+
+func microTile16x4F32(kb int, ap, bp []float32, alpha, beta float32, c []float32, ldc, rows, cols int, first bool) {
+	var acc [16 * 4]float32
+	gemmKernel16x4F32(kb, &ap[0], &bp[0], &acc[0])
+	writeTile(acc[:], 16, alpha, beta, c, ldc, rows, cols, first)
+}
+
+func microTile8x4F64(kb int, ap, bp []float64, alpha, beta float64, c []float64, ldc, rows, cols int, first bool) {
+	var acc [8 * 4]float64
+	gemmKernel8x4F64(kb, &ap[0], &bp[0], &acc[0])
+	writeTile(acc[:], 8, alpha, beta, c, ldc, rows, cols, first)
+}
+
+// writeTile folds a column-major mr×nr accumulator block into C with the
+// same α/β arithmetic as the scalar kernel's write-back, masking rows/cols
+// on edge tiles.
+func writeTile[T dense.Float](acc []T, mr int, alpha, beta T, c []T, ldc, rows, cols int, first bool) {
+	for s := 0; s < cols; s++ {
+		d := c[s*ldc : s*ldc+rows]
+		as := acc[s*mr : s*mr+rows]
+		switch {
+		case !first:
+			for r, v := range as {
+				d[r] += alpha * v
+			}
+		case beta == 0:
+			for r, v := range as {
+				d[r] = alpha * v
+			}
+		default:
+			for r, v := range as {
+				d[r] = beta*d[r] + alpha*v
+			}
+		}
+	}
+}
+
+// gemmMacro runs the micro-kernel over one packed (ib×kb)·(kb×jb) slab pair,
+// updating the C tile anchored at (i0, j0). The loop order keeps each packed
+// B micro-panel hot in L1 while streaming A micro-panels from L2.
+func gemmMacro[T dense.Float](ap, bp []T, alpha, beta T, c *dense.Matrix[T], i0, ib, j0, jb, kb, mr, nr int, first bool) {
+	aPanels := (ib + mr - 1) / mr
+	bPanels := (jb + nr - 1) / nr
+	for q := 0; q < bPanels; q++ {
+		bpq := bp[q*nr*kb : (q+1)*nr*kb]
+		jj := j0 + q*nr
+		cols := min(nr, j0+jb-jj)
+		for p := 0; p < aPanels; p++ {
+			app := ap[p*mr*kb : (p+1)*mr*kb]
+			ii := i0 + p*mr
+			rows := min(mr, i0+ib-ii)
+			microTile(kb, app, bpq, alpha, beta, c.Data[ii+jj*c.Stride:], c.Stride, rows, cols, first)
+		}
+	}
+}

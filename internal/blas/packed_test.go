@@ -1,0 +1,320 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"tcqr/internal/dense"
+)
+
+// withBlockConfig shrinks the cache-blocking parameters so small test
+// problems exercise the full multi-tile, multi-slab control flow of the
+// packed kernel, restoring the defaults afterwards.
+func withBlockConfig(t *testing.T, mc, kc, nc, minFlops int, fn func()) {
+	t.Helper()
+	oMC, oKC, oNC, oMin := gemmMC, gemmKC, gemmNC, gemmBlockedMinFlops
+	gemmMC, gemmKC, gemmNC, gemmBlockedMinFlops = mc, kc, nc, minFlops
+	defer func() {
+		gemmMC, gemmKC, gemmNC, gemmBlockedMinFlops = oMC, oKC, oNC, oMin
+	}()
+	fn()
+}
+
+func randMatT[T dense.Float](rng *rand.Rand, rows, cols int) *dense.Matrix[T] {
+	m := dense.New[T](rows, cols)
+	for i := range m.Data {
+		m.Data[i] = T(rng.NormFloat64())
+	}
+	return m
+}
+
+// goldenGemm checks the packed kernel against the retained naive reference
+// kernel across all transpose pairs, α/β regimes, and edge-tile shapes.
+func goldenGemm[T dense.Float](t *testing.T, tol float64) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct{ m, n, k int }{
+		{4, 4, 4},    // single micro-tile minimum
+		{16, 4, 8},   // one AVX f32 micro-panel exactly
+		{17, 5, 9},   // every dimension one past a tile edge
+		{13, 29, 23}, // odd everything
+		{33, 25, 40}, // spans mc/nc/kc below
+		{64, 48, 37},
+	}
+	withBlockConfig(t, 32, 16, 24, 1, func() {
+		for _, sh := range shapes {
+			for _, tA := range []Transpose{NoTrans, Trans} {
+				for _, tB := range []Transpose{NoTrans, Trans} {
+					for _, alpha := range []T{0, 1, -1.5} {
+						for _, beta := range []T{0, 1, 0.5} {
+							var a, b *dense.Matrix[T]
+							if tA == NoTrans {
+								a = randMatT[T](rng, sh.m, sh.k)
+							} else {
+								a = randMatT[T](rng, sh.k, sh.m)
+							}
+							if tB == NoTrans {
+								b = randMatT[T](rng, sh.k, sh.n)
+							} else {
+								b = randMatT[T](rng, sh.n, sh.k)
+							}
+							c := randMatT[T](rng, sh.m, sh.n)
+							want := c.Clone()
+							gemmCols(tA, tB, alpha, a, b, beta, want, 0, sh.n, sh.k, sh.m)
+							Gemm(tA, tB, alpha, a, b, beta, c)
+							for i := range c.Data {
+								w := float64(want.Data[i])
+								if d := math.Abs(float64(c.Data[i]) - w); d > tol*(1+math.Abs(w)) {
+									t.Fatalf("%v/%v m=%d n=%d k=%d α=%v β=%v: elem %d = %v, want %v",
+										tA, tB, sh.m, sh.n, sh.k, alpha, beta, i, c.Data[i], want.Data[i])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestGemmBlockedGoldenFloat64(t *testing.T) { goldenGemm[float64](t, 1e-12) }
+func TestGemmBlockedGoldenFloat32(t *testing.T) { goldenGemm[float32](t, 1e-3) }
+
+// TestGemmBlockedStrided drives the packed kernel over views whose stride
+// exceeds their row count, for all transpose pairs.
+func TestGemmBlockedStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	parent := randMatT[float64](rng, 90, 90)
+	withBlockConfig(t, 16, 8, 12, 1, func() {
+		for _, tA := range []Transpose{NoTrans, Trans} {
+			for _, tB := range []Transpose{NoTrans, Trans} {
+				m, n, k := 21, 17, 26
+				var a, b *dense.Matrix[float64]
+				if tA == NoTrans {
+					a = parent.View(2, 3, m, k)
+				} else {
+					a = parent.View(2, 3, k, m)
+				}
+				if tB == NoTrans {
+					b = parent.View(40, 30, k, n)
+				} else {
+					b = parent.View(40, 30, n, k)
+				}
+				cParent := randMatT[float64](rng, 40, 40)
+				c := cParent.View(7, 9, m, n)
+				want := c.Clone()
+				gemmCols(tA, tB, -0.75, a, b, 0.25, want, 0, n, k, m)
+				before := cParent.Clone()
+				Gemm(tA, tB, -0.75, a, b, 0.25, c)
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						if d := math.Abs(c.At(i, j) - want.At(i, j)); d > 1e-12*(1+math.Abs(want.At(i, j))) {
+							t.Fatalf("%v/%v strided (%d,%d): %v want %v", tA, tB, i, j, c.At(i, j), want.At(i, j))
+						}
+					}
+				}
+				for i := 0; i < 40; i++ {
+					for j := 0; j < 40; j++ {
+						inside := i >= 7 && i < 7+m && j >= 9 && j < 9+n
+						if !inside && cParent.At(i, j) != before.At(i, j) {
+							t.Fatalf("%v/%v wrote outside view at (%d,%d)", tA, tB, i, j)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestGemmWorkerCountDeterminism: the blocked kernel must produce identical
+// bits regardless of GOMAXPROCS, because tile ownership and k-slab order are
+// fixed by the problem shape alone.
+func TestGemmWorkerCountDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randMatT[float32](rng, 150, 90)
+	b := randMatT[float32](rng, 90, 130)
+	c0 := randMatT[float32](rng, 150, 130)
+	c1 := c0.Clone()
+	withBlockConfig(t, 32, 16, 24, 1, func() {
+		old := runtime.GOMAXPROCS(1)
+		Gemm(NoTrans, NoTrans, 1.25, a, b, 0.5, c0)
+		runtime.GOMAXPROCS(8)
+		Gemm(NoTrans, NoTrans, 1.25, a, b, 0.5, c1)
+		runtime.GOMAXPROCS(old)
+	})
+	for i := range c0.Data {
+		if c0.Data[i] != c1.Data[i] {
+			t.Fatalf("GOMAXPROCS changed result at %d: %v vs %v", i, c0.Data[i], c1.Data[i])
+		}
+	}
+}
+
+// TestGemmHookedCountsExactlyOnce: blocking re-packs each operand panel many
+// times, but with count enabled every source element must contribute to the
+// totals exactly once. The hook counts occurrences of a sentinel value; zero
+// padding must never be counted.
+func TestGemmHookedCountsExactlyOnce(t *testing.T) {
+	const sentinel = 3
+	hook := PackHook[float32]{
+		Round: func(panel []float32) {},
+		RoundCount: func(panel []float32) (ov, uf int64) {
+			for _, v := range panel {
+				if v == sentinel {
+					ov++
+				}
+			}
+			return ov, 0
+		},
+	}
+	for _, tc := range []struct{ m, n, k int }{
+		{50, 70, 45}, // blocked, many tiles and slabs
+		{5, 6, 4},    // small path
+		{7, 9, 0},    // degenerate: k = 0
+	} {
+		var aR, aC, bR, bC = tc.m, tc.k, tc.k, tc.n
+		a := dense.New[float32](aR, aC)
+		b := dense.New[float32](bR, bC)
+		for i := range a.Data {
+			a.Data[i] = sentinel
+		}
+		for i := range b.Data {
+			b.Data[i] = sentinel
+		}
+		c := dense.New[float32](tc.m, tc.n)
+		var ov int64
+		withBlockConfig(t, 16, 8, 12, 1, func() {
+			ov, _ = GemmHooked(NoTrans, NoTrans, 1, a, b, 1, c, &hook, &hook, true)
+		})
+		want := int64(aR*aC + bR*bC)
+		if ov != want {
+			t.Errorf("m=%d n=%d k=%d: counted %d elements, want %d", tc.m, tc.n, tc.k, ov, want)
+		}
+	}
+}
+
+// nf32 is a named float32 type: it satisfies dense.Float but is deliberately
+// invisible to the AVX type switch, so Gemm[nf32] runs the scalar 4×4 kernel.
+type nf32 float32
+
+// TestScalarKernelMatchesAVX verifies the documented bit-identity between
+// the assembly and pure-Go kernel paths: both accumulate each C element's k
+// terms in ascending order with one rounding per multiply and per add, so
+// the same float32 inputs must give the same bits.
+func TestScalarKernelMatchesAVX(t *testing.T) {
+	if !useAVXKernels {
+		t.Skip("AVX kernels not in use on this machine")
+	}
+	rng := rand.New(rand.NewSource(10))
+	m, n, k := 61, 43, 57
+	a := randMatT[float32](rng, m, k)
+	b := randMatT[float32](rng, k, n)
+	c := randMatT[float32](rng, m, n)
+	an := dense.New[nf32](m, k)
+	bn := dense.New[nf32](k, n)
+	cn := dense.New[nf32](m, n)
+	for i := range a.Data {
+		an.Data[i] = nf32(a.Data[i])
+	}
+	for i := range b.Data {
+		bn.Data[i] = nf32(b.Data[i])
+	}
+	for i := range c.Data {
+		cn.Data[i] = nf32(c.Data[i])
+	}
+	withBlockConfig(t, 32, 16, 24, 1, func() {
+		Gemm(NoTrans, NoTrans, 1.5, a, b, 0.5, c)
+		Gemm(NoTrans, NoTrans, 1.5, an, bn, 0.5, cn)
+	})
+	for i := range c.Data {
+		if c.Data[i] != float32(cn.Data[i]) {
+			t.Fatalf("scalar and AVX kernels disagree at %d: %v vs %v", i, c.Data[i], cn.Data[i])
+		}
+	}
+}
+
+// TestSyrkLargeMatchesGemm exercises the blocked Syrk path (n well past the
+// 64-column block size, so off-diagonal rectangles go through the packed
+// GEMM kernel) for both triangles and orientations, with nontrivial α/β.
+func TestSyrkLargeMatchesGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, k = 150, 70
+	for _, uplo := range []Uplo{Lower, Upper} {
+		for _, tr := range []Transpose{NoTrans, Trans} {
+			var a *dense.M64
+			if tr == NoTrans {
+				a = randMatT[float64](rng, n, k)
+			} else {
+				a = randMatT[float64](rng, k, n)
+			}
+			c := randMatT[float64](rng, n, n)
+			before := c.Clone()
+			want := c.Clone()
+			if tr == NoTrans {
+				Gemm(NoTrans, Trans, 0.7, a, a, 0.3, want)
+			} else {
+				Gemm(Trans, NoTrans, 0.7, a, a, 0.3, want)
+			}
+			Syrk(uplo, tr, 0.7, a, 0.3, c)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					stored := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+					if stored {
+						if d := math.Abs(c.At(i, j) - want.At(i, j)); d > 1e-10*(1+math.Abs(want.At(i, j))) {
+							t.Fatalf("uplo=%v t=%v (%d,%d): %v want %v", uplo, tr, i, j, c.At(i, j), want.At(i, j))
+						}
+					} else if c.At(i, j) != before.At(i, j) {
+						t.Fatalf("uplo=%v t=%v wrote outside the %v triangle at (%d,%d)", uplo, tr, uplo, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrsmRightLarge exercises the blocked right-side Trsm (n past the 64
+// block size, so cross-block updates run through the packed GEMM kernel)
+// for every uplo/trans/diag combination, verifying X·op(A) = α·B.
+func TestTrsmRightLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const m, n = 40, 150
+	const alpha = 0.8
+	for _, uplo := range []Uplo{Lower, Upper} {
+		for _, tA := range []Transpose{NoTrans, Trans} {
+			for _, diag := range []Diag{NonUnit, Unit} {
+				a := dense.New[float64](n, n)
+				full := dense.New[float64](n, n)
+				for j := 0; j < n; j++ {
+					for i := 0; i < n; i++ {
+						if (uplo == Upper && i < j) || (uplo == Lower && i > j) {
+							v := 0.5 * rng.NormFloat64() / float64(n)
+							a.Set(i, j, v)
+							full.Set(i, j, v)
+						}
+					}
+					if diag == NonUnit {
+						a.Set(j, j, 2+rng.Float64())
+						full.Set(j, j, a.At(j, j))
+					} else {
+						a.Set(j, j, rng.NormFloat64()) // must be ignored
+						full.Set(j, j, 1)
+					}
+				}
+				b := randMatT[float64](rng, m, n)
+				b0 := b.Clone()
+				Trsm(Right, uplo, tA, diag, alpha, a, b)
+				got := dense.New[float64](m, n)
+				Gemm(NoTrans, tA, 1, b, full, 0, got)
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						want := alpha * b0.At(i, j)
+						if d := math.Abs(got.At(i, j) - want); d > 1e-9*(1+math.Abs(want)) {
+							t.Fatalf("uplo=%v tA=%v diag=%v (%d,%d): X·op(A)=%v want %v",
+								uplo, tA, diag, i, j, got.At(i, j), want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package blas
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxWorkers reports the degree of parallelism used by level-3 kernels.
@@ -40,6 +41,51 @@ func parallelRange(n, minChunk int, fn func(lo, hi int)) {
 			defer wg.Done()
 			fn(lo, hi)
 		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// taskRunner is the work interface of parallelTasks. It is an interface
+// rather than a func value so pooled job structs can be dispatched without
+// any per-call closure allocation — the packed GEMM's zero-allocation hot
+// path depends on this.
+type taskRunner interface {
+	runTask(task int)
+}
+
+// parallelTasks runs tasks 0..n-1, each exactly once, on up to GOMAXPROCS
+// workers pulling from an atomic counter. The task decomposition is fixed by
+// the caller and every task owns disjoint output, so results do not depend
+// on the number of workers or the scheduling order; with a single worker no
+// goroutines are spawned and nothing is allocated.
+func parallelTasks(n int, r taskRunner) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for t := 0; t < n; t++ {
+			r.runTask(t)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(atomic.AddInt64(&next, 1)) - 1
+				if t >= n {
+					return
+				}
+				r.runTask(t)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -1,5 +1,7 @@
 package f16
 
+import "math"
+
 // The vector helpers below are the hot path of the TensorCore simulator:
 // every GEMM operand matrix is pushed through RoundSlice once per call.
 // To keep the simulator fast on multi-megabyte matrices, Float32 conversion
@@ -30,6 +32,28 @@ func RoundSlice(dst, src []float32) {
 
 // RoundInPlace rounds every element of x through binary16.
 func RoundInPlace(x []float32) { RoundSlice(x, x) }
+
+// RoundInPlaceCount rounds every element of x through binary16 and reports
+// how many finite elements became infinite and how many nonzero elements
+// flushed to zero — CountSpecials fused into the rounding pass, so the
+// simulator inspects each operand element exactly once. The counts match
+// Overflows/Underflows element-wise (NaNs and ±0 contribute to neither).
+func RoundInPlaceCount(x []float32) (overflow, underflow int64) {
+	for i, v := range x {
+		h := FromFloat32(v)
+		x[i] = toF32Table[h]
+		if h&0x7fff == 0x7c00 {
+			// Rounded to ±Inf: an overflow only if the input was finite.
+			if math.Float32bits(v)&0x7fffffff < 0x7f800000 {
+				overflow++
+			}
+		} else if h&0x7fff == 0 && v != 0 {
+			// Rounded to ±0 from a nonzero input (NaN never lands here).
+			underflow++
+		}
+	}
+	return overflow, underflow
+}
 
 // Encode converts src to raw binary16 values.
 func Encode(dst []Float16, src []float32) {

@@ -1,0 +1,32 @@
+//go:build !race
+
+package tcsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+// TestEngineGemmAllocationFree: after pool warmup, an engine GEMM call must
+// not allocate — operand rounding happens in pooled pack buffers, not in
+// freshly allocated matrix copies. (Skipped under -race: the detector's
+// instrumentation allocates.)
+func TestEngineGemmAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := specialsMat(rng, 128, 96)
+	b := specialsMat(rng, 96, 112)
+	c := dense.New[float32](128, 112)
+	engines := []Engine{&FP32{}, &TensorCore{}, &TensorCore{TrackSpecials: true}, &BFloat16{TrackSpecials: true}}
+	for _, e := range engines {
+		e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, b, 0, c) // warm the pools
+		n := testing.AllocsPerRun(10, func() {
+			e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, b, 0, c)
+		})
+		if n != 0 {
+			t.Errorf("%s: %v allocs per Gemm, want 0", e.Name(), n)
+		}
+	}
+}

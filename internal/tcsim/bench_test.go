@@ -29,6 +29,7 @@ func BenchmarkEngines(b *testing.B) {
 	for _, e := range []Engine{&FP32{}, &TensorCore{}, &BFloat16{}} {
 		b.Run(e.Name(), func(b *testing.B) {
 			b.SetBytes(2 * 512 * 512 * 512)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, bb, 0, c)
 			}
@@ -40,12 +41,14 @@ func BenchmarkTrackSpecialsOverhead(b *testing.B) {
 	a, bb, c := benchPair(512, 512, 128)
 	b.Run("off", func(b *testing.B) {
 		e := &TensorCore{}
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, bb, 0, c)
 		}
 	})
 	b.Run("on", func(b *testing.B) {
 		e := &TensorCore{TrackSpecials: true}
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, bb, 0, c)
 		}

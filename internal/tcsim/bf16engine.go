@@ -24,16 +24,25 @@ type BFloat16 struct {
 	stats Stats
 }
 
+// bfHook rounds packed GEMM panels through bfloat16. The RoundCount wrapper
+// is a package-level closure, allocated once at init, so the hot path stays
+// allocation-free.
+var bfHook = blas.PackHook[float32]{
+	Round: bf16.RoundInPlace,
+	RoundCount: func(panel []float32) (overflow, underflow int64) {
+		return bf16.RoundInPlaceCount(panel), 0
+	},
+}
+
 // Gemm implements Engine with bfloat16 operand rounding and float32
-// accumulation.
+// accumulation. Rounding (and overflow accounting) is fused into the packed
+// kernel's operand packing, so no rounded copies are materialized.
 func (e *BFloat16) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, beta float32, c *dense.M32) {
 	recordCall(&e.stats, tA, a, tB, b)
-	ra := bfRoundedCopy(a)
-	rb := bfRoundedCopy(b)
+	ov, _ := blas.GemmHooked(tA, tB, alpha, a, b, beta, c, &bfHook, &bfHook, e.TrackSpecials)
 	if e.TrackSpecials {
-		atomic.AddInt64(&e.stats.Overflows, bfCountOverflows(a)+bfCountOverflows(b))
+		atomic.AddInt64(&e.stats.Overflows, ov)
 	}
-	blas.Gemm(tA, tB, alpha, ra, rb, beta, c)
 }
 
 // Name implements Engine.
@@ -44,23 +53,3 @@ func (e *BFloat16) Stats() Stats { return snapshot(&e.stats) }
 
 // ResetStats zeroes the counters.
 func (e *BFloat16) ResetStats() { reset(&e.stats) }
-
-func bfRoundedCopy(m *dense.M32) *dense.M32 {
-	out := dense.New[float32](m.Rows, m.Cols)
-	for j := 0; j < m.Cols; j++ {
-		bf16.RoundSlice(out.Col(j), m.Col(j))
-	}
-	return out
-}
-
-func bfCountOverflows(m *dense.M32) int64 {
-	var n int64
-	for j := 0; j < m.Cols; j++ {
-		for _, v := range m.Col(j) {
-			if bf16.Overflows(v) {
-				n++
-			}
-		}
-	}
-	return n
-}

@@ -1,0 +1,143 @@
+package tcsim
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"tcqr/internal/bf16"
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+	"tcqr/internal/f16"
+)
+
+// specialsMat builds a matrix seeded with values that overflow binary16
+// (|v| > 65504), values that flush to zero (tiny nonzero), and ordinary
+// entries, so the fused counting path has real work to tally.
+func specialsMat(rng *rand.Rand, rows, cols int) *dense.M32 {
+	m := dense.New[float32](rows, cols)
+	for i := range m.Data {
+		switch rng.Intn(10) {
+		case 0:
+			m.Data[i] = float32(rng.NormFloat64()) * 1e6 // fp16 overflow
+		case 1:
+			m.Data[i] = float32(rng.NormFloat64()) * 1e-9 // fp16 underflow
+		default:
+			m.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func bruteSpecials(ms ...*dense.M32) (ov, uf int64) {
+	for _, m := range ms {
+		for j := 0; j < m.Cols; j++ {
+			o, u := f16.CountSpecials(m.Col(j))
+			ov += int64(o)
+			uf += int64(u)
+		}
+	}
+	return ov, uf
+}
+
+// TestTrackSpecialsMatchesBruteForce: the counts produced by the fused
+// pack-time rounding pass must equal a plain scan of both operands, on both
+// the blocked path (large product) and the small/naive path — including the
+// degenerate α = 0 case, where no packing happens at all.
+func TestTrackSpecialsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct {
+		m, n, k int
+		alpha   float32
+	}{
+		{96, 80, 72, 1},  // blocked path, several tiles and k-slabs
+		{9, 7, 11, 1},    // small path
+		{33, 21, 50, 0},  // degenerate: α = 0 still inspects operands
+		{64, 72, 96, -2}, // blocked, transposes below
+	} {
+		a := specialsMat(rng, tc.m, tc.k)
+		b := specialsMat(rng, tc.k, tc.n)
+		c := dense.New[float32](tc.m, tc.n)
+		e := &TensorCore{TrackSpecials: true}
+		e.Gemm(blas.NoTrans, blas.NoTrans, tc.alpha, a, b, 1, c)
+		wantOv, wantUf := bruteSpecials(a, b)
+		s := e.Stats()
+		if s.Overflows != wantOv || s.Underflow != wantUf {
+			t.Errorf("m=%d n=%d k=%d α=%v: counted ov=%d uf=%d, want ov=%d uf=%d",
+				tc.m, tc.n, tc.k, tc.alpha, s.Overflows, s.Underflow, wantOv, wantUf)
+		}
+	}
+}
+
+// TestTrackSpecialsTransposed: counting must be exact for transposed
+// operands too (the pack loops differ per orientation).
+func TestTrackSpecialsTransposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m, n, k := 70, 90, 66
+	a := specialsMat(rng, k, m) // op(A) = Aᵀ
+	b := specialsMat(rng, n, k) // op(B) = Bᵀ
+	c := dense.New[float32](m, n)
+	e := &TensorCore{TrackSpecials: true}
+	e.Gemm(blas.Trans, blas.Trans, 1, a, b, 0, c)
+	wantOv, wantUf := bruteSpecials(a, b)
+	s := e.Stats()
+	if s.Overflows != wantOv || s.Underflow != wantUf {
+		t.Errorf("counted ov=%d uf=%d, want ov=%d uf=%d", s.Overflows, s.Underflow, wantOv, wantUf)
+	}
+}
+
+// TestBFloat16TracksOverflow: the bfloat16 engine counts only true float32
+// top-of-range overflows; fp16-sized magnitudes survive bfloat16 rounding.
+func TestBFloat16TracksOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m, n, k := 80, 70, 64
+	a := specialsMat(rng, m, k)
+	b := specialsMat(rng, k, n)
+	a.Data[5] = 3.4e38  // rounds up past MaxValue → +Inf in bfloat16
+	b.Data[11] = -3.4e38
+	c := dense.New[float32](m, n)
+	e := &BFloat16{TrackSpecials: true}
+	e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, b, 0, c)
+	var want int64
+	for _, mtx := range []*dense.M32{a, b} {
+		for _, v := range mtx.Data {
+			if bf16.Overflows(v) {
+				want++
+			}
+		}
+	}
+	s := e.Stats()
+	if s.Overflows != want || s.Underflow != 0 {
+		t.Errorf("counted ov=%d uf=%d, want ov=%d uf=0", s.Overflows, s.Underflow, want)
+	}
+}
+
+// TestEngineWorkerCountDeterminism: engine results (and special counts) must
+// be bit-identical regardless of GOMAXPROCS.
+func TestEngineWorkerCountDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m, n, k := 130, 110, 96
+	a := specialsMat(rng, m, k)
+	b := specialsMat(rng, k, n)
+	run := func(procs int) (*dense.M32, Stats) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		c := dense.New[float32](m, n)
+		e := &TensorCore{TrackSpecials: true}
+		e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, b, 0, c)
+		return c, e.Stats()
+	}
+	c1, s1 := run(1)
+	c8, s8 := run(8)
+	for i := range c1.Data {
+		// Compare raw bits: the fp16-rounded operands can produce NaNs
+		// (Inf + -Inf), and NaN != NaN under float comparison.
+		if math.Float32bits(c1.Data[i]) != math.Float32bits(c8.Data[i]) {
+			t.Fatalf("GOMAXPROCS changed engine result at %d: %v vs %v", i, c1.Data[i], c8.Data[i])
+		}
+	}
+	if s1.Overflows != s8.Overflows || s1.Underflow != s8.Underflow {
+		t.Fatalf("GOMAXPROCS changed counts: %+v vs %+v", s1, s8)
+	}
+}

@@ -87,20 +87,26 @@ type TensorCore struct {
 	stats Stats
 }
 
+// tcHook rounds packed GEMM panels through binary16. A package-level value
+// so the hot path never allocates a closure.
+var tcHook = blas.PackHook[float32]{
+	Round:      f16.RoundInPlace,
+	RoundCount: f16.RoundInPlaceCount,
+}
+
 // Gemm implements Engine with TensorCore semantics: both operands are
 // rounded through binary16 (±Inf past 65504) and the multiply-accumulate
-// runs in float32.
+// runs in float32. The rounding — and, with TrackSpecials, the
+// overflow/underflow accounting — is fused into the packed kernel's operand
+// packing via blas.GemmHooked, so no rounded operand copies are ever
+// materialized and the call is allocation-free after pool warmup.
 func (e *TensorCore) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, beta float32, c *dense.M32) {
 	recordCall(&e.stats, tA, a, tB, b)
-	ra := roundedCopy(a)
-	rb := roundedCopy(b)
+	ov, uf := blas.GemmHooked(tA, tB, alpha, a, b, beta, c, &tcHook, &tcHook, e.TrackSpecials)
 	if e.TrackSpecials {
-		ovA, ufA := countSpecials(a)
-		ovB, ufB := countSpecials(b)
-		atomic.AddInt64(&e.stats.Overflows, ovA+ovB)
-		atomic.AddInt64(&e.stats.Underflow, ufA+ufB)
+		atomic.AddInt64(&e.stats.Overflows, ov)
+		atomic.AddInt64(&e.stats.Underflow, uf)
 	}
-	blas.Gemm(tA, tB, alpha, ra, rb, beta, c)
 }
 
 // Name implements Engine.
@@ -139,23 +145,4 @@ func reset(s *Stats) {
 	atomic.StoreInt64(&s.Flops, 0)
 	atomic.StoreInt64(&s.Overflows, 0)
 	atomic.StoreInt64(&s.Underflow, 0)
-}
-
-// roundedCopy returns a tightly-strided copy of m with every element rounded
-// through binary16.
-func roundedCopy(m *dense.M32) *dense.M32 {
-	out := dense.New[float32](m.Rows, m.Cols)
-	for j := 0; j < m.Cols; j++ {
-		f16.RoundSlice(out.Col(j), m.Col(j))
-	}
-	return out
-}
-
-func countSpecials(m *dense.M32) (ov, uf int64) {
-	for j := 0; j < m.Cols; j++ {
-		o, u := f16.CountSpecials(m.Col(j))
-		ov += int64(o)
-		uf += int64(u)
-	}
-	return ov, uf
 }

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-2 repository check: static analysis plus the full test suite under the
+# race detector. Run from the repository root. Mirrors `make check-race`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"
