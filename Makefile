@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build check check-race bench bench-json clean
+.PHONY: build check check-race check-deep fuzz bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,17 @@ check:
 check-race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Short native-fuzz smoke of the format round trips and the packed GEMM
+# golden property. Each package holds exactly one fuzz target.
+fuzz:
+	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/f16
+	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/bf16
+	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/blas
+
+# Deep verification: race gate plus the fuzz smoke (what scripts/check.sh
+# runs). Tier-1 `check` stays fast; this one takes ~a minute.
+check-deep: check-race fuzz
 
 # Kernel-layer benchmarks with allocation accounting.
 bench:

@@ -41,12 +41,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (with -gen)")
 	noTC := flag.Bool("no-tensorcore", false, "disable the simulated neural engine (plain FP32)")
 	reortho := flag.Bool("reortho", false, "re-orthogonalize the Q factor")
+	onHazard := flag.String("on-hazard", "fail", "numerical hazard policy: fail (typed error) or fallback (recovery ladder)")
+	noScale := flag.Bool("no-scaling", false, "disable the §3.5 column scaling overflow safeguard")
 	flag.Parse()
 
 	cfg := tcqr.Config{
-		DisableTensorCore: *noTC,
-		ReOrthogonalize:   *reortho,
-		TrackEngineStats:  true,
+		DisableTensorCore:    *noTC,
+		ReOrthogonalize:      *reortho,
+		DisableColumnScaling: *noScale,
+	}
+	switch *onHazard {
+	case "fail":
+		cfg.OnHazard = tcqr.HazardFail
+	case "fallback":
+		cfg.OnHazard = tcqr.HazardFallback
+	default:
+		fatalf("unknown -on-hazard policy %q (want fail or fallback)", *onHazard)
 	}
 
 	var a *tcqr.Matrix
@@ -117,12 +127,13 @@ func main() {
 		if b == nil {
 			fatalf("solve needs a right-hand side (last CSV column)")
 		}
-		sol, err := tcqr.SolveLeastSquares(a, b, tcqr.SolveOptions{QR: cfg})
+		sol, err := tcqr.SolveLeastSquares(a, b, tcqr.SolveOptions{QR: cfg, OnHazard: cfg.OnHazard})
 		check(err)
 		fmt.Printf("least squares solve of %dx%d system\n", a.Rows, a.Cols)
 		fmt.Printf("refinement iterations:  %d (converged: %v)\n", sol.Iterations, sol.Converged)
 		fmt.Printf("optimality ‖Aᵀ(Ax−b)‖:  %.3e\n", sol.Optimality)
 		fmt.Printf("residual ‖Ax−b‖:        %.3e\n", accuracy.ResidualNorm(a, sol.X, b))
+		printHazards(sol.Hazards)
 	case "linsolve":
 		if b == nil {
 			fatalf("linsolve needs a right-hand side (last CSV column)")
@@ -162,6 +173,13 @@ func printStats(f *tcqr.Factorization) {
 	}
 	fmt.Printf("neural engine: %d GEMMs, %.2f Gflop, %d fp16 overflows, %d underflows\n",
 		s.GemmCalls, float64(s.Flops)/1e9, s.Overflows, s.Underflows)
+	printHazards(f.Hazards)
+}
+
+func printHazards(hazards []tcqr.Hazard) {
+	for _, h := range hazards {
+		fmt.Printf("hazard: %s\n", h)
+	}
 }
 
 func readCSV(path string, wantRHS bool) (*tcqr.Matrix, []float64, error) {
@@ -217,7 +235,9 @@ func btoi(b bool) int {
 
 func check(err error) {
 	if err != nil {
-		fatalf("%v", err)
+		// Library errors already carry the "tcqr: " prefix fatalf adds.
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
 	}
 }
 

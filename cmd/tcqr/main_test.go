@@ -2,7 +2,9 @@ package main
 
 import (
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -59,5 +61,77 @@ func TestCatalogueSanity(t *testing.T) {
 	// Keep btoi honest while it exists.
 	if btoi(true) != 1 || btoi(false) != 0 {
 		t.Error("btoi")
+	}
+}
+
+// TestMainExitHelper is the re-exec target for the exit-code tests below:
+// when TCQR_MAIN_TEST is set, the test binary runs the real main() with the
+// arguments from TCQR_MAIN_ARGS, so os.Exit codes and stderr can be
+// observed from the parent process.
+func TestMainExitHelper(t *testing.T) {
+	if os.Getenv("TCQR_MAIN_TEST") == "" {
+		t.Skip("helper for re-exec tests")
+	}
+	os.Args = append([]string{"tcqr"}, strings.Split(os.Getenv("TCQR_MAIN_ARGS"), "\x1f")...)
+	main()
+	os.Exit(0)
+}
+
+// runMain re-executes the test binary through the helper above and returns
+// the exit code and captured stderr.
+func runMain(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestMainExitHelper")
+	cmd.Env = append(os.Environ(),
+		"TCQR_MAIN_TEST=1",
+		"TCQR_MAIN_ARGS="+strings.Join(args, "\x1f"))
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), stderr.String()
+	}
+	t.Fatalf("re-exec failed: %v", err)
+	return -1, ""
+}
+
+// TestMalformedInputExitsNonZero: malformed inputs must terminate the CLI
+// with a non-zero status and the typed hazard error on stderr — never a
+// zero status over garbage output.
+func TestMalformedInputExitsNonZero(t *testing.T) {
+	nanCSV := writeTemp(t, "1,2\n3,NaN\n5,6\n")
+	code, msg := runMain(t, "-op", "qr", "-in", nanCSV)
+	if code == 0 {
+		t.Fatal("NaN input exited 0")
+	}
+	if !strings.Contains(msg, "non-finite") {
+		t.Errorf("stderr should name the typed error, got: %q", msg)
+	}
+
+	// Wide matrix: shape error.
+	wide := writeTemp(t, "1,2,3\n4,5,6\n")
+	code, msg = runMain(t, "-op", "qr", "-in", wide)
+	if code == 0 {
+		t.Fatal("wide input exited 0")
+	}
+	if !strings.Contains(msg, "invalid shape") {
+		t.Errorf("stderr should name the shape error, got: %q", msg)
+	}
+
+	// Unknown hazard policy flag.
+	code, msg = runMain(t, "-op", "qr", "-gen", "-m", "8", "-n", "4", "-on-hazard", "bogus")
+	if code == 0 {
+		t.Fatal("bogus -on-hazard exited 0")
+	}
+	if !strings.Contains(msg, "on-hazard") {
+		t.Errorf("stderr should mention the flag, got: %q", msg)
+	}
+
+	// Healthy run still exits 0.
+	if code, msg = runMain(t, "-op", "qr", "-gen", "-m", "64", "-n", "16", "-cond", "10"); code != 0 {
+		t.Fatalf("healthy run exited %d: %s", code, msg)
 	}
 }

@@ -90,7 +90,7 @@ func main() {
 
 	// With the default configuration (column scaling ON).
 	sol, err := tcqr.SolveLeastSquares(a, b, tcqr.SolveOptions{
-		QR:  tcqr.Config{TrackEngineStats: true, Cutoff: cutoff},
+		QR:  tcqr.Config{Cutoff: cutoff},
 		Tol: 1e-9, // the raw Vandermonde columns put the f64 floor above the default tolerance
 	})
 	if err != nil {
@@ -98,15 +98,30 @@ func main() {
 	}
 	report("with column scaling (default)", sol, a, coef, gradScale)
 
-	// With scaling disabled: t⁴ values up to 2.56e6 overflow binary16 (max 65504).
-	solBad, err := tcqr.SolveLeastSquares(a, b, tcqr.SolveOptions{
-		QR:  tcqr.Config{DisableColumnScaling: true, TrackEngineStats: true, Cutoff: cutoff},
+	// With scaling disabled: t⁴ values up to 2.56e6 overflow binary16
+	// (max 65504). Under the default HazardFail policy the overflow is
+	// detected and surfaces as a typed error instead of a destroyed fit.
+	fmt.Println("without column scaling (§3.5 ablation)")
+	_, err = tcqr.SolveLeastSquares(a, b, tcqr.SolveOptions{
+		QR:  tcqr.Config{DisableColumnScaling: true, Cutoff: cutoff},
 		Tol: 1e-9,
+	})
+	fmt.Printf("  typed failure              : %v\n\n", err)
+
+	// The same broken configuration under HazardFallback: the library
+	// retries with scaling re-enabled and reports what it did.
+	solRec, err := tcqr.SolveLeastSquares(a, b, tcqr.SolveOptions{
+		QR:       tcqr.Config{DisableColumnScaling: true, Cutoff: cutoff},
+		Tol:      1e-9,
+		OnHazard: tcqr.HazardFallback,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	report("without column scaling (§3.5 ablation)", solBad, a, coef, gradScale)
+	report("without scaling + HazardFallback (recovered)", solRec, a, coef, gradScale)
+	for _, h := range solRec.Hazards {
+		fmt.Printf("  hazard: %s\n", h)
+	}
 }
 
 // report prints the fit quality. The raw polynomial basis on [0, 100] is

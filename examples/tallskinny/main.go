@@ -37,7 +37,10 @@ func main() {
 	// The CAQR/TSQR panel, standalone.
 	caqr := &gram.CAQRPanel{}
 	start := time.Now()
-	q, r := caqr.Factor(a)
+	q, r, err := caqr.Factor(a)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tCAQR := time.Since(start)
 	fmt.Printf("CAQR (TSQR) panel      : %8.1f ms   backward error %.2e   ‖I-QᵀQ‖ %.2e\n",
 		float64(tCAQR.Microseconds())/1e3, accuracy.BackwardError(a, q, r), accuracy.OrthoError(q))
@@ -45,7 +48,10 @@ func main() {
 	// Blocked Householder on the same matrix.
 	hh := &gram.HouseholderPanel{}
 	start = time.Now()
-	qh, rh := hh.Factor(a)
+	qh, rh, err := hh.Factor(a)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tHH := time.Since(start)
 	fmt.Printf("blocked Householder    : %8.1f ms   backward error %.2e   ‖I-QᵀQ‖ %.2e\n",
 		float64(tHH.Microseconds())/1e3, accuracy.BackwardError(a, qh, rh), accuracy.OrthoError(qh))

@@ -1,0 +1,237 @@
+package tcqr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/matgen"
+)
+
+// TestOverflowLadderAcceptance is the headline robustness scenario: a
+// 2048×512 matrix with one column scaled far past the binary16 maximum,
+// factored with the §3.5 scaling safeguard disabled so the engine actually
+// overflows. Under the default HazardFail policy the overflow must surface
+// as a typed error; under HazardFallback the ladder must recover (re-enable
+// scaling), report what it did, and land at fp16-level accuracy.
+func TestOverflowLadderAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2048x512 factorization")
+	}
+	rng := rand.New(rand.NewSource(21))
+	a64 := matgen.Normal(rng, 2048, 512)
+	// Scale the last column to ~1e5: far past 65504, and in the trailing
+	// block of the recursion so it flows through the engine GEMMs raw.
+	for i, v := range a64.Col(511) {
+		a64.Col(511)[i] = v * 1e5
+	}
+	a := ToFloat32(a64)
+	cfg := Config{DisableColumnScaling: true}
+
+	// Fail policy: typed error, not garbage.
+	_, err := Factorize(a, cfg)
+	if err == nil {
+		t.Fatal("unscaled overflow must produce a typed error under HazardFail")
+	}
+	if !errors.Is(err, ErrOverflow) && !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("got %v, want ErrOverflow or ErrBreakdown", err)
+	}
+
+	// Fallback policy: the ladder recovers and says so.
+	cfg.OnHazard = HazardFallback
+	f, err := Factorize(a, cfg)
+	if err != nil {
+		t.Fatalf("fallback ladder failed: %v", err)
+	}
+	if len(f.Hazards) == 0 {
+		t.Fatal("recovery must be recorded in Hazards")
+	}
+	retried := false
+	for _, h := range f.Hazards {
+		if h.Action != "" {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Errorf("no retry action recorded: %v", f.Hazards)
+	}
+	if f.ColumnScales == nil {
+		t.Error("recovery should have re-enabled column scaling")
+	}
+	if be := f.BackwardError(a); be > 5e-4 {
+		t.Errorf("recovered backward error %g, want <= 5e-4", be)
+	}
+}
+
+// TestAdversarialBattery runs every adversarial generator through both
+// hazard policies and asserts the "no silent garbage" property: each run
+// ends in a typed error, or in finite factors whose backward error is
+// bounded — never in NaN/Inf output without a hazard report.
+func TestAdversarialBattery(t *testing.T) {
+	const m, n = 256, 64
+	rng := rand.New(rand.NewSource(22))
+	cases := []struct {
+		name string
+		a    *Matrix
+	}{
+		{"rank-deficient", matgen.RankDeficient(rng, m, n, n/2)},
+		{"zero-columns", matgen.WithZeroColumns(rng, m, n, 0, n/2, n-1)},
+		{"cond-1e8", matgen.WithCond(rng, m, n, 1e8, matgen.Geometric)},
+		{"denormal-scaled", matgen.DenormalScaled(rng, m, n)},
+		{"single-huge-entry", matgen.SingleHugeEntry(rng, m, n)},
+		{"badly-scaled", matgen.BadlyScaled(rng, m, n, 7)},
+	}
+	for _, tc := range cases {
+		for _, pol := range []HazardPolicy{HazardFail, HazardFallback} {
+			t.Run(tc.name+"/"+pol.String(), func(t *testing.T) {
+				a := ToFloat32(tc.a)
+				f, err := Factorize(a, Config{Cutoff: 32, OnHazard: pol})
+				if err != nil {
+					if !isTypedHazard(err) {
+						t.Fatalf("untyped error: %v", err)
+					}
+					return // a typed refusal satisfies the property
+				}
+				assertFinite(t, f.Q.Data, "Q")
+				assertFinite(t, f.R.Data, "R")
+				if be := f.BackwardError(a); !(be <= 5e-3) {
+					t.Errorf("backward error %g, want <= 5e-3", be)
+				}
+			})
+		}
+	}
+}
+
+// TestAdversarialFallbackRecovers pins the ladder outcomes the battery only
+// bounds: a zero column breaks every Gram-Schmidt panel (typed error under
+// Fail), and the Householder rung of the ladder factors it anyway.
+func TestAdversarialFallbackRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := ToFloat32(matgen.WithZeroColumns(rng, 256, 64, 10))
+	_, err := Factorize(a, Config{Cutoff: 32})
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("zero column under HazardFail: got %v, want ErrBreakdown", err)
+	}
+	f, err := Factorize(a, Config{Cutoff: 32, OnHazard: HazardFallback})
+	if err != nil {
+		t.Fatalf("ladder did not recover from a zero column: %v", err)
+	}
+	if len(f.Hazards) == 0 {
+		t.Error("recovery must be recorded in Hazards")
+	}
+	assertFinite(t, f.Q.Data, "Q")
+	assertFinite(t, f.R.Data, "R")
+	if be := f.BackwardError(a); be > 5e-3 {
+		t.Errorf("recovered backward error %g", be)
+	}
+}
+
+// TestInputValidation checks the typed rejection of malformed inputs at
+// every public entry point; the ladder must never mask them (a retry cannot
+// fix a NaN that was already in the data).
+func TestInputValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	nan := matgen.WithNaN(rng, 64, 16, 3, 5)
+	inf := matgen.WithInf(rng, 64, 16, 0, 0)
+	b := make([]float64, 64)
+
+	for _, pol := range []HazardPolicy{HazardFail, HazardFallback} {
+		cfg := Config{Cutoff: 8, OnHazard: pol}
+		if _, err := Factorize(ToFloat32(nan), cfg); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("policy %v: NaN input: %v", pol, err)
+		}
+		if _, err := Factorize(ToFloat32(inf), cfg); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("policy %v: Inf input: %v", pol, err)
+		}
+	}
+	if _, err := Factorize(nil, Config{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("nil matrix: %v", err)
+	}
+	if _, err := Factorize(NewMatrix32(0, 4), Config{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("zero rows: %v", err)
+	}
+	if _, err := Factorize(NewMatrix32(3, 5), Config{}); !errors.Is(err, ErrShape) {
+		t.Errorf("wide matrix: %v", err)
+	}
+
+	if _, err := SolveLeastSquares(nan, b, SolveOptions{}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("solve NaN matrix: %v", err)
+	}
+	good := matgen.Normal(rng, 64, 16)
+	bNaN := make([]float64, 64)
+	bNaN[7] = math.NaN()
+	if _, err := SolveLeastSquares(good, bNaN, SolveOptions{}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("solve NaN rhs: %v", err)
+	}
+	if _, err := SolveLeastSquares(good, b[:10], SolveOptions{}); !errors.Is(err, ErrShape) {
+		t.Errorf("solve short rhs: %v", err)
+	}
+
+	if _, err := SolveLinearSystem(matgen.WithNaN(rng, 16, 16, 1, 1), b[:16], Config{}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("linsolve NaN matrix: %v", err)
+	}
+	if _, err := SolveLinearSystem(good, b, Config{}); !errors.Is(err, ErrShape) {
+		t.Errorf("linsolve non-square: %v", err)
+	}
+	if _, err := LowRank(ToFloat32(nan), 4, Config{}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("lowrank NaN matrix: %v", err)
+	}
+	if _, err := LowRank(ToFloat32(good), 0, Config{}); !errors.Is(err, ErrShape) {
+		t.Errorf("lowrank rank 0: %v", err)
+	}
+}
+
+// TestSolveHazardsSurface checks that the solve path propagates both the
+// factorization hazards and its own refinement events into the result.
+func TestSolveHazardsSurface(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := matgen.BadlyScaled(rng, 384, 96, 7)
+	p := matgen.NewLLSProblem(rng, a, 0.1)
+
+	// Broken QR config under Fallback: the solve result must carry the
+	// recorded engine retry.
+	sol, err := SolveLeastSquares(p.A, p.B, SolveOptions{
+		QR:       Config{Cutoff: 32, DisableColumnScaling: true},
+		OnHazard: HazardFallback,
+	})
+	if err != nil {
+		t.Fatalf("fallback solve failed: %v", err)
+	}
+	if len(sol.Hazards) == 0 {
+		t.Error("solve result should surface the factorization hazards")
+	}
+	assertFinite(t, sol.X, "X")
+
+	// The same broken config under Fail is a typed error.
+	_, err = SolveLeastSquares(p.A, p.B, SolveOptions{
+		QR: Config{Cutoff: 32, DisableColumnScaling: true},
+	})
+	if err == nil {
+		t.Fatal("broken QR config under HazardFail must error")
+	}
+	if !isTypedHazard(err) {
+		t.Errorf("untyped solve error: %v", err)
+	}
+}
+
+func isTypedHazard(err error) bool {
+	for _, sentinel := range []error{
+		ErrNonFinite, ErrEmpty, ErrShape, ErrBreakdown,
+		ErrOverflow, ErrStagnation, ErrDivergence,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+func assertFinite[T float32 | float64](t *testing.T, x []T, name string) {
+	t.Helper()
+	for i, v := range x {
+		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("%s[%d] = %v: silent non-finite output", name, i, v)
+		}
+	}
+}

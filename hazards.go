@@ -1,0 +1,66 @@
+package tcqr
+
+import "tcqr/internal/hazard"
+
+// Typed sentinel errors for every failure mode the library detects. Errors
+// returned by Factorize, SolveLeastSquares, LowRank, SolveLinearSystem and
+// friends wrap these, so callers can classify failures with errors.Is
+// regardless of how deep in the stack the hazard tripped.
+var (
+	// ErrNonFinite reports a NaN or Inf in an input (or, after the fallback
+	// ladder was exhausted, in an output).
+	ErrNonFinite = hazard.ErrNonFinite
+	// ErrEmpty reports a nil input or one with zero rows or columns.
+	ErrEmpty = hazard.ErrEmpty
+	// ErrShape reports dimensions the algorithm cannot accept (m < n for the
+	// tall-skinny factorizations, mismatched right-hand sides, non-square
+	// linear systems).
+	ErrShape = hazard.ErrShape
+	// ErrBreakdown reports a numerical breakdown inside a factorization: a
+	// non-SPD Gram matrix in CholQR, a zero or linearly dependent column in a
+	// Gram-Schmidt panel, a non-finite factor.
+	ErrBreakdown = hazard.ErrBreakdown
+	// ErrOverflow reports fp16 overflow in the simulated neural engine — the
+	// §3.5 catastrophe that column scaling exists to prevent.
+	ErrOverflow = hazard.ErrOverflow
+	// ErrStagnation reports a refinement iteration that stopped making
+	// progress before reaching its tolerance.
+	ErrStagnation = hazard.ErrStagnation
+	// ErrDivergence reports a refinement iteration whose gradient norm grew
+	// persistently instead of shrinking.
+	ErrDivergence = hazard.ErrDivergence
+)
+
+// HazardPolicy decides what a detected numerical hazard does to a
+// computation; it is set via Config.OnHazard and SolveOptions.OnHazard.
+type HazardPolicy = hazard.Policy
+
+const (
+	// HazardFail (the zero value) turns every hazard that would corrupt the
+	// result into a typed error: the computation stops at the first
+	// breakdown, overflow, or non-finite value instead of returning garbage.
+	HazardFail = hazard.Fail
+	// HazardFallback enables the recovery ladder: engine overflow retries
+	// with column scaling, then a bfloat16 engine, then plain FP32; panel
+	// breakdown escalates CholQR → CholQR2 → MGS → Householder; CGLS
+	// stagnation or divergence re-solves with preconditioned LSQR. Every
+	// recovery is recorded in the result's Hazards.
+	HazardFallback = hazard.Fallback
+)
+
+// Hazard is one detected numerical hazard and the action taken in response,
+// as recorded in Factorization.Hazards / LeastSquaresResult.Hazards.
+type Hazard = hazard.Event
+
+// HazardKind classifies a Hazard.
+type HazardKind = hazard.Kind
+
+// The hazard classes the pipeline distinguishes.
+const (
+	HazardNonFinite     = hazard.KindNonFinite
+	HazardOverflow      = hazard.KindOverflow
+	HazardBreakdown     = hazard.KindBreakdown
+	HazardRankDeficient = hazard.KindRankDeficient
+	HazardStagnation    = hazard.KindStagnation
+	HazardDivergence    = hazard.KindDivergence
+)

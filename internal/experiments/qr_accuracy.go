@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"tcqr/internal/accuracy"
@@ -130,14 +131,19 @@ func Scaling(sc Scale) *ScalingResult {
 	r.WithScaling.BackwardError = accuracy.BackwardError(a, res.Q, res.R)
 	r.WithScaling.HasNaN = res.Q.HasNaN() || res.R.HasNaN()
 
+	// Without scaling the overflow poisons the factorization; the hazard
+	// layer detects that and returns a typed error instead of NaN factors,
+	// so the error itself is the catastrophe being demonstrated.
 	eng2 := &tcsim.TensorCore{TrackSpecials: true}
 	res2, err := rgs.Factor(a, rgs.Options{Cutoff: sc.Cutoff, Engine: eng2, DisableScaling: true})
-	if err != nil {
-		panic(err)
-	}
 	r.WithoutScaling.Overflows = eng2.Stats().Overflows
-	r.WithoutScaling.BackwardError = accuracy.BackwardError(a, res2.Q, res2.R)
-	r.WithoutScaling.HasNaN = res2.Q.HasNaN() || res2.R.HasNaN()
+	if err != nil {
+		r.WithoutScaling.BackwardError = math.Inf(1)
+		r.WithoutScaling.HasNaN = true
+	} else {
+		r.WithoutScaling.BackwardError = accuracy.BackwardError(a, res2.Q, res2.R)
+		r.WithoutScaling.HasNaN = res2.Q.HasNaN() || res2.R.HasNaN()
+	}
 	return r
 }
 

@@ -2,10 +2,12 @@ package gram
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"tcqr/internal/blas"
 	"tcqr/internal/dense"
+	"tcqr/internal/hazard"
 	"tcqr/internal/tcsim"
 )
 
@@ -21,9 +23,45 @@ const (
 // Panel is a QR factorizer for tall panels (m >= n). Factor returns a fresh
 // orthonormal Q (m×n) and upper-triangular R (n×n); the input is not
 // modified. Implementations are the subject of the Figure 6 panel ablation.
+//
+// Factor reports numerical breakdown — a zero or linearly dependent column,
+// a non-SPD Gram matrix, a non-finite factor — as an error wrapping
+// hazard.ErrBreakdown instead of returning a corrupt factorization. The
+// Ladder panel turns such errors into escalation along a chain of
+// progressively more robust factorizers.
 type Panel interface {
-	Factor(a *dense.M32) (q, r *dense.M32)
+	Factor(a *dense.M32) (q, r *dense.M32, err error)
 	Name() string
+}
+
+// checkFullRank validates the factor a Gram-Schmidt-family panel produced:
+// every diagonal entry of R must be finite and nonzero. A zero diagonal is
+// how MGS/CGS surface a zero or linearly dependent column (the tile tree
+// inherits the property: a dependent column zeroes the stacked-R diagonal at
+// some tree level and the zero propagates to the root). The returned errors
+// wrap hazard.ErrBreakdown.
+func checkFullRank(name string, r *dense.M32) error {
+	for j := 0; j < r.Cols; j++ {
+		d := r.At(j, j)
+		if math.IsNaN(float64(d)) || math.IsInf(float64(d), 0) {
+			return fmt.Errorf("gram: %s: non-finite R(%d,%d) = %v: %w", name, j, j, d, hazard.ErrBreakdown)
+		}
+		if d == 0 {
+			return fmt.Errorf("gram: %s: column %d is numerically zero or linearly dependent: %w", name, j, hazard.ErrBreakdown)
+		}
+	}
+	return nil
+}
+
+// checkFinite validates a factor from a breakdown-free algorithm
+// (Householder): the factors must be finite, but a zero R diagonal is
+// acceptable — Householder QR of a rank-deficient panel still yields an
+// orthonormal Q and a valid R.
+func checkFinite(name string, q, r *dense.M32) error {
+	if !hazard.MatrixFinite(r) || !hazard.MatrixFinite(q) {
+		return fmt.Errorf("gram: %s: non-finite factor: %w", name, hazard.ErrBreakdown)
+	}
+	return nil
 }
 
 // CAQRPanel is the communication-avoiding Gram-Schmidt panel of Section
@@ -58,16 +96,21 @@ func (p *CAQRPanel) rowBlock() int {
 	return TileRows
 }
 
-// Factor implements Panel.
-func (p *CAQRPanel) Factor(a *dense.M32) (q, r *dense.M32) {
+// Factor implements Panel. Breakdown — a zero or dependent column anywhere
+// in the tile tree, or a non-finite factor — is reported as an error
+// wrapping hazard.ErrBreakdown.
+func (p *CAQRPanel) Factor(a *dense.M32) (q, r *dense.M32, err error) {
 	m, n := a.Rows, a.Cols
 	if m < n {
-		panic(fmt.Sprintf("gram: CAQR panel requires m >= n, got %dx%d", m, n))
+		return nil, nil, fmt.Errorf("gram: CAQR panel requires m >= n, got %dx%d: %w", m, n, hazard.ErrShape)
 	}
 	q = a.Clone()
 	r = dense.New[float32](n, n)
 	p.factorInPlace(q, r)
-	return q, r
+	if err := checkFullRank("CAQR", r); err != nil {
+		return nil, nil, err
+	}
+	return q, r, nil
 }
 
 // factorInPlace turns w into Q and fills r (n×n, pre-zeroed upper written).
@@ -182,10 +225,16 @@ type HouseholderPanel struct {
 // Name implements Panel.
 func (p *HouseholderPanel) Name() string { return "SGEQRF" }
 
-// Factor implements Panel.
-func (p *HouseholderPanel) Factor(a *dense.M32) (q, r *dense.M32) {
+// Factor implements Panel. Householder QR has no Gram-Schmidt breakdown
+// mode — a rank-deficient panel still yields an orthonormal Q — so it is
+// the terminal rung of the fallback ladder; only non-finite factors are
+// rejected.
+func (p *HouseholderPanel) Factor(a *dense.M32) (q, r *dense.M32, err error) {
 	qr := housePanelFactor(a, p.NB)
-	return qr.q, qr.r
+	if err := checkFinite("SGEQRF", qr.q, qr.r); err != nil {
+		return nil, nil, err
+	}
+	return qr.q, qr.r, nil
 }
 
 // MGSPanel is the plain single-tile modified Gram-Schmidt panel, included
@@ -196,11 +245,14 @@ type MGSPanel struct{}
 func (MGSPanel) Name() string { return "MGS" }
 
 // Factor implements Panel.
-func (MGSPanel) Factor(a *dense.M32) (q, r *dense.M32) {
+func (MGSPanel) Factor(a *dense.M32) (q, r *dense.M32, err error) {
 	q = a.Clone()
 	r = dense.New[float32](a.Cols, a.Cols)
 	MGS(q, r)
-	return q, r
+	if err := checkFullRank("MGS", r); err != nil {
+		return nil, nil, err
+	}
+	return q, r, nil
 }
 
 // CGSPanel is the classical Gram-Schmidt panel (worst-case orthogonality
@@ -211,9 +263,12 @@ type CGSPanel struct{}
 func (CGSPanel) Name() string { return "CGS" }
 
 // Factor implements Panel.
-func (CGSPanel) Factor(a *dense.M32) (q, r *dense.M32) {
+func (CGSPanel) Factor(a *dense.M32) (q, r *dense.M32, err error) {
 	q = a.Clone()
 	r = dense.New[float32](a.Cols, a.Cols)
 	CGS(q, r)
-	return q, r
+	if err := checkFullRank("CGS", r); err != nil {
+		return nil, nil, err
+	}
+	return q, r, nil
 }

@@ -6,6 +6,7 @@ import (
 	"tcqr/internal/blas"
 	"tcqr/internal/chol"
 	"tcqr/internal/dense"
+	"tcqr/internal/hazard"
 )
 
 // CholQR computes a QR factorization via the Gram matrix: G = AᵀA,
@@ -26,9 +27,12 @@ func CholQR(a *dense.M32) (q, r *dense.M32, err error) {
 	}
 	g := dense.New[float32](n, n)
 	blas.Syrk(blas.Lower, blas.Trans, 1, a, 0, g)
-	// Cholesky gives G = L·Lᵀ; R = Lᵀ.
+	// Cholesky gives G = L·Lᵀ; R = Lᵀ. A non-SPD Gram matrix is the CholQR
+	// breakdown mode (κ² overwhelmed float32, or the panel is rank
+	// deficient); report it as a typed breakdown so the fallback ladder can
+	// escalate.
 	if err := chol.Potrf(g); err != nil {
-		return nil, nil, fmt.Errorf("gram: CholQR breakdown (κ² too large for float32): %w", err)
+		return nil, nil, fmt.Errorf("gram: CholQR: Gram matrix not SPD (κ² too large for float32, or rank deficient): %v: %w", err, hazard.ErrBreakdown)
 	}
 	r = dense.New[float32](n, n)
 	for j := 0; j < n; j++ {
@@ -59,20 +63,43 @@ func CholQR2(a *dense.M32) (q, r *dense.M32, err error) {
 	return q, r, nil
 }
 
-// CholQRPanel adapts CholQR to the Panel interface for ablations.
+// CholQRPanel adapts CholQR to the Panel interface for ablations. Cholesky
+// breakdown surfaces as an error wrapping hazard.ErrBreakdown, which the
+// fallback ladder escalates to CholQR2 → MGS → Householder.
 type CholQRPanel struct{}
 
 // Name implements Panel.
 func (CholQRPanel) Name() string { return "CholQR" }
 
-// Factor implements Panel. It panics on Cholesky breakdown, which for a
-// panel use-case (well-conditioned by construction after the outer
-// recursion's updates) does not occur; standalone users should call CholQR
-// directly and handle the error.
-func (CholQRPanel) Factor(a *dense.M32) (q, r *dense.M32) {
-	q, r, err := CholQR(a)
+// Factor implements Panel.
+func (CholQRPanel) Factor(a *dense.M32) (q, r *dense.M32, err error) {
+	q, r, err = CholQR(a)
 	if err != nil {
-		panic(err)
+		return nil, nil, err
 	}
-	return q, r
+	if err := checkFullRank("CholQR", r); err != nil {
+		return nil, nil, err
+	}
+	return q, r, nil
+}
+
+// CholQR2Panel adapts CholQR2 — CholeskyQR with the orthogonality-restoring
+// second pass — to the Panel interface. It is the second rung of the panel
+// fallback ladder: when plain CholQR survives but its Q has lost
+// orthogonality, the second pass restores it to working precision.
+type CholQR2Panel struct{}
+
+// Name implements Panel.
+func (CholQR2Panel) Name() string { return "CholQR2" }
+
+// Factor implements Panel.
+func (CholQR2Panel) Factor(a *dense.M32) (q, r *dense.M32, err error) {
+	q, r, err = CholQR2(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := checkFullRank("CholQR2", r); err != nil {
+		return nil, nil, err
+	}
+	return q, r, nil
 }

@@ -16,6 +16,15 @@ func randPanel(seed int64, m, n int) *dense.M32 {
 	return dense.ToF32(matgen.Normal(rng, m, n))
 }
 
+func mustFactor(t *testing.T, p Panel, a *dense.M32) (q, r *dense.M32) {
+	t.Helper()
+	q, r, err := p.Factor(a)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	return q, r
+}
+
 func checkQR(t *testing.T, name string, a, q, r *dense.M32, beTol, oeTol float64) {
 	t.Helper()
 	if q.Rows != a.Rows || q.Cols != a.Cols {
@@ -107,7 +116,7 @@ func TestCAQRPanelTileWidth(t *testing.T) {
 	// must be folded into the last tile.
 	p := &CAQRPanel{}
 	a := randPanel(5, 4*TileRows+57, TileCols)
-	q, r := p.Factor(a)
+	q, r := mustFactor(t, p, a)
 	checkQR(t, "caqr-32", a, q, r, 1e-5, 1e-4)
 }
 
@@ -115,7 +124,7 @@ func TestCAQRPanelWide(t *testing.T) {
 	// Width 128 exercises the split recursion above the tile tree.
 	p := &CAQRPanel{}
 	a := randPanel(6, 3*TileRows, 128)
-	q, r := p.Factor(a)
+	q, r := mustFactor(t, p, a)
 	checkQR(t, "caqr-128", a, q, r, 1e-5, 2e-4)
 }
 
@@ -123,7 +132,7 @@ func TestCAQRPanelSingleTile(t *testing.T) {
 	// m below one tile: base case must be a single MGS.
 	p := &CAQRPanel{}
 	a := randPanel(7, 100, 32)
-	q, r := p.Factor(a)
+	q, r := mustFactor(t, p, a)
 	checkQR(t, "caqr-small", a, q, r, 1e-5, 1e-4)
 }
 
@@ -132,7 +141,7 @@ func TestCAQRDeepTree(t *testing.T) {
 	// 32, each level reduces rows by 2.
 	p := &CAQRPanel{RowBlock: 64}
 	a := randPanel(8, 2048, 32)
-	q, r := p.Factor(a)
+	q, r := mustFactor(t, p, a)
 	checkQR(t, "caqr-deep", a, q, r, 1e-5, 2e-4)
 }
 
@@ -150,10 +159,10 @@ func TestCAQRWithTensorCoreEngine(t *testing.T) {
 	// valid factorization, just with half-precision-level backward error.
 	p := &CAQRPanel{Engine: &tcsim.TensorCore{}}
 	a := randPanel(10, 3*TileRows, 128)
-	q, r := p.Factor(a)
+	q, r := mustFactor(t, p, a)
 	checkQR(t, "caqr-tc", a, q, r, 1e-2, 1e-1)
 	// And it must be strictly less accurate than the FP32 panel.
-	qf, rf := (&CAQRPanel{}).Factor(a)
+	qf, rf := mustFactor(t, &CAQRPanel{}, a)
 	if accuracy.BackwardError(a, q, r) < accuracy.BackwardError(a, qf, rf) {
 		t.Error("TC panel should not beat FP32 panel accuracy")
 	}
@@ -165,7 +174,7 @@ func TestHouseholderPanel(t *testing.T) {
 		t.Errorf("name %q", p.Name())
 	}
 	a := randPanel(11, 500, 64)
-	q, r := p.Factor(a)
+	q, r := mustFactor(t, p, a)
 	checkQR(t, "sgeqrf-panel", a, q, r, 1e-5, 1e-4)
 }
 
@@ -174,9 +183,9 @@ func TestPanelImplementationsAgree(t *testing.T) {
 	// Q / row signs of R, so compare |R|.
 	a := randPanel(12, 400, 32)
 	panels := []Panel{&CAQRPanel{}, &HouseholderPanel{}, MGSPanel{}, CGSPanel{}}
-	_, rRef := panels[0].Factor(a)
+	_, rRef := mustFactor(t, panels[0], a)
 	for _, p := range panels[1:] {
-		_, r := p.Factor(a)
+		_, r := mustFactor(t, p, a)
 		for j := 0; j < 32; j++ {
 			for i := 0; i <= j; i++ {
 				got := math.Abs(float64(r.At(i, j)))
@@ -242,7 +251,7 @@ func TestCholQRPanelInterface(t *testing.T) {
 		t.Error("name")
 	}
 	a := randPanel(22, 256, 16)
-	q, r := p.Factor(a)
+	q, r := mustFactor(t, p, a)
 	checkQR(t, "cholqr-panel", a, q, r, 1e-5, 1e-3)
 	// Wide input rejected via error.
 	if _, _, err := CholQR(dense.New[float32](2, 4)); err == nil {

@@ -17,7 +17,25 @@ type IterResult struct {
 	// iterations (GradNorms[0] is the initial norm), for convergence-rate
 	// plots.
 	GradNorms []float64
+	// Stagnated reports that the iteration stopped because the gradient
+	// norm made no progress for StagnationWindow consecutive iterations —
+	// the preconditioner is too weak (or the numerical floor was reached)
+	// and further Krylov steps are wasted work. X holds the best iterate.
+	Stagnated bool
+	// Diverged reports that the iteration was cut off because the gradient
+	// norm grew past DivergenceGuard times the best seen — the loss of
+	// conjugacy past the numerical floor. X holds the best iterate.
+	Diverged bool
 }
+
+// StagnationWindow is the number of consecutive iterations without any
+// improvement of the best gradient norm after which CGLS declares
+// stagnation and stops.
+const StagnationWindow = 30
+
+// DivergenceGuard is the growth factor over the best gradient norm at which
+// CGLS declares divergence and restores the best iterate.
+const DivergenceGuard = 100.0
 
 // DefaultTol is the relative convergence tolerance on the preconditioned
 // gradient used when a caller passes tol <= 0.
@@ -80,10 +98,11 @@ func CGLSOperator(op Operator, b []float64, r *dense.M64, tol float64, maxIter i
 	// Best-iterate tracking: once the preconditioned gradient reaches the
 	// numerical floor of the float64 iteration, further CG steps lose
 	// conjugacy and can diverge exponentially. We keep the best solution
-	// seen and bail out when the gradient norm has grown well past it.
+	// seen and bail out when the gradient norm has grown well past it
+	// (divergence) or has stopped improving for a full window (stagnation).
 	bestX := append([]float64(nil), x...)
 	bestNorm := norms0
-	const divergenceGuard = 100.0
+	sinceImproved := 0
 
 	t := make([]float64, n) // t = R⁻¹·p
 	q := make([]float64, m) // q = A·t
@@ -112,13 +131,23 @@ func CGLSOperator(op Operator, b []float64, r *dense.M64, tol float64, maxIter i
 		if norms < bestNorm {
 			bestNorm = norms
 			copy(bestX, x)
+			sinceImproved = 0
+		} else {
+			sinceImproved++
 		}
 		if norms <= tol*norms0 {
 			out.Converged = true
 			break
 		}
-		if norms > divergenceGuard*bestNorm {
+		if norms > DivergenceGuard*bestNorm {
 			// Numerical floor reached; restore the best iterate.
+			out.Diverged = true
+			copy(x, bestX)
+			break
+		}
+		if sinceImproved >= StagnationWindow {
+			// A full window without progress: stop and keep the best.
+			out.Stagnated = true
 			copy(x, bestX)
 			break
 		}

@@ -7,6 +7,7 @@ import (
 
 	"tcqr/internal/blas"
 	"tcqr/internal/dense"
+	"tcqr/internal/hazard"
 	"tcqr/internal/house"
 	"tcqr/internal/rgs"
 )
@@ -41,13 +42,31 @@ type MultiSolution struct {
 // CGLS refinements running concurrently (each column's Krylov iteration is
 // independent given the shared preconditioner R).
 func SolveMulti(a *dense.M64, b *dense.M64, opts SolveOptions) (*MultiSolution, error) {
-	if b.Rows != a.Rows {
-		return nil, fmt.Errorf("lls: B has %d rows but A has %d", b.Rows, a.Rows)
-	}
 	a32 := dense.ToF32(a)
 	f, err := rgs.Factor(a32, opts.QR)
 	if err != nil {
 		return nil, err
+	}
+	return SolveMultiWithFactor(f, a, b, opts)
+}
+
+// SolveMultiWithFactor is SolveMulti over a precomputed factorization (the
+// entry point the public fallback ladder uses, so a recovered factorization
+// can be amortized over all right-hand sides). Per-column CGLS hazards are
+// recorded in opts.Hazards; the Report is safe for the concurrent columns.
+func SolveMultiWithFactor(f *rgs.Result, a *dense.M64, b *dense.M64, opts SolveOptions) (*MultiSolution, error) {
+	if b == nil || b.Rows != a.Rows {
+		rows := -1
+		if b != nil {
+			rows = b.Rows
+		}
+		return nil, fmt.Errorf("lls: B has %d rows but A has %d: %w", rows, a.Rows, hazard.ErrShape)
+	}
+	if f.Q.Rows != a.Rows || f.Q.Cols != a.Cols {
+		return nil, fmt.Errorf("lls: factorization is %dx%d but A is %dx%d: %w", f.Q.Rows, f.Q.Cols, a.Rows, a.Cols, hazard.ErrShape)
+	}
+	if err := hazard.CheckMatrix("B", b); err != nil {
+		return nil, fmt.Errorf("lls: %w", err)
 	}
 	r64 := dense.ToF64(f.R)
 
@@ -65,7 +84,7 @@ func SolveMulti(a *dense.M64, b *dense.M64, opts SolveOptions) (*MultiSolution, 
 		sem <- struct{}{}
 		go func(j int) {
 			defer func() { <-sem; wg.Done() }()
-			res := CGLS(a, b.Col(j), r64, opts.Tol, opts.MaxIter)
+			res := RefineCGLS(a, b.Col(j), r64, opts)
 			copy(out.X.Col(j), res.X)
 			out.Iterations[j] = res.Iterations
 			out.Converged[j] = res.Converged

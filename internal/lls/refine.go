@@ -2,9 +2,11 @@ package lls
 
 import (
 	"fmt"
+	"math"
 
 	"tcqr/internal/blas"
 	"tcqr/internal/dense"
+	"tcqr/internal/hazard"
 	"tcqr/internal/rgs"
 )
 
@@ -100,6 +102,13 @@ type SolveOptions struct {
 	Tol float64
 	// MaxIter caps refinement iterations (default DefaultMaxIter).
 	MaxIter int
+	// FallbackLSQR re-solves with preconditioned LSQR when CGLS stagnates
+	// or diverges before converging — the refinement rung of the hazard
+	// fallback ladder.
+	FallbackLSQR bool
+	// Hazards, when non-nil, receives an event for every detected
+	// refinement hazard (stagnation, divergence) and every fallback taken.
+	Hazards *hazard.Report
 }
 
 // Solution is the result of the full RGSQRF-accelerated least squares
@@ -130,7 +139,13 @@ func Solve(a *dense.M64, b []float64, opts SolveOptions) (*Solution, error) {
 // QR over many right-hand sides).
 func SolveWithFactor(f *rgs.Result, a *dense.M64, b []float64, opts SolveOptions) (*Solution, error) {
 	if f.Q.Rows != a.Rows || f.Q.Cols != a.Cols {
-		return nil, fmt.Errorf("lls: factorization is %dx%d but A is %dx%d", f.Q.Rows, f.Q.Cols, a.Rows, a.Cols)
+		return nil, fmt.Errorf("lls: factorization is %dx%d but A is %dx%d: %w", f.Q.Rows, f.Q.Cols, a.Rows, a.Cols, hazard.ErrShape)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("lls: rhs length %d, want %d: %w", len(b), a.Rows, hazard.ErrShape)
+	}
+	if err := hazard.CheckVec("b", b); err != nil {
+		return nil, fmt.Errorf("lls: %w", err)
 	}
 	switch opts.Method {
 	case MethodDirect:
@@ -151,10 +166,59 @@ func SolveWithFactor(f *rgs.Result, a *dense.M64, b []float64, opts SolveOptions
 		res := LSQR(a, b, dense.ToF64(f.R), opts.Tol, opts.MaxIter)
 		return fromIter(res, f), nil
 	case MethodCGLS:
-		res := CGLS(a, b, dense.ToF64(f.R), opts.Tol, opts.MaxIter)
+		res := RefineCGLS(a, b, dense.ToF64(f.R), opts)
 		return fromIter(res, f), nil
 	}
 	return nil, fmt.Errorf("lls: unknown method %d", opts.Method)
+}
+
+// RefineCGLS runs the Algorithm 3 CGLS refinement with hazard detection:
+// stagnation and divergence are recorded in opts.Hazards, and when
+// opts.FallbackLSQR is set a hazardous non-converged CGLS run is retried
+// with preconditioned LSQR (keeping whichever result reached the smaller
+// final gradient norm). It is shared by the single- and multi-RHS solvers;
+// r64 is the float64 preconditioner.
+func RefineCGLS(a *dense.M64, b []float64, r64 *dense.M64, opts SolveOptions) *IterResult {
+	res := CGLS(a, b, r64, opts.Tol, opts.MaxIter)
+	if !res.Stagnated && !res.Diverged {
+		return res
+	}
+	kind, errName := hazard.KindStagnation, "stagnated"
+	if res.Diverged {
+		kind, errName = hazard.KindDivergence, "diverged"
+	}
+	detail := fmt.Sprintf("CGLS %s after %d iterations (grad %.3g, best %.3g)",
+		errName, res.Iterations, res.GradNorms[len(res.GradNorms)-1], minNorm(res.GradNorms))
+	if !opts.FallbackLSQR || res.Converged {
+		opts.Hazards.Record(hazard.Event{Kind: kind, Stage: "cgls", Detail: detail, Action: "keep best iterate"})
+		return res
+	}
+	opts.Hazards.Record(hazard.Event{Kind: kind, Stage: "cgls", Detail: detail, Action: "fallback to LSQR"})
+	alt := LSQR(a, b, r64, opts.Tol, opts.MaxIter)
+	if alt.Converged || finalNorm(alt.GradNorms) < minNorm(res.GradNorms) {
+		alt.Stagnated, alt.Diverged = res.Stagnated, res.Diverged
+		return alt
+	}
+	// LSQR did no better; keep the CGLS best iterate.
+	opts.Hazards.Record(hazard.Event{Kind: kind, Stage: "lsqr", Detail: "LSQR fallback did not improve", Action: "keep CGLS best iterate"})
+	return res
+}
+
+func minNorm(norms []float64) float64 {
+	best := math.Inf(1)
+	for _, v := range norms {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func finalNorm(norms []float64) float64 {
+	if len(norms) == 0 {
+		return math.Inf(1)
+	}
+	return norms[len(norms)-1]
 }
 
 func fromIter(r *IterResult, f *rgs.Result) *Solution {

@@ -1,0 +1,82 @@
+package matgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+// This file holds the adversarial generators: matrices built to trip each
+// hazard the pipeline claims to detect — exact rank deficiency, zero
+// columns, denormal magnitudes, and entries sitting just below the binary16
+// overflow threshold. They feed the bounds-or-hazard property tests: every
+// one of these inputs must produce either a bounded factorization or a
+// typed error / hazard report, never silent NaN.
+
+// RankDeficient returns an m×n matrix (m >= n) with exact rank r < n,
+// built as the product of an m×r and an r×n Gaussian matrix. The trailing
+// n−r columns are exact linear combinations of the leading ones, so
+// Gram-Schmidt panels meet genuinely dependent directions.
+func RankDeficient(rng *rand.Rand, m, n, r int) *dense.M64 {
+	if r < 1 || r >= n || m < n {
+		panic(fmt.Sprintf("matgen: RankDeficient(%d, %d, rank %d)", m, n, r))
+	}
+	u := Normal(rng, m, r)
+	v := Normal(rng, r, n)
+	a := dense.New[float64](m, n)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, u, v, 0, a)
+	return a
+}
+
+// WithZeroColumns returns a Gaussian matrix with the given columns exactly
+// zero — the sharpest breakdown input for any normalizing panel (R[j,j]
+// is exactly 0, not merely tiny).
+func WithZeroColumns(rng *rand.Rand, m, n int, cols ...int) *dense.M64 {
+	a := Normal(rng, m, n)
+	for _, j := range cols {
+		z := a.Col(j)
+		for i := range z {
+			z[i] = 0
+		}
+	}
+	return a
+}
+
+// DenormalScaled returns a Gaussian matrix scaled by 1e-40: every entry is
+// subnormal once narrowed to float32 (normal float32 bottoms out at
+// ~1.18e-38), and far below the binary16 flush-to-zero threshold. It
+// stresses the underflow side of the §3.5 scaling safeguard.
+func DenormalScaled(rng *rand.Rand, m, n int) *dense.M64 {
+	a := Normal(rng, m, n)
+	blas.Scal(1e-40, a.Data)
+	return a
+}
+
+// SingleHugeEntry returns a Gaussian matrix with one entry set to 65000 —
+// just below the binary16 maximum 65504, so the entry itself survives fp16
+// rounding but any growth during the factorization pushes past it. The
+// entry is placed in the last column so it flows through the trailing-block
+// engine GEMMs rather than staying inside the fp32 panel.
+func SingleHugeEntry(rng *rand.Rand, m, n int) *dense.M64 {
+	a := Normal(rng, m, n)
+	a.Set(m/2, n-1, 65000)
+	return a
+}
+
+// WithNaN returns a Gaussian matrix with a[i,j] = NaN, for input-validation
+// tests.
+func WithNaN(rng *rand.Rand, m, n, i, j int) *dense.M64 {
+	a := Normal(rng, m, n)
+	a.Set(i, j, math.NaN())
+	return a
+}
+
+// WithInf returns a Gaussian matrix with a[i,j] = +Inf.
+func WithInf(rng *rand.Rand, m, n, i, j int) *dense.M64 {
+	a := Normal(rng, m, n)
+	a.Set(i, j, math.Inf(1))
+	return a
+}

@@ -27,6 +27,7 @@ import (
 	"tcqr/internal/blas"
 	"tcqr/internal/dense"
 	"tcqr/internal/gram"
+	"tcqr/internal/hazard"
 	"tcqr/internal/tcsim"
 )
 
@@ -94,14 +95,20 @@ type Result struct {
 }
 
 // Factor computes the RGSQRF factorization of a (m×n, m >= n). The input is
-// not modified.
+// not modified. Hazards are typed: a NaN/Inf input returns an error wrapping
+// hazard.ErrNonFinite, and a panel breakdown (zero or dependent column,
+// non-SPD Gram matrix) one wrapping hazard.ErrBreakdown — unless the
+// configured Panel is a gram.Ladder, which recovers by escalation.
 func Factor(a *dense.M32, opts Options) (*Result, error) {
 	m, n := a.Rows, a.Cols
 	if m < n {
-		return nil, fmt.Errorf("rgs: matrix is %dx%d; RGSQRF requires m >= n", m, n)
+		return nil, fmt.Errorf("rgs: matrix is %dx%d; RGSQRF requires m >= n: %w", m, n, hazard.ErrShape)
 	}
 	if n == 0 {
 		return &Result{Q: dense.New[float32](m, 0), R: dense.New[float32](0, 0)}, nil
+	}
+	if err := hazard.CheckMatrix("A", a); err != nil {
+		return nil, fmt.Errorf("rgs: %w", err)
 	}
 	w := a.Clone()
 
@@ -111,7 +118,9 @@ func Factor(a *dense.M32, opts Options) (*Result, error) {
 	}
 
 	r := dense.New[float32](n, n)
-	recurse(w, r, &opts)
+	if err := recurse(w, r, &opts); err != nil {
+		return nil, err
+	}
 
 	if scales != nil {
 		// A·P = Q·(R·P) was factored; recover R for A by unscaling the
@@ -133,14 +142,18 @@ func Factor(a *dense.M32, opts Options) (*Result, error) {
 }
 
 // recurse is Algorithm 1 operating in place: w (m×n) holds A on entry and Q
-// on exit; r is the n×n block of R being produced.
-func recurse(w, r *dense.M32, opts *Options) {
+// on exit; r is the n×n block of R being produced. A panel breakdown aborts
+// the recursion and propagates up as a typed error.
+func recurse(w, r *dense.M32, opts *Options) error {
 	n := w.Cols
 	if n <= opts.cutoff() {
-		q, rr := opts.panel().Factor(w)
+		q, rr, err := opts.panel().Factor(w)
+		if err != nil {
+			return err
+		}
 		w.CopyFrom(q)
 		r.CopyFrom(rr)
-		return
+		return nil
 	}
 	m := w.Rows
 	h := n / 2
@@ -150,12 +163,14 @@ func recurse(w, r *dense.M32, opts *Options) {
 	r12 := r.View(0, h, h, n-h)
 	r22 := r.View(h, h, n-h, n-h)
 
-	recurse(w1, r11, opts)
+	if err := recurse(w1, r11, opts); err != nil {
+		return err
+	}
 	e := opts.engine()
 	// R12 = Q1ᵀ·A2 and A2 ← A2 − Q1·R12: the two neural-engine GEMMs.
 	e.Gemm(blas.Trans, blas.NoTrans, 1, w1, w2, 0, r12)
 	e.Gemm(blas.NoTrans, blas.NoTrans, -1, w1, r12, 1, w2)
-	recurse(w2, r22, opts)
+	return recurse(w2, r22, opts)
 }
 
 // reorthogonalize applies the Section 3.3 second pass to res in place.
@@ -170,7 +185,9 @@ func reorthogonalize(res *Result, opts *Options) error {
 		DisableScaling: true,
 	}
 	r2 := dense.New[float32](n, n)
-	recurse(res.Q, r2, &second) // res.Q becomes Q₂ in place
+	if err := recurse(res.Q, r2, &second); err != nil { // res.Q becomes Q₂ in place
+		return err
+	}
 
 	// R ← R₂·R. R₂ is within rounding of the identity, so this triangular
 	// product barely perturbs R; run it in FP32 (the paper keeps safeguard
@@ -185,7 +202,7 @@ func reorthogonalize(res *Result, opts *Options) error {
 		col := newR.Col(j)
 		for i := j + 1; i < n; i++ {
 			if col[i] != 0 {
-				return fmt.Errorf("rgs: re-orthogonalization broke triangularity at (%d,%d)", i, j)
+				return fmt.Errorf("rgs: re-orthogonalization broke triangularity at (%d,%d): %w", i, j, hazard.ErrBreakdown)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package rgs
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"tcqr/internal/dense"
 	"tcqr/internal/f16"
 	"tcqr/internal/gram"
+	"tcqr/internal/hazard"
 	"tcqr/internal/matgen"
 	"tcqr/internal/tcsim"
 )
@@ -158,16 +160,15 @@ func TestColumnScalingPreventsOverflow(t *testing.T) {
 		t.Error("ColumnScales not reported")
 	}
 
+	// Without scaling the fp16 operands overflow, poison the trailing
+	// panels, and the breakdown is now detected instead of returning NaN.
 	engine2 := &tcsim.TensorCore{TrackSpecials: true}
-	res2, err := Factor(a, Options{Cutoff: 32, Engine: engine2, DisableScaling: true})
-	if err != nil {
-		t.Fatal(err)
+	_, err = Factor(a, Options{Cutoff: 32, Engine: engine2, DisableScaling: true})
+	if !errors.Is(err, hazard.ErrBreakdown) {
+		t.Errorf("unscaled overflow: got %v, want an error wrapping hazard.ErrBreakdown", err)
 	}
 	if engine2.Stats().Overflows == 0 {
 		t.Error("expected fp16 overflows without scaling")
-	}
-	if !res2.Q.HasNaN() && !res2.R.HasNaN() {
-		t.Error("expected Inf/NaN poisoning without scaling")
 	}
 }
 
@@ -265,28 +266,37 @@ func TestNonPowerOfTwoSizes(t *testing.T) {
 	}
 }
 
-func TestNaNInputPropagatesWithoutPanic(t *testing.T) {
-	// Rank deficiency and NaN inputs are outside the algorithm's contract
-	// (as in LAPACK); the guaranteed behaviour is "no panic, poison
-	// propagates" so callers can detect it with HasNaN.
+func TestHazardsReturnTypedErrors(t *testing.T) {
+	// A NaN input is rejected up front with ErrNonFinite instead of
+	// poisoning the factors.
 	a := condMat(30, 256, 64, 10, matgen.Arithmetic)
 	a.Set(5, 3, float32(math.NaN()))
-	res, err := Factor(a, Options{Cutoff: 16})
-	if err != nil {
-		t.Fatal(err)
+	if _, err := Factor(a, Options{Cutoff: 16}); !errors.Is(err, hazard.ErrNonFinite) {
+		t.Errorf("NaN input: got %v, want an error wrapping hazard.ErrNonFinite", err)
 	}
-	if !res.Q.HasNaN() && !res.R.HasNaN() {
-		t.Error("NaN input should surface in the factors")
-	}
-	// Zero matrix: no panic, R = 0.
+	// A zero matrix makes every Gram-Schmidt panel break down (every column
+	// is dependent): typed breakdown instead of a silent zero Q.
 	z := dense.New[float32](64, 16)
-	rz, err := Factor(z, Options{Cutoff: 8})
+	if _, err := Factor(z, Options{Cutoff: 8}); !errors.Is(err, hazard.ErrBreakdown) {
+		t.Errorf("zero matrix: got %v, want an error wrapping hazard.ErrBreakdown", err)
+	}
+	// The gram.Ladder panel recovers the same input by escalating to
+	// Householder (which factors rank-deficient panels happily), recording
+	// the escalations.
+	rep := &hazard.Report{}
+	res, err := Factor(z, Options{Cutoff: 8, Panel: gram.NewLadder(&gram.CAQRPanel{}, rep)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range rz.R.Data {
+	if !rep.Any() {
+		t.Error("ladder recovery should record escalation events")
+	}
+	for _, v := range res.R.Data {
 		if v != 0 {
 			t.Fatal("zero matrix should give zero R")
 		}
+	}
+	if res.Q.HasNaN() {
+		t.Error("recovered Q contains NaN")
 	}
 }

@@ -1,7 +1,10 @@
 package tcqr
 
 import (
+	"fmt"
+
 	"tcqr/internal/dense"
+	"tcqr/internal/hazard"
 	"tcqr/internal/lu"
 	"tcqr/internal/tcsim"
 )
@@ -17,6 +20,9 @@ type LinearSolveResult struct {
 	// makes LU, unlike column-scaled QR, able to overflow a
 	// limited-range format mid-factorization (§3.5 of the paper).
 	GrowthFactor float64
+	// Hazards lists detected LU hazards and, under HazardFallback, the
+	// engine retries taken (bfloat16, then FP32).
+	Hazards []Hazard
 }
 
 // SolveLinearSystem solves the square system A·x = b with the
@@ -29,20 +35,44 @@ type LinearSolveResult struct {
 // Note the caveat this repository demonstrates in internal/lu's tests: LU's
 // elimination growth is unbounded, so unlike the column-scaled QR there
 // exist well-scaled inputs (growth factor ≳ 65504/max|A|) on which the
-// half-precision engine overflows; SolveLinearSystem returns the
-// factorization error in that case.
+// half-precision engine overflows. Under the default HazardFail policy that
+// surfaces as a typed error (wrapping ErrOverflow when the engine counted
+// overflow events, ErrBreakdown otherwise); under HazardFallback the solve
+// retries with the bfloat16 engine — whose exponent range matches float32,
+// so LU growth cannot overflow it — and finally plain FP32.
 func SolveLinearSystem(a *Matrix, b []float64, cfg Config) (*LinearSolveResult, error) {
-	a32 := dense.ToF32(a)
-	var engine tcsim.Engine
-	switch {
-	case cfg.DisableTensorCore:
-		engine = &tcsim.FP32{}
-	case cfg.UseBFloat16:
-		engine = &tcsim.BFloat16{TrackSpecials: cfg.TrackEngineStats}
-	default:
-		engine = &tcsim.TensorCore{TrackSpecials: cfg.TrackEngineStats}
+	if err := hazard.CheckMatrix("A", a); err != nil {
+		return nil, fmt.Errorf("tcqr: %w", err)
 	}
-	f, err := lu.Factor(a32, lu.Options{Engine: engine})
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("tcqr: matrix is %dx%d; SolveLinearSystem needs square: %w", a.Rows, a.Cols, ErrShape)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("tcqr: rhs length %d, want %d: %w", len(b), a.Rows, ErrShape)
+	}
+	if err := hazard.CheckVec("b", b); err != nil {
+		return nil, fmt.Errorf("tcqr: %w", err)
+	}
+	a32 := dense.ToF32(a)
+	rep := &hazard.Report{}
+	f, err := luFactor(a32, cfg)
+	if err != nil && cfg.OnHazard == HazardFallback {
+		// LU has no column scaling, so build the ladder without that rung.
+		lcfg := cfg
+		lcfg.DisableColumnScaling = false
+		for _, r := range engineLadder(lcfg) {
+			rep.Record(hazard.Event{
+				Kind:   classify(err),
+				Stage:  "lu",
+				Detail: err.Error(),
+				Action: r.action,
+			})
+			f, err = luFactor(a32, r.cfg)
+			if err == nil {
+				break
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -53,5 +83,43 @@ func SolveLinearSystem(a *Matrix, b []float64, cfg Config) (*LinearSolveResult, 
 		Converged:     res.Converged,
 		ResidualNorms: res.ResidualNorms,
 		GrowthFactor:  f.GrowthFactor(a32),
+		Hazards:       rep.Events(),
 	}, nil
+}
+
+// luFactor runs one LU factorization with the engine cfg selects, verifying
+// the factors are finite and classifying failures with the typed hazard
+// errors.
+func luFactor(a32 *Matrix32, cfg Config) (*lu.Factorization, error) {
+	var engine tcsim.Engine
+	var st statser
+	switch {
+	case cfg.DisableTensorCore:
+		engine = &tcsim.FP32{}
+	case cfg.UseBFloat16:
+		b := &tcsim.BFloat16{TrackSpecials: true}
+		engine, st = b, b
+	default:
+		t := &tcsim.TensorCore{TrackSpecials: true}
+		engine, st = t, t
+	}
+	f, err := lu.Factor(a32, lu.Options{Engine: engine})
+	var overflows int64
+	if st != nil {
+		overflows = st.Stats().Overflows
+	}
+	if err != nil {
+		if overflows > 0 {
+			return nil, fmt.Errorf("tcqr: after %d fp16 overflow events: %w: %w", overflows, ErrOverflow, err)
+		}
+		return nil, fmt.Errorf("tcqr: %w: %w", ErrBreakdown, err)
+	}
+	if !hazard.MatrixFinite(f.LU) {
+		if overflows > 0 {
+			return nil, fmt.Errorf("tcqr: LU factors are non-finite after %d fp16 overflow events: %w: %w",
+				overflows, ErrOverflow, ErrNonFinite)
+		}
+		return nil, fmt.Errorf("tcqr: LU factors are non-finite: %w", ErrNonFinite)
+	}
+	return f, nil
 }

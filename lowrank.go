@@ -3,7 +3,6 @@ package tcqr
 import (
 	"fmt"
 
-	"tcqr/internal/rgs"
 	"tcqr/internal/svd"
 )
 
@@ -18,36 +17,41 @@ type LowRankApprox struct {
 	V *Matrix32
 	// Rank is the truncation rank actually used (≤ requested).
 	Rank int
-	full *svd.TallSVD
+	// Hazards lists numerical hazards detected (and, under HazardFallback,
+	// recovered from) during the QR stage.
+	Hazards []Hazard
+	full    *svd.TallSVD
 }
 
 // LowRank computes the optimal rank-r approximation of a tall-skinny
 // matrix a (m×n, m >= n, r <= n) via RGSQRF + Jacobi SVD of R + truncation.
 // Per the paper, the fp16 roundoff of the QR stage is dwarfed by the
 // truncation error, so no refinement is needed — this is the cheapest
-// profitable use of the neural engine.
+// profitable use of the neural engine. Input validation and hazard handling
+// follow Factorize (typed errors under HazardFail, the recovery ladder
+// under HazardFallback).
 func LowRank(a *Matrix32, rank int, cfg Config) (*LowRankApprox, error) {
 	if rank < 1 {
-		return nil, fmt.Errorf("tcqr: rank %d < 1", rank)
+		return nil, fmt.Errorf("tcqr: rank %d < 1: %w", rank, ErrShape)
+	}
+	f, err := Factorize(a, cfg)
+	if err != nil {
+		return nil, err
 	}
 	if rank > a.Cols {
 		rank = a.Cols
 	}
-	opts, _ := cfg.options()
-	f, err := rgs.Factor(a, opts)
-	if err != nil {
-		return nil, err
-	}
-	t, err := svd.QRSVDWithFactor(f)
+	t, err := svd.QRSVDWithFactor(f.inner())
 	if err != nil {
 		return nil, err
 	}
 	return &LowRankApprox{
-		U:    t.U.View(0, 0, t.U.Rows, rank).Clone(),
-		S:    append([]float32(nil), t.S[:rank]...),
-		V:    t.V.View(0, 0, t.V.Rows, rank).Clone(),
-		Rank: rank,
-		full: t,
+		U:       t.U.View(0, 0, t.U.Rows, rank).Clone(),
+		S:       append([]float32(nil), t.S[:rank]...),
+		V:       t.V.View(0, 0, t.V.Rows, rank).Clone(),
+		Rank:    rank,
+		Hazards: f.Hazards,
+		full:    t,
 	}, nil
 }
 
@@ -65,12 +69,11 @@ func (l *LowRankApprox) Reconstruct() *Matrix32 {
 // SingularValues computes all n singular values of a by QR-SVD (no
 // truncation), useful for spectrum inspection.
 func SingularValues(a *Matrix32, cfg Config) ([]float32, error) {
-	opts, _ := cfg.options()
-	f, err := rgs.Factor(a, opts)
+	f, err := Factorize(a, cfg)
 	if err != nil {
 		return nil, err
 	}
-	t, err := svd.QRSVDWithFactor(f)
+	t, err := svd.QRSVDWithFactor(f.inner())
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,11 @@
 package tcqr
 
 import (
+	"errors"
+	"fmt"
+
 	"tcqr/internal/accuracy"
+	"tcqr/internal/hazard"
 	"tcqr/internal/rgs"
 	"tcqr/internal/tcsim"
 )
@@ -21,14 +25,68 @@ type Factorization struct {
 	// EngineStats summarizes the neural-engine work (zero value when the
 	// engine was disabled).
 	EngineStats EngineStats
+	// Hazards lists every numerical hazard detected during the
+	// factorization and, under HazardFallback, every recovery taken (panel
+	// escalations, engine retries). Empty for a clean run.
+	Hazards []Hazard
 }
 
 // Factorize computes the RGSQRF factorization of a (m×n, m >= n) on the
 // simulated neural engine. The input is not modified.
+//
+// Inputs containing NaN or Inf are rejected with an error wrapping
+// ErrNonFinite; nil or zero-sized inputs with ErrEmpty; wide inputs with
+// ErrShape. Numerical hazards during the factorization — fp16 engine
+// overflow, panel breakdown — follow cfg.OnHazard: under HazardFail they
+// return errors wrapping ErrOverflow / ErrBreakdown / ErrNonFinite, under
+// HazardFallback the computation retries along the fallback ladder and
+// reports what happened in Factorization.Hazards.
 func Factorize(a *Matrix32, cfg Config) (*Factorization, error) {
-	opts, st := cfg.options()
-	res, err := rgs.Factor(a, opts)
+	if err := hazard.CheckMatrix("A", a); err != nil {
+		return nil, fmt.Errorf("tcqr: %w", err)
+	}
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("tcqr: matrix is %dx%d; RGSQRF requires m >= n: %w", a.Rows, a.Cols, ErrShape)
+	}
+	rep := &hazard.Report{}
+	f, err := factorizeOnce(a, cfg, rep)
+	if err != nil && cfg.OnHazard == HazardFallback {
+		for _, r := range engineLadder(cfg) {
+			rep.Record(hazard.Event{
+				Kind:   classify(err),
+				Stage:  "factorize",
+				Detail: err.Error(),
+				Action: r.action,
+			})
+			f, err = factorizeOnce(a, r.cfg, rep)
+			if err == nil {
+				break
+			}
+		}
+	}
 	if err != nil {
+		return nil, err
+	}
+	f.Hazards = rep.Events()
+	return f, nil
+}
+
+// factorizeOnce runs one rung of the engine ladder: build the engine and
+// panel for cfg, factor, collect statistics, and verify the factors are
+// finite. Engine overflow with finite factors is recorded as a
+// detection-only event; overflow followed by a failure or non-finite factors
+// becomes an error wrapping ErrOverflow.
+func factorizeOnce(a *Matrix32, cfg Config, rep *hazard.Report) (*Factorization, error) {
+	opts, st := cfg.options(rep)
+	res, err := rgs.Factor(a, opts)
+	var stats tcsim.Stats
+	if st != nil {
+		stats = st.Stats()
+	}
+	if err != nil {
+		if stats.Overflows > 0 {
+			return nil, fmt.Errorf("tcqr: after %d fp16 overflow events: %w: %w", stats.Overflows, ErrOverflow, err)
+		}
 		return nil, err
 	}
 	f := &Factorization{
@@ -36,12 +94,70 @@ func Factorize(a *Matrix32, cfg Config) (*Factorization, error) {
 		R:                res.R,
 		ColumnScales:     res.ColumnScales,
 		Reorthogonalized: res.Reorthogonalized,
+		EngineStats: EngineStats{
+			GemmCalls:  stats.Calls,
+			Flops:      stats.Flops,
+			Overflows:  stats.Overflows,
+			Underflows: stats.Underflow,
+		},
 	}
-	if st != nil {
-		s := st.Stats()
-		f.EngineStats = EngineStats{GemmCalls: s.Calls, Flops: s.Flops, Overflows: s.Overflows, Underflows: s.Underflow}
+	if !hazard.MatrixFinite(f.Q) || !hazard.MatrixFinite(f.R) {
+		if stats.Overflows > 0 {
+			return nil, fmt.Errorf("tcqr: factors are non-finite after %d fp16 overflow events: %w: %w",
+				stats.Overflows, ErrOverflow, ErrNonFinite)
+		}
+		return nil, fmt.Errorf("tcqr: factors are non-finite: %w", ErrNonFinite)
+	}
+	if stats.Overflows > 0 {
+		rep.Record(hazard.Event{
+			Kind:   hazard.KindOverflow,
+			Stage:  "engine",
+			Detail: fmt.Sprintf("%d fp16 overflow events during operand rounding", stats.Overflows),
+			Action: "factors finite; no action",
+		})
 	}
 	return f, nil
+}
+
+// rung is one step of the engine fallback ladder: a modified configuration
+// and the action string recorded when it is tried.
+type rung struct {
+	cfg    Config
+	action string
+}
+
+// engineLadder builds the overflow recovery sequence for cfg. Rungs
+// accumulate: once scaling is re-enabled it stays on for the bfloat16 and
+// FP32 rungs too.
+func engineLadder(cfg Config) []rung {
+	var out []rung
+	c := cfg
+	if c.DisableColumnScaling {
+		c.DisableColumnScaling = false
+		out = append(out, rung{c, "retry with column scaling"})
+	}
+	if !c.DisableTensorCore && !c.UseBFloat16 {
+		c.UseBFloat16 = true
+		out = append(out, rung{c, "retry with bfloat16 engine"})
+	}
+	if !c.DisableTensorCore {
+		c.DisableTensorCore = true
+		out = append(out, rung{c, "retry with fp32 engine"})
+	}
+	return out
+}
+
+// classify maps a factorization error to the hazard kind recorded in the
+// fallback events.
+func classify(err error) HazardKind {
+	switch {
+	case errors.Is(err, ErrOverflow):
+		return hazard.KindOverflow
+	case errors.Is(err, ErrBreakdown):
+		return hazard.KindBreakdown
+	default:
+		return hazard.KindNonFinite
+	}
 }
 
 // Orthonormalize returns an orthonormal basis for the columns of a,
@@ -65,6 +181,12 @@ func (f *Factorization) BackwardError(a *Matrix32) float64 {
 // OrthogonalityError returns ‖I − QᵀQ‖_F in float64 (the Figure 4 metric).
 func (f *Factorization) OrthogonalityError() float64 {
 	return accuracy.OrthoError(f.Q)
+}
+
+// inner reconstructs the internal factorization view used to reuse a public
+// Factorization with the internal solvers.
+func (f *Factorization) inner() *rgs.Result {
+	return &rgs.Result{Q: f.Q, R: f.R, ColumnScales: f.ColumnScales, Reorthogonalized: f.Reorthogonalized}
 }
 
 // compile-time checks that both engines satisfy the internal interface the

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Tier-2 repository check: static analysis plus the full test suite under the
-# race detector. Run from the repository root. Mirrors `make check-race`.
+# Tier-2 repository check: static analysis, the full test suite under the
+# race detector, and a short native-fuzz smoke of every fuzz target. Run
+# from the repository root. Mirrors `make check-deep`.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -9,5 +10,11 @@ go vet ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+# Each fuzz package holds exactly one target, so -fuzz=. is unambiguous.
+for pkg in ./internal/f16 ./internal/bf16 ./internal/blas; do
+	echo "== fuzz smoke $pkg =="
+	go test -run '^$' -fuzz . -fuzztime 10s "$pkg"
+done
 
 echo "OK"

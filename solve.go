@@ -1,9 +1,11 @@
 package tcqr
 
 import (
+	"fmt"
+
 	"tcqr/internal/accuracy"
+	"tcqr/internal/hazard"
 	"tcqr/internal/lls"
-	"tcqr/internal/rgs"
 )
 
 // RefineMethod selects how a least squares solution is refined to high
@@ -39,6 +41,10 @@ type LeastSquaresResult struct {
 	// Factorization is the RGSQRF factor used (reusable via
 	// SolveLeastSquaresWithFactor for further right-hand sides).
 	Factorization *Factorization
+	// Hazards lists every numerical hazard detected across the pipeline —
+	// factorization hazards first, then refinement hazards (CGLS stagnation
+	// or divergence, LSQR fallbacks). Empty for a clean run.
+	Hazards []Hazard
 }
 
 // SolveOptions configures SolveLeastSquares.
@@ -52,6 +58,13 @@ type SolveOptions struct {
 	Tol float64
 	// MaxIterations caps refinement (0 = 200, the paper's stress limit).
 	MaxIterations int
+	// OnHazard selects the response to numerical hazards across the whole
+	// pipeline. HazardFallback enables the recovery ladder in the
+	// factorization stage (as if QR.OnHazard were set) and re-solves with
+	// preconditioned LSQR when CGLS stagnates or diverges. The zero value
+	// (HazardFail) detects and reports but returns typed errors when the
+	// result would be corrupt.
+	OnHazard HazardPolicy
 }
 
 func (o SolveOptions) method() lls.Method {
@@ -67,56 +80,55 @@ func (o SolveOptions) method() lls.Method {
 	}
 }
 
+// qrConfig is the factorization config with the solve-level hazard policy
+// folded in: asking for fallback at the solve level enables it in the QR
+// stage too.
+func (o SolveOptions) qrConfig() Config {
+	cfg := o.QR
+	if o.OnHazard == HazardFallback {
+		cfg.OnHazard = HazardFallback
+	}
+	return cfg
+}
+
 // SolveLeastSquares solves min ‖Ax − b‖₂ for a tall full-column-rank A
 // using the paper's pipeline: narrow A to float32, factor it with the
-// neural-engine RGSQRF, then refine to double precision.
+// neural-engine RGSQRF, then refine to double precision. Malformed inputs
+// (NaN/Inf, empty, mismatched shapes) return typed errors; numerical
+// hazards follow opts.OnHazard.
 func SolveLeastSquares(a *Matrix, b []float64, opts SolveOptions) (*LeastSquaresResult, error) {
-	qrOpts, st := opts.QR.options()
-	sol, err := lls.Solve(a, b, lls.SolveOptions{
-		QR:      qrOpts,
-		Method:  opts.method(),
-		Tol:     opts.Tol,
-		MaxIter: opts.MaxIterations,
-	})
+	if err := hazard.CheckMatrix("A", a); err != nil {
+		return nil, fmt.Errorf("tcqr: %w", err)
+	}
+	f, err := Factorize(ToFloat32(a), opts.qrConfig())
 	if err != nil {
 		return nil, err
 	}
-	return wrapSolution(sol, a, b, st)
+	return SolveLeastSquaresWithFactor(f, a, b, opts)
 }
 
 // SolveLeastSquaresWithFactor reuses an existing factorization of A for a
 // new right-hand side (one QR amortized over many solves).
 func SolveLeastSquaresWithFactor(f *Factorization, a *Matrix, b []float64, opts SolveOptions) (*LeastSquaresResult, error) {
-	inner := &rgs.Result{Q: f.Q, R: f.R, ColumnScales: f.ColumnScales, Reorthogonalized: f.Reorthogonalized}
-	sol, err := lls.SolveWithFactor(inner, a, b, lls.SolveOptions{
-		Method:  opts.method(),
-		Tol:     opts.Tol,
-		MaxIter: opts.MaxIterations,
+	rep := &hazard.Report{}
+	sol, err := lls.SolveWithFactor(f.inner(), a, b, lls.SolveOptions{
+		Method:       opts.method(),
+		Tol:          opts.Tol,
+		MaxIter:      opts.MaxIterations,
+		FallbackLSQR: opts.OnHazard == HazardFallback,
+		Hazards:      rep,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("tcqr: %w", err)
 	}
-	return wrapSolution(sol, a, b, nil)
-}
-
-func wrapSolution(sol *lls.Solution, a *Matrix, b []float64, st statser) (*LeastSquaresResult, error) {
-	res := &LeastSquaresResult{
-		X:          sol.X,
-		Iterations: sol.Iterations,
-		Converged:  sol.Converged,
-		Optimality: accuracy.LLSOptimality(a, sol.X, b),
-		Factorization: &Factorization{
-			Q:                sol.Factor.Q,
-			R:                sol.Factor.R,
-			ColumnScales:     sol.Factor.ColumnScales,
-			Reorthogonalized: sol.Factor.Reorthogonalized,
-		},
-	}
-	if st != nil {
-		s := st.Stats()
-		res.Factorization.EngineStats = EngineStats{GemmCalls: s.Calls, Flops: s.Flops, Overflows: s.Overflows, Underflows: s.Underflow}
-	}
-	return res, nil
+	return &LeastSquaresResult{
+		X:             sol.X,
+		Iterations:    sol.Iterations,
+		Converged:     sol.Converged,
+		Optimality:    accuracy.LLSOptimality(a, sol.X, b),
+		Factorization: f,
+		Hazards:       append(append([]Hazard(nil), f.Hazards...), rep.Events()...),
+	}, nil
 }
 
 // MultiResult is the outcome of SolveLeastSquaresMulti: column j of X
@@ -128,30 +140,37 @@ type MultiResult struct {
 	// Factorization is the shared RGSQRF factor (one QR amortized over
 	// all right-hand sides — the economics behind Figure 8's pipeline).
 	Factorization *Factorization
+	// Hazards lists factorization hazards followed by per-column refinement
+	// hazards.
+	Hazards []Hazard
 }
 
 // SolveLeastSquaresMulti solves min ‖A·X − B‖ column-wise: one
 // neural-engine factorization shared by every right-hand side, with the
 // CGLS refinements running concurrently.
 func SolveLeastSquaresMulti(a *Matrix, b *Matrix, opts SolveOptions) (*MultiResult, error) {
-	qrOpts, _ := opts.QR.options()
-	sol, err := lls.SolveMulti(a, b, lls.SolveOptions{
-		QR:      qrOpts,
-		Tol:     opts.Tol,
-		MaxIter: opts.MaxIterations,
-	})
+	if err := hazard.CheckMatrix("A", a); err != nil {
+		return nil, fmt.Errorf("tcqr: %w", err)
+	}
+	f, err := Factorize(ToFloat32(a), opts.qrConfig())
 	if err != nil {
 		return nil, err
 	}
+	rep := &hazard.Report{}
+	sol, err := lls.SolveMultiWithFactor(f.inner(), a, b, lls.SolveOptions{
+		Tol:          opts.Tol,
+		MaxIter:      opts.MaxIterations,
+		FallbackLSQR: opts.OnHazard == HazardFallback,
+		Hazards:      rep,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tcqr: %w", err)
+	}
 	return &MultiResult{
-		X:          sol.X,
-		Iterations: sol.Iterations,
-		Converged:  sol.Converged,
-		Factorization: &Factorization{
-			Q:                sol.Factor.Q,
-			R:                sol.Factor.R,
-			ColumnScales:     sol.Factor.ColumnScales,
-			Reorthogonalized: sol.Factor.Reorthogonalized,
-		},
+		X:             sol.X,
+		Iterations:    sol.Iterations,
+		Converged:     sol.Converged,
+		Factorization: f,
+		Hazards:       append(append([]Hazard(nil), f.Hazards...), rep.Events()...),
 	}, nil
 }

@@ -34,6 +34,7 @@ package tcqr
 import (
 	"tcqr/internal/dense"
 	"tcqr/internal/gram"
+	"tcqr/internal/hazard"
 	"tcqr/internal/rgs"
 	"tcqr/internal/tcsim"
 )
@@ -72,6 +73,13 @@ const (
 	PanelCAQR PanelAlgorithm = iota
 	// PanelHouseholder is the blocked Householder (cuSOLVER SGEQRF) panel.
 	PanelHouseholder
+	// PanelCholQR is Cholesky QR (Gram matrix + Potrf), the related-work
+	// baseline of §3.6 — fastest, but breaks down once κ(A)² overwhelms
+	// float32. Under HazardFallback a breakdown escalates to CholQR2, then
+	// MGS, then Householder.
+	PanelCholQR
+	// PanelMGS is the plain single-tile modified Gram-Schmidt panel.
+	PanelMGS
 )
 
 // Config controls the RGSQRF factorization. The zero value is the paper's
@@ -99,43 +107,58 @@ type Config struct {
 	ReOrthogonalize bool
 	// DisableColumnScaling turns off the Section 3.5 overflow safeguard.
 	DisableColumnScaling bool
-	// TrackEngineStats counts fp16 overflow/underflow events in the engine
-	// (visible in Factorization.EngineStats); costs an extra pass per GEMM.
-	TrackEngineStats bool
+	// OnHazard selects the response to detected numerical hazards. The zero
+	// value (HazardFail) returns a typed error as soon as a hazard would
+	// corrupt the result; HazardFallback recovers instead — escalating panel
+	// algorithms on breakdown and retrying with column scaling, a bfloat16
+	// engine, and finally plain FP32 on overflow — recording every step in
+	// the result's Hazards.
+	OnHazard HazardPolicy
 }
 
 // statser is satisfied by the engines that report work statistics.
 type statser interface{ Stats() tcsim.Stats }
 
 // options translates the public Config into the internal rgs.Options,
-// materializing the engine so its statistics can be reported.
-func (c Config) options() (rgs.Options, statser) {
+// materializing the engine so its statistics can be reported. Engines always
+// track overflow/underflow events — the hazard layer needs them to classify
+// failures, and counting is fused into the GEMM packing pass so it is nearly
+// free. When rep is non-nil and the policy is HazardFallback, the panel is
+// wrapped in the gram escalation ladder reporting to rep.
+func (c Config) options(rep *hazard.Report) (rgs.Options, statser) {
 	var engine tcsim.Engine
 	var st statser
 	switch {
 	case c.DisableTensorCore:
 		engine = &tcsim.FP32{}
 	case c.UseBFloat16:
-		b := &tcsim.BFloat16{TrackSpecials: c.TrackEngineStats}
+		b := &tcsim.BFloat16{TrackSpecials: true}
 		engine, st = b, b
 	default:
-		t := &tcsim.TensorCore{TrackSpecials: c.TrackEngineStats}
+		t := &tcsim.TensorCore{TrackSpecials: true}
 		engine, st = t, t
 	}
 	var panel gram.Panel
 	switch c.Panel {
 	case PanelHouseholder:
 		panel = &gram.HouseholderPanel{}
+	case PanelCholQR:
+		panel = gram.CholQRPanel{}
+	case PanelMGS:
+		panel = gram.MGSPanel{}
 	default:
 		p := &gram.CAQRPanel{}
 		if c.TensorCoreInPanel && !c.DisableTensorCore {
 			if c.UseBFloat16 {
-				p.Engine = &tcsim.BFloat16{TrackSpecials: c.TrackEngineStats}
+				p.Engine = &tcsim.BFloat16{TrackSpecials: true}
 			} else {
-				p.Engine = &tcsim.TensorCore{TrackSpecials: c.TrackEngineStats}
+				p.Engine = &tcsim.TensorCore{TrackSpecials: true}
 			}
 		}
 		panel = p
+	}
+	if c.OnHazard == HazardFallback {
+		panel = gram.NewLadder(panel, rep)
 	}
 	return rgs.Options{
 		Engine:          engine,
@@ -151,8 +174,9 @@ func (c Config) options() (rgs.Options, statser) {
 type EngineStats struct {
 	GemmCalls int64
 	Flops     int64
-	// Overflows/Underflows are fp16 conversion events (only counted when
-	// Config.TrackEngineStats is set).
+	// Overflows/Underflows count fp16 (or bfloat16) conversion events during
+	// operand rounding. An overflow means an operand saturated to ±Inf — the
+	// hazard the §3.5 column scaling prevents.
 	Overflows  int64
 	Underflows int64
 }

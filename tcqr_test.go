@@ -1,6 +1,7 @@
 package tcqr
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -228,24 +229,42 @@ func TestSingularValues(t *testing.T) {
 	}
 }
 
-func TestTrackEngineStats(t *testing.T) {
+func TestEngineStatsAndOverflowPolicy(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	a := ToFloat32(matgen.BadlyScaled(rng, 384, 96, 7))
-	// With scaling (default): no overflows.
-	f, err := Factorize(a, Config{Cutoff: 32, TrackEngineStats: true})
+	// With scaling (default): no overflows, no hazards.
+	f, err := Factorize(a, Config{Cutoff: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f.EngineStats.Overflows != 0 {
 		t.Errorf("scaled factorization overflowed %d times", f.EngineStats.Overflows)
 	}
-	// Without scaling: overflows recorded.
-	f2, err := Factorize(a, Config{Cutoff: 32, TrackEngineStats: true, DisableColumnScaling: true})
+	if len(f.Hazards) != 0 {
+		t.Errorf("scaled factorization reported hazards: %v", f.Hazards)
+	}
+	// Without scaling, the fp16 operands overflow; HazardFail (default)
+	// turns that into a typed error instead of NaN factors.
+	_, err = Factorize(a, Config{Cutoff: 32, DisableColumnScaling: true})
+	if err == nil {
+		t.Fatal("expected a typed error for unscaled overflow")
+	}
+	if !errors.Is(err, ErrOverflow) && !errors.Is(err, ErrBreakdown) {
+		t.Errorf("unscaled overflow: got %v, want ErrOverflow or ErrBreakdown", err)
+	}
+	// HazardFallback recovers by re-enabling scaling and reports the retry.
+	f2, err := Factorize(a, Config{Cutoff: 32, DisableColumnScaling: true, OnHazard: HazardFallback})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f2.EngineStats.Overflows == 0 {
-		t.Error("expected overflow events without scaling")
+	if len(f2.Hazards) == 0 {
+		t.Fatal("fallback recovery should report hazards")
+	}
+	if be := f2.BackwardError(a); be > 5e-3 {
+		t.Errorf("recovered backward error %g", be)
+	}
+	if f2.ColumnScales == nil {
+		t.Error("recovery should have re-enabled column scaling")
 	}
 }
 
@@ -257,7 +276,7 @@ func TestFactorizeRejectsWide(t *testing.T) {
 
 func TestUseBFloat16(t *testing.T) {
 	a := testMatrix(9, 384, 128, 100)
-	bf, err := Factorize(a, Config{Cutoff: 32, UseBFloat16: true, TrackEngineStats: true})
+	bf, err := Factorize(a, Config{Cutoff: 32, UseBFloat16: true})
 	if err != nil {
 		t.Fatal(err)
 	}
