@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: build check check-race check-deep fuzz bench bench-json clean
+.PHONY: build check check-race check-deep fuzz bench bench-json \
+	serve serve-smoke bench-serve-json clean
 
 build:
 	$(GO) build ./...
@@ -25,9 +26,20 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/bf16
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/blas
 
-# Deep verification: race gate plus the fuzz smoke (what scripts/check.sh
-# runs). Tier-1 `check` stays fast; this one takes ~a minute.
-check-deep: check-race fuzz
+# Deep verification: race gate, fuzz smoke, and the daemon end-to-end smoke
+# (what scripts/check.sh runs). Tier-1 `check` stays fast; this one takes
+# ~a minute.
+check-deep: check-race fuzz serve-smoke
+
+# Run the factorization-serving daemon on its default port.
+serve:
+	$(GO) run ./cmd/tcqrd
+
+# End-to-end smoke of the daemon: build, start on an ephemeral port, drive
+# the API (factorize, cache hit, coalesced solves, hazards, bad input),
+# drain on SIGTERM.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Kernel-layer benchmarks with allocation accounting.
 bench:
@@ -36,6 +48,11 @@ bench:
 # Machine-readable benchmark report (BENCH_1.json).
 bench-json:
 	$(GO) run ./cmd/tcqr-bench -out BENCH_1.json
+
+# Serving-layer benchmark report (BENCH_3.json): cold factorize+solve vs
+# cache-hit solve vs coalesced multi-RHS waves at 1/8/64 clients.
+bench-serve-json:
+	$(GO) run ./cmd/tcqr-bench -out BENCH_3.json -bench 'Serve' ./internal/serve
 
 clean:
 	$(GO) clean ./...

@@ -9,7 +9,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/tcqr-bench [-out BENCH_1.json] [-bench regex] [-count 1] [pkg ...]
+//	go run ./cmd/tcqr-bench [-out BENCH_1.json] [-bench regex] [-count 1]
+//	                        [-procs N] [-benchtime t] [pkg ...]
+//
+// -procs pins the benchmark subprocess to N procs (go test -cpu N); without
+// it benchmarks run at the inherited GOMAXPROCS. Either way every result
+// records the proc count it actually ran at (the -N suffix go test appends
+// to benchmark names, which is runtime.GOMAXPROCS(0) inside the benchmark
+// binary).
 package main
 
 import (
@@ -35,6 +42,9 @@ type Result struct {
 	GFlops      float64 `json:"gflops,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Procs is the GOMAXPROCS the benchmark actually ran at, from the "-N"
+	// suffix of its result line (go test omits the suffix at 1 proc).
+	Procs int `json:"procs"`
 }
 
 // Report is the whole JSON document.
@@ -56,6 +66,8 @@ func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path")
 	bench := flag.String("bench", "Gemm|Trsm|Engines|TrackSpecials|Fig1|Fig2", "benchmark regex passed to go test")
 	count := flag.Int("count", 1, "-count passed to go test")
+	procs := flag.Int("procs", 0, "run benchmarks at this GOMAXPROCS (go test -cpu; 0 = inherit)")
+	benchtime := flag.String("benchtime", "", "-benchtime passed to go test (empty = go test default)")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -70,7 +82,7 @@ func main() {
 		Packages:    pkgs,
 	}
 	for _, pkg := range pkgs {
-		results, cpu, err := runPackage(pkg, *bench, *count)
+		results, cpu, err := runPackage(pkg, *bench, *count, *procs, *benchtime)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcqr-bench: %s: %v\n", pkg, err)
 			os.Exit(1)
@@ -97,9 +109,16 @@ func main() {
 // runPackage shells out to `go test -bench` for one package and parses its
 // output. The benchmark binary prints context lines (goos, cpu, pkg) that we
 // mine for the report header.
-func runPackage(pkg, bench string, count int) ([]Result, string, error) {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count), pkg)
+func runPackage(pkg, bench string, count, procs int, benchtime string) ([]Result, string, error) {
+	args := []string{"test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count)}
+	if procs > 0 {
+		args = append(args, "-cpu", strconv.Itoa(procs))
+	}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	cmd := exec.Command("go", append(args, pkg)...)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
@@ -128,8 +147,10 @@ func runPackage(pkg, bench string, count int) ([]Result, string, error) {
 //	BenchmarkGemmNN256-4  1455  806146 ns/op  41623.26 MB/s  0 B/op  0 allocs/op
 //
 // returning ok == false for non-benchmark lines. The "-N" GOMAXPROCS suffix
-// is stripped when present (go test omits it when GOMAXPROCS is 1, and
-// sub-benchmark names like Engines/TC-GEMM legitimately contain dashes).
+// becomes the result's Procs field and is stripped from the name (go test
+// omits it when GOMAXPROCS is 1, and sub-benchmark names like
+// Engines/TC-GEMM legitimately contain dashes, so a missing suffix means
+// Procs 1).
 func parseBenchLine(line string) (Result, bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
@@ -137,7 +158,11 @@ func parseBenchLine(line string) (Result, bool) {
 	}
 	var r Result
 	r.Name = f[0]
+	r.Procs = 1
 	if i := strings.LastIndex(r.Name, "-"); i >= 0 && isDigits(r.Name[i+1:]) {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Procs = p
+		}
 		r.Name = r.Name[:i]
 	}
 	iter, err := strconv.ParseInt(f[1], 10, 64)

@@ -10,6 +10,9 @@ func TestParseBenchLine(t *testing.T) {
 	if r.Name != "BenchmarkGemmNN256" || r.Iterations != 1455 {
 		t.Errorf("name/iterations = %q/%d", r.Name, r.Iterations)
 	}
+	if r.Procs != 4 {
+		t.Errorf("procs = %d, want 4 (from the -4 suffix)", r.Procs)
+	}
 	if r.NsPerOp != 806146 {
 		t.Errorf("ns/op = %v", r.NsPerOp)
 	}
@@ -28,9 +31,15 @@ func TestParseBenchLineNoSuffix(t *testing.T) {
 	if !ok || r.Name != "BenchmarkEngines/TC-GEMM" {
 		t.Fatalf("got ok=%v name=%q", ok, r.Name)
 	}
+	if r.Procs != 1 {
+		t.Errorf("procs = %d, want 1 when the suffix is absent", r.Procs)
+	}
 	r, ok = parseBenchLine("BenchmarkGemmNN256 \t 1455 \t 806146 ns/op \t 41623.26 MB/s")
 	if !ok || r.Name != "BenchmarkGemmNN256" {
 		t.Fatalf("got ok=%v name=%q", ok, r.Name)
+	}
+	if r.Procs != 1 {
+		t.Errorf("procs = %d, want 1 when the suffix is absent", r.Procs)
 	}
 }
 

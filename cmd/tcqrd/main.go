@@ -1,0 +1,109 @@
+// Command tcqrd is the factorization-serving daemon: a stdlib net/http JSON
+// API over the tcqr library's "factor once, apply many times" pipeline.
+//
+//	POST /v1/factorize  — factor a matrix (content-hash cached, singleflight)
+//	POST /v1/solve      — least squares against a cached factorization;
+//	                      concurrent same-matrix solves coalesce into one
+//	                      multi-RHS call
+//	POST /v1/lowrank    — truncated QR-SVD low-rank approximation
+//	GET  /healthz       — liveness (503 while draining)
+//	GET  /statz         — cache / coalescer / pool / timing / hazard counters
+//
+// Responses carry a Server-Timing header (queue, factorize, solve, encode)
+// and serialize every numerical hazard the fallback ladder detected or
+// recovered from. SIGINT/SIGTERM drain gracefully: in-flight and parked
+// requests complete, new ones get 503.
+//
+// Usage:
+//
+//	tcqrd [-addr :8723] [-workers N] [-queue 64] [-cache 32]
+//	      [-window 2ms] [-max-batch 32] [-deadline 30s]
+//	      [-drain-timeout 10s] [-addr-file path]
+//
+// The -smoke flag runs the binary as a client instead: it drives a running
+// daemon through factorize, cache-hit, coalesced-solve, hazard and
+// bad-input scenarios, exiting non-zero if any response deviates from the
+// contract (scripts/serve_smoke.sh wires this into CI).
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"tcqr/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8723", "listen address (host:port; port 0 picks a free port)")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "compute worker count")
+		queue        = flag.Int("queue", 64, "admission queue depth (excess requests get 429)")
+		cacheEntries = flag.Int("cache", 32, "factorization cache capacity (LRU entries)")
+		window       = flag.Duration("window", 2*time.Millisecond, "solve coalescing window (0 disables)")
+		maxBatch     = flag.Int("max-batch", 32, "max solves coalesced into one multi-RHS call")
+		deadline     = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
+		smoke        = flag.String("smoke", "", "run as smoke-test client against this base URL and exit")
+	)
+	flag.Parse()
+
+	if *smoke != "" {
+		os.Exit(runSmoke(*smoke))
+	}
+
+	srv := serve.New(serve.Options{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEntries,
+		Window:          *window,
+		MaxBatch:        *maxBatch,
+		DefaultDeadline: *deadline,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("tcqrd: listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("tcqrd: write -addr-file: %v", err)
+		}
+	}
+	log.Printf("tcqrd: listening on %s (workers=%d queue=%d cache=%d window=%s max-batch=%d)",
+		bound, *workers, *queue, *cacheEntries, *window, *maxBatch)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("tcqrd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("tcqrd: draining (budget %s)", *drainTimeout)
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("tcqrd: shutdown: %v", err)
+	}
+	if err := srv.AwaitIdle(dctx); err != nil {
+		log.Printf("tcqrd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("tcqrd: drained cleanly")
+}

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// runSmoke drives a running tcqrd through the API contract: factorize
+// (cold, then cached), concurrent solves that should coalesce, a
+// hazard-triggering matrix under both policies, malformed inputs, and the
+// introspection endpoints. It prints one line per check and returns a
+// non-zero exit code if anything deviates. scripts/serve_smoke.sh runs it
+// against a freshly started daemon.
+func runSmoke(base string) int {
+	s := &smoker{base: base, client: &http.Client{Timeout: 60 * time.Second}}
+
+	// Liveness first: nothing else is meaningful if the daemon is down.
+	var health struct {
+		Status string `json:"status"`
+	}
+	code, err := s.get("/healthz", &health)
+	s.check(err == nil && code == 200 && health.Status == "ok",
+		"healthz returns 200 ok", "code=%d status=%q err=%v", code, health.Status, err)
+
+	// Cold factorize, then the identical request again: the second must hit
+	// the cache.
+	m, n := 96, 24
+	mat := smokeMatrix(m, n, 1)
+	var fr struct {
+		Key     string `json:"key"`
+		Cached  bool   `json:"cached"`
+		Hazards []any  `json:"hazards"`
+	}
+	code, err = s.post("/v1/factorize", map[string]any{"matrix": mat}, &fr)
+	s.check(err == nil && code == 200 && fr.Key != "" && !fr.Cached && len(fr.Hazards) == 0,
+		"cold factorize succeeds with a key and no hazards",
+		"code=%d key=%q cached=%v hazards=%d err=%v", code, fr.Key, fr.Cached, len(fr.Hazards), err)
+	key := fr.Key
+	code, err = s.post("/v1/factorize", map[string]any{"matrix": mat}, &fr)
+	s.check(err == nil && code == 200 && fr.Cached,
+		"repeat factorize is a cache hit", "code=%d cached=%v err=%v", code, fr.Cached, err)
+
+	// Concurrent solves by key against known right-hand sides: every column
+	// must come back accurate, and with the daemon's coalescing window open
+	// at least some must share a multi-RHS call.
+	const clients = 8
+	type solveOut struct {
+		code    int
+		err     error
+		x       []float64
+		batched int
+		timing  string
+		wantX   []float64
+	}
+	outs := make([]solveOut, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			xTrue := make([]float64, n)
+			for j := range xTrue {
+				xTrue[j] = float64(i + j%5)
+			}
+			b := matVec(mat, xTrue)
+			var sr struct {
+				X       []float64 `json:"x"`
+				Batched int       `json:"batched"`
+			}
+			code, hdr, err := s.postHdr("/v1/solve", map[string]any{"key": key, "b": b}, &sr)
+			outs[i] = solveOut{code: code, err: err, x: sr.X, batched: sr.Batched,
+				timing: hdr.Get("Server-Timing"), wantX: xTrue}
+		}(i)
+	}
+	wg.Wait()
+	maxBatched := 0
+	for i, o := range outs {
+		s.check(o.err == nil && o.code == 200, fmt.Sprintf("concurrent solve %d succeeds", i),
+			"code=%d err=%v", o.code, o.err)
+		if o.code == 200 {
+			s.check(maxAbsDiff(o.x, o.wantX) < 1e-6, fmt.Sprintf("solve %d is accurate", i),
+				"max |x-x*| = %g", maxAbsDiff(o.x, o.wantX))
+			s.check(o.timing != "", fmt.Sprintf("solve %d carries Server-Timing", i), "header empty")
+		}
+		if o.batched > maxBatched {
+			maxBatched = o.batched
+		}
+	}
+	s.check(maxBatched >= 2, "concurrent same-key solves coalesced",
+		"largest batch was %d; expected >= 2 (is the daemon running with -window 0?)", maxBatched)
+
+	// Hazard-triggering matrix: one column far past the binary16 maximum,
+	// column scaling disabled. Fail policy must refuse with a typed
+	// envelope; fallback must recover and say what it did.
+	hazMat := smokeMatrix(m, n, 3e5)
+	hazCfg := map[string]any{"cutoff": 8, "disable_column_scaling": true}
+	var er struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	code, err = s.post("/v1/factorize", map[string]any{"matrix": hazMat, "config": hazCfg}, &er)
+	s.check(err == nil && code == 422 && er.Error.Code == "numerical_hazard",
+		"overflow under fail policy returns 422 numerical_hazard",
+		"code=%d error.code=%q err=%v", code, er.Error.Code, err)
+	hazCfg["on_hazard"] = "fallback"
+	var hr struct {
+		Hazards []struct {
+			Kind   string `json:"kind"`
+			Action string `json:"action"`
+		} `json:"hazards"`
+	}
+	code, err = s.post("/v1/factorize", map[string]any{"matrix": hazMat, "config": hazCfg}, &hr)
+	recovered := false
+	for _, h := range hr.Hazards {
+		if h.Action != "" {
+			recovered = true
+		}
+	}
+	s.check(err == nil && code == 200 && recovered,
+		"overflow under fallback recovers and reports the ladder",
+		"code=%d hazards=%+v err=%v", code, hr.Hazards, err)
+
+	// Malformed inputs must be typed 4xx refusals, never 200 or 500.
+	code, err = s.post("/v1/solve", map[string]any{"key": key, "b": []float64{1, 2, 3}}, &er)
+	s.check(err == nil && code == 400 && er.Error.Code == "bad_input",
+		"short rhs returns 400 bad_input", "code=%d error.code=%q err=%v", code, er.Error.Code, err)
+	code, err = s.post("/v1/solve", map[string]any{"key": "m0-bogus", "b": make([]float64, m)}, &er)
+	s.check(err == nil && code == 404 && er.Error.Code == "unknown_key",
+		"unknown key returns 404 unknown_key", "code=%d error.code=%q err=%v", code, er.Error.Code, err)
+	code, err = s.post("/v1/factorize", map[string]any{"matrix": map[string]any{
+		"rows": 2, "cols": 4, "data": []float64{1, 2, 3, 4, 5, 6, 7, 8}}}, &er)
+	s.check(err == nil && code == 400 && er.Error.Code == "bad_input",
+		"wide matrix returns 400 bad_input", "code=%d error.code=%q err=%v", code, er.Error.Code, err)
+
+	// Introspection: /statz must reflect the traffic above.
+	var statz struct {
+		Cache struct {
+			Hits int64 `json:"hits"`
+		} `json:"cache"`
+		Coalescer struct {
+			MultiSolveCalls int64 `json:"multi_solve_calls"`
+		} `json:"coalescer"`
+		Timing map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"timing"`
+	}
+	code, err = s.get("/statz", &statz)
+	s.check(err == nil && code == 200 && statz.Cache.Hits >= 1 &&
+		statz.Coalescer.MultiSolveCalls >= 1 && statz.Timing["solve"].Count >= 1,
+		"statz reflects cache hits, coalesced calls and stage timings",
+		"code=%d cache.hits=%d multi=%d timing[solve].count=%d err=%v",
+		code, statz.Cache.Hits, statz.Coalescer.MultiSolveCalls, statz.Timing["solve"].Count, err)
+
+	if s.failed {
+		fmt.Fprintln(os.Stderr, "SMOKE FAILED")
+		return 1
+	}
+	fmt.Println("SMOKE OK")
+	return 0
+}
+
+// smoker carries the HTTP plumbing and the running pass/fail state.
+type smoker struct {
+	base   string
+	client *http.Client
+	failed bool
+}
+
+func (s *smoker) check(ok bool, what, detailFormat string, args ...any) {
+	if ok {
+		fmt.Printf("ok   %s\n", what)
+		return
+	}
+	s.failed = true
+	fmt.Fprintf(os.Stderr, "FAIL %s: %s\n", what, fmt.Sprintf(detailFormat, args...))
+}
+
+func (s *smoker) get(path string, out any) (int, error) {
+	resp, err := s.client.Get(s.base + path)
+	if err != nil {
+		return 0, err
+	}
+	return decodeResp(resp, out)
+}
+
+func (s *smoker) post(path string, body any, out any) (int, error) {
+	code, _, err := s.postHdr(path, body, out)
+	return code, err
+}
+
+func (s *smoker) postHdr(path string, body any, out any) (int, http.Header, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := s.client.Post(s.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	hdr := resp.Header
+	code, err := decodeResp(resp, out)
+	return code, hdr, err
+}
+
+func decodeResp(resp *http.Response, out any) (int, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("undecodable body %q: %w", truncate(data), err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func truncate(b []byte) string {
+	if len(b) > 200 {
+		return string(b[:200]) + "..."
+	}
+	return string(b)
+}
+
+// smokeMatrix builds a deterministic column-major m×n wire matrix with
+// entries in [-0.5, 0.5); the last column is multiplied by lastColScale
+// (3e5 puts it far past the binary16 maximum of 65504, the §3.5 hazard).
+func smokeMatrix(m, n int, lastColScale float64) map[string]any {
+	seed := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11)/float64(uint64(1)<<53) - 0.5
+	}
+	data := make([]float64, m*n)
+	for i := range data {
+		data[i] = next()
+	}
+	for i := (n - 1) * m; i < n*m; i++ {
+		data[i] *= lastColScale
+	}
+	return map[string]any{"rows": m, "cols": n, "data": data}
+}
+
+func maxAbsDiff(got, want []float64) float64 {
+	if len(got) != len(want) {
+		return float64(len(got) - len(want)) // force a visible failure
+	}
+	d := 0.0
+	for i := range got {
+		e := got[i] - want[i]
+		if e < 0 {
+			e = -e
+		}
+		if e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// matVec computes A·x for a wire matrix (column-major data).
+func matVec(mat map[string]any, x []float64) []float64 {
+	m := mat["rows"].(int)
+	n := mat["cols"].(int)
+	data := mat["data"].([]float64)
+	b := make([]float64, m)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			b[i] += data[j*m+i] * x[j]
+		}
+	}
+	return b
+}

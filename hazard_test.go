@@ -235,3 +235,59 @@ func assertFinite[T float32 | float64](t *testing.T, x []T, name string) {
 		}
 	}
 }
+
+// TestSolveWithFactorPropagatesLadderHazards covers the serving subsystem's
+// cache-reuse contract: when a cached factorization was produced by ladder
+// recovery, every later SolveLeastSquaresWithFactor (and the multi-RHS
+// variant the request coalescer uses) must carry those recovery events in
+// its own Hazards — a client that only ever sees solve responses still
+// learns its factorization needed rescuing.
+func TestSolveWithFactorPropagatesLadderHazards(t *testing.T) {
+	const m, n = 256, 64
+	rng := rand.New(rand.NewSource(23))
+	a64 := matgen.Normal(rng, m, n)
+	for i, v := range a64.Col(n - 1) {
+		a64.Col(n - 1)[i] = v * 1e5
+	}
+	cfg := Config{Cutoff: 16, DisableColumnScaling: true, OnHazard: HazardFallback}
+	f, err := Factorize(ToFloat32(a64), cfg)
+	if err != nil {
+		t.Fatalf("fallback factorization failed: %v", err)
+	}
+	if len(f.Hazards) == 0 {
+		t.Fatal("scenario did not trigger the ladder; the propagation test needs recovery hazards")
+	}
+
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	res, err := SolveLeastSquaresWithFactor(f, a64, b, SolveOptions{OnHazard: HazardFallback})
+	if err != nil {
+		t.Fatalf("solve with recovered factor: %v", err)
+	}
+	if len(res.Hazards) < len(f.Hazards) {
+		t.Fatalf("solve carries %d hazards, factorization recorded %d; recovery events were dropped",
+			len(res.Hazards), len(f.Hazards))
+	}
+	for i, h := range f.Hazards {
+		if res.Hazards[i] != h {
+			t.Fatalf("hazard %d mutated in flight: got %+v, want %+v", i, res.Hazards[i], h)
+		}
+	}
+	if !res.Converged {
+		t.Errorf("refinement did not converge (optimality %g)", res.Optimality)
+	}
+
+	rhs := NewMatrix(m, 2)
+	copy(rhs.Col(0), b)
+	copy(rhs.Col(1), b)
+	multi, err := SolveLeastSquaresMultiWithFactor(f, a64, rhs, SolveOptions{OnHazard: HazardFallback})
+	if err != nil {
+		t.Fatalf("multi-RHS solve with recovered factor: %v", err)
+	}
+	if len(multi.Hazards) < len(f.Hazards) {
+		t.Fatalf("multi-RHS solve carries %d hazards, factorization recorded %d",
+			len(multi.Hazards), len(f.Hazards))
+	}
+}

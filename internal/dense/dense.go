@@ -168,6 +168,40 @@ func ToF32(m *M64) *M32 {
 	return out
 }
 
+// Hash64 returns a 64-bit FNV-1a hash of the matrix contents: the shape
+// followed by every element in column-major order (stride padding is not
+// hashed, so a view and its tight-stride clone hash identically). Elements
+// are hashed through their exact float64 bit pattern, so a float32 matrix
+// hashes equal to its float64 widening; callers keying caches across
+// precisions must add their own type tag. A nil matrix hashes as empty.
+func (m *Matrix[T]) Hash64() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	if m == nil {
+		mix(0)
+		mix(0)
+		return h
+	}
+	mix(uint64(m.Rows))
+	mix(uint64(m.Cols))
+	for j := 0; j < m.Cols; j++ {
+		for _, v := range m.Col(j) {
+			mix(math.Float64bits(float64(v)))
+		}
+	}
+	return h
+}
+
 // HasNaN reports whether any element of m is NaN or infinite.
 func (m *Matrix[T]) HasNaN() bool {
 	for j := 0; j < m.Cols; j++ {

@@ -215,3 +215,38 @@ func TestStringSmallAndLarge(t *testing.T) {
 		t.Fatalf("large matrix String = %q", got)
 	}
 }
+
+func TestHash64ContentAddressing(t *testing.T) {
+	a := New[float32](3, 2)
+	b := New[float32](3, 2)
+	if a.Hash64() != b.Hash64() {
+		t.Fatal("identical matrices hash differently")
+	}
+	b.Set(2, 1, 1)
+	if a.Hash64() == b.Hash64() {
+		t.Fatal("differing contents hash equal")
+	}
+	// Shape participates: a 3x2 and a 2x3 of all zeros must differ.
+	if New[float64](3, 2).Hash64() == New[float64](2, 3).Hash64() {
+		t.Fatal("transposed shapes hash equal")
+	}
+	// A strided view hashes by logical content, not backing layout: a
+	// submatrix must hash like a tight copy of the same values.
+	big := New[float64](4, 4)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			big.Set(i, j, float64(i*4+j))
+		}
+	}
+	view := big.View(0, 0, 3, 2)
+	tight := New[float64](3, 2)
+	for j := 0; j < 2; j++ {
+		copy(tight.Col(j), view.Col(j))
+	}
+	if view.Hash64() != tight.Hash64() {
+		t.Fatal("strided view hashes differently from its tight copy")
+	}
+	// Nil hashes like an empty matrix and must not panic.
+	var nilM *Matrix[float64]
+	_ = nilM.Hash64()
+}

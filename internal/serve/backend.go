@@ -1,0 +1,67 @@
+// Package serve is the factorization-serving subsystem: the engine-agnostic
+// core behind the tcqrd daemon. It turns the library's "factor once, apply
+// many times" economics (Algorithm 3 reuses one QR across every right-hand
+// side) into a concurrent service:
+//
+//   - a content-hash-keyed LRU factorization cache with singleflight
+//     deduplication, so concurrent solves against the same matrix share one
+//     Factorize call (cache.go);
+//   - a request coalescer that batches solves arriving within a short window
+//     against the same cached factorization into a single multi-RHS call —
+//     one GEMM-shaped refinement instead of N independent solves
+//     (coalesce.go);
+//   - a bounded worker pool with admission control: queue-depth limit,
+//     per-request deadlines, typed backpressure errors, graceful drain
+//     (pool.go);
+//   - HTTP handlers exposing /v1/factorize, /v1/solve, /v1/lowrank,
+//     /healthz and /statz with hazard-aware JSON responses and a
+//     Server-Timing stage breakdown (server.go, wire.go).
+//
+// The package holds no HTTP listener of its own; cmd/tcqrd wires the
+// Handler into net/http and owns the process lifecycle.
+package serve
+
+import (
+	"tcqr"
+)
+
+// Backend abstracts the five library calls the serving core makes, so tests
+// and benchmarks can count, delay, or fake them. The coalescing acceptance
+// test, for example, asserts that N concurrent same-matrix solves reach
+// SolveMultiWithFactor exactly once.
+type Backend interface {
+	// Factorize computes the RGSQRF factorization (tcqr.Factorize).
+	Factorize(a *tcqr.Matrix32, cfg tcqr.Config) (*tcqr.Factorization, error)
+	// SolveWithFactor solves one right-hand side against a cached
+	// factorization (tcqr.SolveLeastSquaresWithFactor).
+	SolveWithFactor(f *tcqr.Factorization, a *tcqr.Matrix, b []float64, opts tcqr.SolveOptions) (*tcqr.LeastSquaresResult, error)
+	// SolveMultiWithFactor solves a coalesced block of right-hand sides
+	// against a cached factorization (tcqr.SolveLeastSquaresMultiWithFactor).
+	SolveMultiWithFactor(f *tcqr.Factorization, a *tcqr.Matrix, b *tcqr.Matrix, opts tcqr.SolveOptions) (*tcqr.MultiResult, error)
+	// LowRank computes a truncated QR-SVD approximation (tcqr.LowRank).
+	LowRank(a *tcqr.Matrix32, rank int, cfg tcqr.Config) (*tcqr.LowRankApprox, error)
+}
+
+// LibraryBackend routes every call straight to package tcqr; it is the
+// production backend.
+type LibraryBackend struct{}
+
+// Factorize implements Backend.
+func (LibraryBackend) Factorize(a *tcqr.Matrix32, cfg tcqr.Config) (*tcqr.Factorization, error) {
+	return tcqr.Factorize(a, cfg)
+}
+
+// SolveWithFactor implements Backend.
+func (LibraryBackend) SolveWithFactor(f *tcqr.Factorization, a *tcqr.Matrix, b []float64, opts tcqr.SolveOptions) (*tcqr.LeastSquaresResult, error) {
+	return tcqr.SolveLeastSquaresWithFactor(f, a, b, opts)
+}
+
+// SolveMultiWithFactor implements Backend.
+func (LibraryBackend) SolveMultiWithFactor(f *tcqr.Factorization, a *tcqr.Matrix, b *tcqr.Matrix, opts tcqr.SolveOptions) (*tcqr.MultiResult, error) {
+	return tcqr.SolveLeastSquaresMultiWithFactor(f, a, b, opts)
+}
+
+// LowRank implements Backend.
+func (LibraryBackend) LowRank(a *tcqr.Matrix32, rank int, cfg tcqr.Config) (*tcqr.LowRankApprox, error) {
+	return tcqr.LowRank(a, rank, cfg)
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Serving benchmarks at the ISSUE's acceptance shape (1024×256): the cold
+// path (factorize + solve), the cache-hit path (solve against a warm
+// factorization — the "factor once, apply many times" payoff the cache
+// exists for), and the coalesced path at increasing client concurrency.
+// cmd/tcqr-bench packages these into BENCH_3.json.
+
+const benchRows, benchCols = 1024, 256
+
+// benchServer returns a server plus pre-marshaled factorize and solve
+// request bodies for the benchmark matrix.
+func benchServer(window time.Duration, maxBatch int) (*Server, http.Handler, []byte, []byte) {
+	s := New(Options{Window: window, MaxBatch: maxBatch})
+	h := s.Handler()
+	data := testMatrix(1234, benchRows, benchCols, 1)
+	x := make([]float64, benchCols)
+	for j := range x {
+		x[j] = float64(j%11) - 5
+	}
+	b := matVecData(benchRows, benchCols, data, x)
+	fbody, err := json.Marshal(map[string]any{"matrix": wireMat(benchRows, benchCols, data)})
+	if err != nil {
+		panic(err)
+	}
+	key := mustFactorize(h, fbody)
+	sbody, err := json.Marshal(map[string]any{"key": key, "b": b})
+	if err != nil {
+		panic(err)
+	}
+	return s, h, fbody, sbody
+}
+
+func mustFactorize(h http.Handler, body []byte) string {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/factorize", bytes.NewReader(body)))
+	if rec.Code != 200 {
+		panic("bench factorize failed: " + rec.Body.String())
+	}
+	var fr struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &fr); err != nil || fr.Key == "" {
+		panic("bench factorize returned no key")
+	}
+	return fr.Key
+}
+
+func benchPost(b *testing.B, h http.Handler, path string, body []byte) {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body)))
+	if rec.Code != 200 {
+		// Errorf, not Fatalf: benchPost also runs on bench worker goroutines.
+		b.Errorf("%s: code=%d body=%s", path, rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServeColdFactorizeSolve1024x256 measures the full cold path: the
+// cache is emptied every iteration, so each solve pays for a fresh
+// factorization.
+func BenchmarkServeColdFactorizeSolve1024x256(b *testing.B) {
+	s, h, fbody, sbody := benchServer(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cache().Reset()
+		benchPost(b, h, "/v1/factorize", fbody)
+		benchPost(b, h, "/v1/solve", sbody)
+	}
+}
+
+// BenchmarkServeCacheHitSolve1024x256 measures the warm path: every solve
+// reuses the factorization cached in benchServer. The ISSUE acceptance bar
+// is ≥5× lower latency than the cold benchmark above.
+func BenchmarkServeCacheHitSolve1024x256(b *testing.B) {
+	_, h, _, sbody := benchServer(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, h, "/v1/solve", sbody)
+	}
+}
+
+// BenchmarkServeCoalescedSolve measures one wave of `clients` concurrent
+// same-key solves per iteration; with MaxBatch == clients each wave flushes
+// as a single multi-RHS call, so ns/op is the latency of serving the whole
+// wave.
+func BenchmarkServeCoalescedSolve(b *testing.B) {
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			window := 2 * time.Millisecond
+			if clients == 1 {
+				window = 0
+			}
+			_, h, _, sbody := benchServer(window, clients)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						benchPost(b, h, "/v1/solve", sbody)
+					}()
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

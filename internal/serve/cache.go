@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"tcqr"
+)
+
+// CacheKey derives the content-addressed cache key for factoring a under
+// cfg: the 64-bit content hash of the matrix (shape + every element) plus a
+// fingerprint of every Config field the factorization depends on. Two
+// requests get the same key exactly when Factorize would do identical work.
+func CacheKey(a *tcqr.Matrix, cfg tcqr.Config) string {
+	return fmt.Sprintf("m%016x-%s", a.Hash64(), configFingerprint(cfg))
+}
+
+// configFingerprint encodes every Config field into a short stable string.
+func configFingerprint(c tcqr.Config) string {
+	return fmt.Sprintf("e%d%d%d-p%d-c%d-r%d%d-h%d",
+		b2i(c.DisableTensorCore), b2i(c.UseBFloat16), b2i(c.TensorCoreInPanel),
+		int(c.Panel), c.Cutoff,
+		b2i(c.ReOrthogonalize), b2i(c.DisableColumnScaling),
+		int(c.OnHazard))
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Entry is one cached factorization together with the float64 matrix it
+// factors: the refinement stage of every solve needs A at full precision,
+// so solve-by-key requests carry only the right-hand side.
+type Entry struct {
+	Key    string
+	A      *tcqr.Matrix
+	F      *tcqr.Factorization
+	Config tcqr.Config
+	bytes  int64
+}
+
+// sizeBytes estimates the resident size of the entry (A at 8 bytes/element,
+// Q and R at 4).
+func (e *Entry) sizeBytes() int64 {
+	n := int64(len(e.A.Data)) * 8
+	if e.F != nil {
+		n += int64(len(e.F.Q.Data))*4 + int64(len(e.F.R.Data))*4
+	}
+	return n
+}
+
+// Source classifies how a GetOrFactor call obtained its entry.
+type Source int
+
+const (
+	// SourceHit: the factorization was already cached.
+	SourceHit Source = iota
+	// SourceMiss: this call factored the matrix (singleflight leader).
+	SourceMiss
+	// SourceShared: another in-flight call was already factoring the same
+	// key; this call waited for it instead of duplicating the work.
+	SourceShared
+)
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	Entries            int   `json:"entries"`
+	Bytes              int64 `json:"bytes"`
+	Hits               int64 `json:"hits"`
+	Misses             int64 `json:"misses"`
+	Evictions          int64 `json:"evictions"`
+	SingleflightShared int64 `json:"singleflight_shared"`
+}
+
+// FactorCache is a content-hash-keyed LRU cache of factorizations with
+// singleflight deduplication: concurrent GetOrFactor calls for the same key
+// share one Factorize call. Errors are never cached — a failed
+// factorization is retried by the next request.
+type FactorCache struct {
+	maxEntries int
+	backend    Backend
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used; values are *Entry
+	byKey    map[string]*list.Element
+	inflight map[string]*flight
+	stats    CacheStats
+}
+
+// flight is one in-progress factorization that followers wait on.
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// NewFactorCache builds a cache holding at most maxEntries factorizations
+// (minimum 1) backed by be.
+func NewFactorCache(maxEntries int, be Backend) *FactorCache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &FactorCache{
+		maxEntries: maxEntries,
+		backend:    be,
+		ll:         list.New(),
+		byKey:      make(map[string]*list.Element),
+		inflight:   make(map[string]*flight),
+	}
+}
+
+// Get returns the cached entry for key, if present, promoting it to most
+// recently used.
+func (c *FactorCache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*Entry), true
+}
+
+// GetOrFactor returns the entry for key, factoring a under cfg on a miss.
+// Concurrent misses for the same key are deduplicated: one caller factors
+// (SourceMiss), the rest wait for its result (SourceShared). The caller
+// must pass the same (a, cfg) it derived key from.
+func (c *FactorCache) GetOrFactor(key string, a *tcqr.Matrix, cfg tcqr.Config) (*Entry, Source, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		c.mu.Unlock()
+		return el.Value.(*Entry), SourceHit, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.stats.SingleflightShared++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.entry, SourceShared, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// Leader path: factor outside the lock (this is the expensive call the
+	// whole cache exists to amortize).
+	f, err := c.backend.Factorize(tcqr.ToFloat32(a), cfg)
+	if err == nil {
+		fl.entry = &Entry{Key: key, A: a, F: f, Config: cfg}
+		fl.entry.bytes = fl.entry.sizeBytes()
+	} else {
+		fl.err = err
+	}
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.entry != nil {
+		c.insertLocked(key, fl.entry)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.entry, SourceMiss, fl.err
+}
+
+// insertLocked adds an entry and evicts past capacity. c.mu must be held.
+func (c *FactorCache) insertLocked(key string, e *Entry) {
+	if el, ok := c.byKey[key]; ok {
+		// A racing leader for the same key already inserted; keep the
+		// existing entry current rather than duplicating.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(e)
+	c.stats.Bytes += e.bytes
+	for c.ll.Len() > c.maxEntries {
+		back := c.ll.Back()
+		old := back.Value.(*Entry)
+		c.ll.Remove(back)
+		delete(c.byKey, old.Key)
+		c.stats.Bytes -= old.bytes
+		c.stats.Evictions++
+	}
+}
+
+// Reset empties the cache (benchmarks use it to measure the cold path).
+// Counters other than Entries/Bytes are preserved.
+func (c *FactorCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byKey = make(map[string]*list.Element)
+	c.stats.Bytes = 0
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *FactorCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}

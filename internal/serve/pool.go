@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Typed admission-control errors. The wire layer maps them to HTTP
+// backpressure statuses (429, 503, 504).
+var (
+	// ErrQueueFull: the bounded queue is at capacity; the client should
+	// back off and retry.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining: the server is shutting down and admits no new work.
+	ErrDraining = errors.New("serve: draining")
+	// ErrDeadline: the request's deadline expired before its work started
+	// (work already running is never abandoned mid-GEMM).
+	ErrDeadline = errors.New("serve: deadline exceeded before work started")
+)
+
+// PoolStats is a snapshot of the worker pool counters.
+type PoolStats struct {
+	Workers          int   `json:"workers"`
+	QueueCapacity    int   `json:"queue_capacity"`
+	Queued           int64 `json:"queued"`
+	InFlight         int64 `json:"in_flight"`
+	Completed        int64 `json:"completed"`
+	RejectedFull     int64 `json:"rejected_queue_full"`
+	RejectedDraining int64 `json:"rejected_draining"`
+	Expired          int64 `json:"expired_in_queue"`
+}
+
+// Pool is a bounded worker pool with admission control: a fixed number of
+// workers drain a fixed-depth queue, submissions past the depth are
+// rejected immediately with ErrQueueFull, and tasks whose context expires
+// while still queued are skipped (ErrDeadline) rather than run late. This
+// is the only place compute concurrency is created, so GOMAXPROCS-heavy
+// GEMM work cannot be oversubscribed by accepting unbounded requests.
+type Pool struct {
+	tasks    chan *poolTask
+	workers  int
+	draining atomic.Bool
+
+	queued    atomic.Int64
+	inFlight  atomic.Int64
+	completed atomic.Int64
+	rejFull   atomic.Int64
+	rejDrain  atomic.Int64
+	expired   atomic.Int64
+}
+
+type poolTask struct {
+	fn        func()
+	enqueued  time.Time
+	wait      time.Duration // queue wait, written by the worker before fn
+	cancelled atomic.Bool
+	done      chan struct{} // closed after fn returns (or the task is skipped)
+	skipped   bool
+}
+
+// NewPool starts workers goroutines draining a queue of depth queueDepth.
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &Pool{tasks: make(chan *poolTask, queueDepth), workers: workers}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for t := range p.tasks {
+		p.queued.Add(-1)
+		if t.cancelled.Load() {
+			p.expired.Add(1)
+			t.skipped = true
+			close(t.done)
+			continue
+		}
+		t.wait = time.Since(t.enqueued)
+		p.inFlight.Add(1)
+		t.fn()
+		p.inFlight.Add(-1)
+		p.completed.Add(1)
+		close(t.done)
+	}
+}
+
+// Do submits fn and blocks until it has run, the queue rejects it, or ctx
+// expires while it is still queued. It returns the time fn spent waiting in
+// the queue. fn is never run after Do returns an error.
+func (p *Pool) Do(ctx context.Context, fn func()) (time.Duration, error) {
+	if p.draining.Load() {
+		p.rejDrain.Add(1)
+		return 0, ErrDraining
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, ErrDeadline
+	}
+	t := &poolTask{fn: fn, enqueued: time.Now(), done: make(chan struct{})}
+	p.queued.Add(1)
+	select {
+	case p.tasks <- t:
+	default:
+		p.queued.Add(-1)
+		p.rejFull.Add(1)
+		return 0, ErrQueueFull
+	}
+	select {
+	case <-t.done:
+		if t.skipped {
+			return 0, ErrDeadline
+		}
+		return t.wait, nil
+	case <-ctx.Done():
+		// Mark the task dead; if a worker picked it up in this instant the
+		// work completes anyway and we still report the deadline — the
+		// client has gone.
+		t.cancelled.Store(true)
+		return 0, ErrDeadline
+	}
+}
+
+// BeginDrain stops admitting new work. Idempotent.
+func (p *Pool) BeginDrain() { p.draining.Store(true) }
+
+// Draining reports whether the pool has begun draining.
+func (p *Pool) Draining() bool { return p.draining.Load() }
+
+// AwaitIdle blocks until the queue is empty and no task is running, or ctx
+// expires. Call BeginDrain first so the queue can only shrink.
+func (p *Pool) AwaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if p.queued.Load() == 0 && p.inFlight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:          p.workers,
+		QueueCapacity:    cap(p.tasks),
+		Queued:           p.queued.Load(),
+		InFlight:         p.inFlight.Load(),
+		Completed:        p.completed.Load(),
+		RejectedFull:     p.rejFull.Load(),
+		RejectedDraining: p.rejDrain.Load(),
+		Expired:          p.expired.Load(),
+	}
+}

@@ -1,0 +1,751 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcqr"
+)
+
+// --- test plumbing ---------------------------------------------------------
+
+// testMatrix returns deterministic column-major data in [-0.5, 0.5) with the
+// last column scaled by lastColScale. Distinct seeds give distinct matrices
+// (and therefore distinct cache keys).
+func testMatrix(seed uint64, m, n int, lastColScale float64) []float64 {
+	s := seed*0x9E3779B97F4A7C15 + 1
+	data := make([]float64, m*n)
+	for i := range data {
+		s = s*6364136223846793005 + 1442695040888963407
+		data[i] = float64(s>>11)/float64(uint64(1)<<53) - 0.5
+	}
+	for i := (n - 1) * m; i < n*m; i++ {
+		data[i] *= lastColScale
+	}
+	return data
+}
+
+func wireMat(m, n int, data []float64) map[string]any {
+	return map[string]any{"rows": m, "cols": n, "data": data}
+}
+
+// matVecData computes A·x for column-major data.
+func matVecData(m, n int, data, x []float64) []float64 {
+	b := make([]float64, m)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			b[i] += data[j*m+i] * x[j]
+		}
+	}
+	return b
+}
+
+// post drives one request through the handler in-process and decodes the
+// response body into out (which may be nil).
+func post(t *testing.T, h http.Handler, path string, body any, out any) (int, http.Header) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("undecodable %s response %q: %v", path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code, rec.Header()
+}
+
+func get(t *testing.T, h http.Handler, path string, out any) int {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("undecodable %s response %q: %v", path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+// errCode extracts error.code from an error envelope.
+type envelope struct {
+	Error struct {
+		Code    string       `json:"code"`
+		Message string       `json:"message"`
+		Hazards []WireHazard `json:"hazards"`
+	} `json:"error"`
+}
+
+type solveReply struct {
+	X          []float64    `json:"x"`
+	Iterations int          `json:"iterations"`
+	Converged  bool         `json:"converged"`
+	Optimality float64      `json:"optimality"`
+	Key        string       `json:"key"`
+	Cached     bool         `json:"cached"`
+	Batched    int          `json:"batched"`
+	Hazards    []WireHazard `json:"hazards"`
+}
+
+type factorizeReply struct {
+	Key     string       `json:"key"`
+	Rows    int          `json:"rows"`
+	Cols    int          `json:"cols"`
+	Cached  bool         `json:"cached"`
+	Shared  bool         `json:"shared"`
+	Hazards []WireHazard `json:"hazards"`
+}
+
+// countingBackend wraps the real library and counts (and optionally gates)
+// each Backend call.
+type countingBackend struct {
+	inner      Backend
+	factorize  atomic.Int64
+	solve      atomic.Int64
+	solveMulti atomic.Int64
+	lowRank    atomic.Int64
+	// gate, when non-nil, blocks Factorize until released (admission tests).
+	gate chan struct{}
+}
+
+func (c *countingBackend) Factorize(a *tcqr.Matrix32, cfg tcqr.Config) (*tcqr.Factorization, error) {
+	c.factorize.Add(1)
+	if c.gate != nil {
+		<-c.gate
+	}
+	return c.inner.Factorize(a, cfg)
+}
+
+func (c *countingBackend) SolveWithFactor(f *tcqr.Factorization, a *tcqr.Matrix, b []float64, opts tcqr.SolveOptions) (*tcqr.LeastSquaresResult, error) {
+	c.solve.Add(1)
+	return c.inner.SolveWithFactor(f, a, b, opts)
+}
+
+func (c *countingBackend) SolveMultiWithFactor(f *tcqr.Factorization, a *tcqr.Matrix, b *tcqr.Matrix, opts tcqr.SolveOptions) (*tcqr.MultiResult, error) {
+	c.solveMulti.Add(1)
+	return c.inner.SolveMultiWithFactor(f, a, b, opts)
+}
+
+func (c *countingBackend) LowRank(a *tcqr.Matrix32, rank int, cfg tcqr.Config) (*tcqr.LowRankApprox, error) {
+	c.lowRank.Add(1)
+	return c.inner.LowRank(a, rank, cfg)
+}
+
+func maxDiff(got, want []float64) float64 {
+	if len(got) != len(want) {
+		return math.Inf(1)
+	}
+	d := 0.0
+	for i := range got {
+		if e := math.Abs(got[i] - want[i]); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// --- cache + factorize -----------------------------------------------------
+
+func TestFactorizeColdThenCached(t *testing.T) {
+	s := New(Options{Workers: 2})
+	h := s.Handler()
+	m, n := 64, 16
+	mat := wireMat(m, n, testMatrix(1, m, n, 1))
+
+	var fr factorizeReply
+	code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": mat}, &fr)
+	if code != 200 || fr.Key == "" || fr.Cached || fr.Shared {
+		t.Fatalf("cold factorize: code=%d reply=%+v", code, fr)
+	}
+	if fr.Rows != m || fr.Cols != n {
+		t.Fatalf("echoed shape %dx%d, want %dx%d", fr.Rows, fr.Cols, m, n)
+	}
+	key := fr.Key
+
+	code, _ = post(t, h, "/v1/factorize", map[string]any{"matrix": mat}, &fr)
+	if code != 200 || !fr.Cached || fr.Key != key {
+		t.Fatalf("repeat factorize: code=%d reply=%+v want cached with key %s", code, fr, key)
+	}
+
+	cs := s.Cache().Stats()
+	if cs.Misses != 1 || cs.Hits < 1 || cs.Entries != 1 {
+		t.Fatalf("cache stats after hit: %+v", cs)
+	}
+
+	// A different config must produce a different key (same matrix bits).
+	code, _ = post(t, h, "/v1/factorize", map[string]any{"matrix": mat,
+		"config": map[string]any{"engine": "bf16"}}, &fr)
+	if code != 200 || fr.Cached || fr.Key == key {
+		t.Fatalf("bf16 factorize should miss with a new key: code=%d reply=%+v", code, fr)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	s := New(Options{Workers: 1, CacheEntries: 2})
+	h := s.Handler()
+	m, n := 48, 8
+	keys := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		var fr factorizeReply
+		code, _ := post(t, h, "/v1/factorize",
+			map[string]any{"matrix": wireMat(m, n, testMatrix(uint64(i+10), m, n, 1))}, &fr)
+		if code != 200 {
+			t.Fatalf("factorize %d: code=%d", i, code)
+		}
+		keys[i] = fr.Key
+	}
+	// Capacity 2: the first key must have been evicted.
+	var er envelope
+	code, _ := post(t, h, "/v1/solve", map[string]any{"key": keys[0], "b": make([]float64, m)}, &er)
+	if code != 404 || er.Error.Code != "unknown_key" {
+		t.Fatalf("evicted key should 404 unknown_key, got code=%d %+v", code, er.Error)
+	}
+	if ev := s.Cache().Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	be := &countingBackend{inner: LibraryBackend{}, gate: make(chan struct{})}
+	s := New(Options{Workers: 8, Backend: be})
+	h := s.Handler()
+	m, n := 64, 16
+	mat := wireMat(m, n, testMatrix(2, m, n, 1))
+
+	const clients = 8
+	replies := make([]factorizeReply, clients)
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = post(t, h, "/v1/factorize", map[string]any{"matrix": mat}, &replies[i])
+		}(i)
+	}
+	// Hold the gate until one leader has started factoring and the other
+	// seven are parked on its flight — then the dedup assertion is exact.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cs := s.Cache().Stats()
+		if cs.Misses == 1 && cs.SingleflightShared == clients-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for singleflight parking: %+v", cs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(be.gate)
+	wg.Wait()
+
+	if got := be.factorize.Load(); got != 1 {
+		t.Fatalf("backend.Factorize called %d times for %d identical requests, want 1", got, clients)
+	}
+	leaders, shared := 0, 0
+	for i := 0; i < clients; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("request %d: code=%d", i, codes[i])
+		}
+		if replies[i].Key != replies[0].Key {
+			t.Fatalf("request %d got key %q, want %q", i, replies[i].Key, replies[0].Key)
+		}
+		switch {
+		case !replies[i].Cached && !replies[i].Shared:
+			leaders++
+		case replies[i].Shared:
+			shared++
+		}
+	}
+	if leaders != 1 || shared != clients-1 {
+		t.Fatalf("leaders=%d shared=%d, want 1 and %d", leaders, shared, clients-1)
+	}
+}
+
+// --- solve + coalescing ----------------------------------------------------
+
+func TestSolveByKeyAccuracy(t *testing.T) {
+	s := New(Options{Workers: 2}) // Window 0: solo solves
+	h := s.Handler()
+	m, n := 96, 24
+	data := testMatrix(3, m, n, 1)
+	var fr factorizeReply
+	if code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, &fr); code != 200 {
+		t.Fatalf("factorize: code=%d", code)
+	}
+
+	xTrue := make([]float64, n)
+	for j := range xTrue {
+		xTrue[j] = float64(j%7) - 3
+	}
+	b := matVecData(m, n, data, xTrue)
+	var sr solveReply
+	code, hdr := post(t, h, "/v1/solve", map[string]any{"key": fr.Key, "b": b}, &sr)
+	if code != 200 || !sr.Converged || sr.Batched != 1 || !sr.Cached {
+		t.Fatalf("solve: code=%d reply=%+v", code, sr)
+	}
+	if d := maxDiff(sr.X, xTrue); d > 1e-6 {
+		t.Fatalf("solution error %g > 1e-6 (optimality %g)", d, sr.Optimality)
+	}
+	st := hdr.Get("Server-Timing")
+	if !strings.Contains(st, "queue;dur=") || !strings.Contains(st, "solve;dur=") || !strings.Contains(st, "encode;dur=") {
+		t.Fatalf("Server-Timing %q missing queue/solve/encode stages", st)
+	}
+	// The stages must appear in canonical pipeline order.
+	if qi, si := strings.Index(st, "queue;"), strings.Index(st, "solve;"); qi > si {
+		t.Fatalf("Server-Timing %q out of order", st)
+	}
+}
+
+func TestSolveByMatrixFactorsInline(t *testing.T) {
+	be := &countingBackend{inner: LibraryBackend{}}
+	s := New(Options{Workers: 2, Backend: be})
+	h := s.Handler()
+	m, n := 64, 16
+	data := testMatrix(4, m, n, 1)
+	xTrue := make([]float64, n)
+	for j := range xTrue {
+		xTrue[j] = 1 + float64(j)
+	}
+	req := map[string]any{"matrix": wireMat(m, n, data), "b": matVecData(m, n, data, xTrue)}
+
+	var sr solveReply
+	code, _ := post(t, h, "/v1/solve", req, &sr)
+	if code != 200 || sr.Cached || sr.Key == "" {
+		t.Fatalf("first solve-by-matrix: code=%d reply=%+v", code, sr)
+	}
+	if d := maxDiff(sr.X, xTrue); d > 1e-6 {
+		t.Fatalf("solution error %g > 1e-6", d)
+	}
+	code, _ = post(t, h, "/v1/solve", req, &sr)
+	if code != 200 || !sr.Cached {
+		t.Fatalf("second solve-by-matrix should hit the cache: code=%d reply=%+v", code, sr)
+	}
+	if got := be.factorize.Load(); got != 1 {
+		t.Fatalf("backend.Factorize called %d times, want 1 (second solve must reuse)", got)
+	}
+}
+
+// TestCoalescingOneMultiSolveCall is the acceptance test for the coalescer:
+// N concurrent same-key solves must reach the backend as exactly ONE
+// SolveMultiWithFactor call. MaxBatch == N makes the flush deterministic
+// (the Nth arrival flushes; the window only exists as a slow-path backstop).
+func TestCoalescingOneMultiSolveCall(t *testing.T) {
+	const clients = 4
+	be := &countingBackend{inner: LibraryBackend{}}
+	s := New(Options{Workers: 2, Backend: be, Window: 10 * time.Second, MaxBatch: clients})
+	h := s.Handler()
+	m, n := 96, 24
+	data := testMatrix(5, m, n, 1)
+	var fr factorizeReply
+	if code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, &fr); code != 200 {
+		t.Fatalf("factorize: code=%d", code)
+	}
+
+	xs := make([][]float64, clients)
+	replies := make([]solveReply, clients)
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			xTrue := make([]float64, n)
+			for j := range xTrue {
+				xTrue[j] = float64((i+1)*(j+1)) / 10
+			}
+			xs[i] = xTrue
+			codes[i], _ = post(t, h, "/v1/solve",
+				map[string]any{"key": fr.Key, "b": matVecData(m, n, data, xTrue)}, &replies[i])
+		}(i)
+	}
+	wg.Wait()
+
+	if got := be.solveMulti.Load(); got != 1 {
+		t.Fatalf("backend.SolveMultiWithFactor called %d times for %d concurrent solves, want exactly 1", got, clients)
+	}
+	if got := be.solve.Load(); got != 0 {
+		t.Fatalf("backend.SolveWithFactor called %d times, want 0 (everything should batch)", got)
+	}
+	for i := 0; i < clients; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("solve %d: code=%d", i, codes[i])
+		}
+		if replies[i].Batched != clients {
+			t.Fatalf("solve %d reports batched=%d, want %d", i, replies[i].Batched, clients)
+		}
+		if d := maxDiff(replies[i].X, xs[i]); d > 1e-6 {
+			t.Fatalf("solve %d got the wrong column back: error %g (optimality %g)", i, d, replies[i].Optimality)
+		}
+	}
+	cst := s.CoalescerStats()
+	if cst.MultiSolveCalls != 1 || cst.BatchedRequests != clients || cst.MaxBatch != clients {
+		t.Fatalf("coalescer stats %+v", cst)
+	}
+}
+
+func TestCoalescingIncompatibleOptionsDoNotBatch(t *testing.T) {
+	be := &countingBackend{inner: LibraryBackend{}}
+	s := New(Options{Workers: 2, Backend: be, Window: 50 * time.Millisecond, MaxBatch: 8})
+	h := s.Handler()
+	m, n := 64, 16
+	data := testMatrix(6, m, n, 1)
+	var fr factorizeReply
+	if code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, &fr); code != 200 {
+		t.Fatalf("factorize: code=%d", code)
+	}
+	b := matVecData(m, n, data, make([]float64, n))
+	var wg sync.WaitGroup
+	for _, method := range []string{"cgls", "lsqr"} {
+		wg.Add(1)
+		go func(method string) {
+			defer wg.Done()
+			var sr solveReply
+			code, _ := post(t, h, "/v1/solve", map[string]any{"key": fr.Key, "b": b,
+				"options": map[string]any{"method": method}}, &sr)
+			if code != 200 || sr.Batched != 1 {
+				t.Errorf("method %s: code=%d batched=%d, want solo", method, code, sr.Batched)
+			}
+		}(method)
+	}
+	wg.Wait()
+	if got := be.solveMulti.Load(); got != 0 {
+		t.Fatalf("incompatible options were batched together (%d multi calls)", got)
+	}
+}
+
+// --- admission control -----------------------------------------------------
+
+func TestQueueFullRejectsWith429(t *testing.T) {
+	be := &countingBackend{inner: LibraryBackend{}, gate: make(chan struct{})}
+	s := New(Options{Workers: 1, QueueDepth: 1, Backend: be})
+	h := s.Handler()
+	m, n := 48, 8
+
+	// Request 1 occupies the only worker (its backend call blocks on the
+	// gate); request 2 fills the depth-1 queue; request 3 must bounce. The
+	// two fillers are sequenced — request 2 is only sent once the worker has
+	// demonstrably dequeued request 1 — because until then request 1's own
+	// task may still be sitting in the buffer.
+	results := make(chan int, 2)
+	go func() {
+		code, _ := post(t, h, "/v1/factorize",
+			map[string]any{"matrix": wireMat(m, n, testMatrix(20, m, n, 1))}, nil)
+		results <- code
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for be.factorize.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never picked up request 1: pool=%+v", s.pool.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		code, _ := post(t, h, "/v1/factorize",
+			map[string]any{"matrix": wireMat(m, n, testMatrix(21, m, n, 1))}, nil)
+		results <- code
+	}()
+	for s.pool.Stats().Queued < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("request 2 never queued: pool=%+v", s.pool.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var er envelope
+	code, hdr := post(t, h, "/v1/factorize",
+		map[string]any{"matrix": wireMat(m, n, testMatrix(22, m, n, 1))}, &er)
+	if code != 429 || er.Error.Code != "overloaded" {
+		t.Fatalf("overflow request: code=%d error=%+v, want 429 overloaded", code, er.Error)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatalf("429 response missing Retry-After")
+	}
+
+	close(be.gate)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != 200 {
+			t.Fatalf("parked request finished with %d, want 200", code)
+		}
+	}
+	if rej := s.pool.Stats().RejectedFull; rej != 1 {
+		t.Fatalf("pool rejected %d, want 1", rej)
+	}
+}
+
+func TestDeadlineExpiresInQueueWith504(t *testing.T) {
+	be := &countingBackend{inner: LibraryBackend{}, gate: make(chan struct{})}
+	s := New(Options{Workers: 1, QueueDepth: 8, Backend: be})
+	h := s.Handler()
+	m, n := 48, 8
+
+	blocked := make(chan int, 1)
+	go func() {
+		code, _ := post(t, h, "/v1/factorize",
+			map[string]any{"matrix": wireMat(m, n, testMatrix(30, m, n, 1))}, nil)
+		blocked <- code
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for be.factorize.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the blocking request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var er envelope
+	code, _ := post(t, h, "/v1/factorize",
+		map[string]any{"matrix": wireMat(m, n, testMatrix(31, m, n, 1)), "deadline_ms": 30}, &er)
+	if code != 504 || er.Error.Code != "deadline" {
+		t.Fatalf("queued request past its deadline: code=%d error=%+v, want 504 deadline", code, er.Error)
+	}
+
+	close(be.gate)
+	if code := <-blocked; code != 200 {
+		t.Fatalf("blocking request finished with %d, want 200", code)
+	}
+}
+
+func TestDrainingRejectsWith503(t *testing.T) {
+	s := New(Options{Workers: 1})
+	h := s.Handler()
+	if code := get(t, h, "/healthz", nil); code != 200 {
+		t.Fatalf("healthz before drain: %d", code)
+	}
+	s.BeginDrain()
+	if code := get(t, h, "/healthz", nil); code != 503 {
+		t.Fatalf("healthz while draining: %d, want 503", code)
+	}
+	var er envelope
+	code, hdr := post(t, h, "/v1/factorize",
+		map[string]any{"matrix": wireMat(8, 2, testMatrix(40, 8, 2, 1))}, &er)
+	if code != 503 || er.Error.Code != "draining" {
+		t.Fatalf("compute while draining: code=%d error=%+v, want 503 draining", code, er.Error)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatalf("503 response missing Retry-After")
+	}
+}
+
+// --- hazards over the wire -------------------------------------------------
+
+// overflowMatrix is a matrix whose last column blows past the binary16
+// maximum once column scaling is disabled — the §3.5 hazard.
+func overflowWire(m, n int) (map[string]any, map[string]any) {
+	mat := wireMat(m, n, testMatrix(50, m, n, 3e5))
+	cfg := map[string]any{"cutoff": 8, "disable_column_scaling": true}
+	return mat, cfg
+}
+
+func TestHazardFailReturns422(t *testing.T) {
+	s := New(Options{Workers: 1})
+	h := s.Handler()
+	mat, cfg := overflowWire(64, 16)
+	var er envelope
+	code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": mat, "config": cfg}, &er)
+	if code != 422 || er.Error.Code != "numerical_hazard" {
+		t.Fatalf("overflow under fail policy: code=%d error=%+v, want 422 numerical_hazard", code, er.Error)
+	}
+}
+
+func TestHazardFallbackRecoversWithHazardsInBody(t *testing.T) {
+	s := New(Options{Workers: 1})
+	h := s.Handler()
+	mat, cfg := overflowWire(64, 16)
+	cfg["on_hazard"] = "fallback"
+	var fr factorizeReply
+	code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": mat, "config": cfg}, &fr)
+	if code != 200 {
+		t.Fatalf("overflow under fallback: code=%d", code)
+	}
+	if len(fr.Hazards) == 0 {
+		t.Fatalf("fallback recovery reported no hazards")
+	}
+	recovered := false
+	for _, hz := range fr.Hazards {
+		if hz.Action != "" {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatalf("no hazard carries a recovery action: %+v", fr.Hazards)
+	}
+
+	// The hazards must also flow into solves against this factorization, and
+	// into the server-wide /statz counters.
+	var sr solveReply
+	code, _ = post(t, h, "/v1/solve", map[string]any{"key": fr.Key, "b": make([]float64, 64)}, &sr)
+	if code != 200 || len(sr.Hazards) == 0 {
+		t.Fatalf("solve against recovered factorization: code=%d hazards=%d, want hazards to propagate", code, len(sr.Hazards))
+	}
+	var statz struct {
+		Hazards map[string]int64 `json:"hazards"`
+	}
+	if code := get(t, h, "/statz", &statz); code != 200 || len(statz.Hazards) == 0 {
+		t.Fatalf("statz hazard counters empty after recovery: code=%d %+v", code, statz.Hazards)
+	}
+}
+
+// --- input validation and error mapping ------------------------------------
+
+func TestErrorMapping(t *testing.T) {
+	s := New(Options{Workers: 1, MaxElements: 1024})
+	h := s.Handler()
+	m, n := 16, 4
+	good := wireMat(m, n, testMatrix(60, m, n, 1))
+	nan := testMatrix(61, m, n, 1)
+	nan[3] = math.NaN()
+
+	cases := []struct {
+		name     string
+		path     string
+		body     any
+		wantCode int
+		wantErr  string
+	}{
+		{"malformed json", "/v1/factorize", "{not json", 400, "bad_input"},
+		{"unknown field", "/v1/factorize", map[string]any{"matrix": good, "bogus": 1}, 400, "bad_input"},
+		{"missing matrix", "/v1/factorize", map[string]any{}, 400, "bad_input"},
+		{"short data", "/v1/factorize", map[string]any{"matrix": wireMat(m, n, make([]float64, 3))}, 400, "bad_input"},
+		{"wide matrix", "/v1/factorize", map[string]any{"matrix": wireMat(2, 4, make([]float64, 8))}, 400, "bad_input"},
+		{"nan matrix", "/v1/factorize", map[string]any{"matrix": wireMat(m, n, nan)}, 400, "bad_input"},
+		{"bad engine", "/v1/factorize", map[string]any{"matrix": good, "config": map[string]any{"engine": "fp8"}}, 400, "bad_input"},
+		{"too large", "/v1/factorize", map[string]any{"matrix": wireMat(64, 32, make([]float64, 64*32))}, 413, "too_large"},
+		{"solve no key no matrix", "/v1/solve", map[string]any{"b": []float64{1}}, 400, "bad_input"},
+		{"solve unknown key", "/v1/solve", map[string]any{"key": "m0-x", "b": make([]float64, m)}, 404, "unknown_key"},
+		{"solve bad method", "/v1/solve", map[string]any{"key": "k", "b": []float64{1}, "options": map[string]any{"method": "jacobi"}}, 400, "bad_input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body []byte
+			if s, ok := tc.body.(string); ok {
+				body = []byte(s)
+			} else {
+				body, _ = json.Marshal(tc.body)
+			}
+			req := httptest.NewRequest(http.MethodPost, tc.path, bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			var er envelope
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+				t.Fatalf("non-envelope error body %q", rec.Body.String())
+			}
+			if rec.Code != tc.wantCode || er.Error.Code != tc.wantErr {
+				t.Fatalf("got %d %q (%s), want %d %q", rec.Code, er.Error.Code, er.Error.Message, tc.wantCode, tc.wantErr)
+			}
+		})
+	}
+
+	// Solve with a mismatched right-hand side against a real key.
+	var fr factorizeReply
+	if code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": good}, &fr); code != 200 {
+		t.Fatalf("factorize: %d", code)
+	}
+	var er envelope
+	if code, _ := post(t, h, "/v1/solve", map[string]any{"key": fr.Key, "b": []float64{1, 2}}, &er); code != 400 || er.Error.Code != "bad_input" {
+		t.Fatalf("short b: code=%d error=%+v", code, er.Error)
+	}
+	if code, _ := post(t, h, "/v1/solve", map[string]any{"key": fr.Key, "matrix": good, "b": make([]float64, m)}, &er); code != 400 {
+		t.Fatalf("key+matrix together should 400, got %d", code)
+	}
+
+	// Wrong method on a compute endpoint.
+	req := httptest.NewRequest(http.MethodGet, "/v1/solve", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 405 {
+		t.Fatalf("GET /v1/solve: code=%d, want 405", rec.Code)
+	}
+}
+
+// --- lowrank + statz -------------------------------------------------------
+
+func TestLowRankEndpoint(t *testing.T) {
+	s := New(Options{Workers: 2})
+	h := s.Handler()
+	m, n := 48, 12
+	var lr struct {
+		U    WireMatrix `json:"u"`
+		S    []float64  `json:"s"`
+		V    WireMatrix `json:"v"`
+		Rank int        `json:"rank"`
+	}
+	code, _ := post(t, h, "/v1/lowrank",
+		map[string]any{"matrix": wireMat(m, n, testMatrix(70, m, n, 1)), "rank": 4}, &lr)
+	if code != 200 || lr.Rank != 4 {
+		t.Fatalf("lowrank: code=%d rank=%d", code, lr.Rank)
+	}
+	if lr.U.Rows != m || lr.U.Cols != 4 || lr.V.Rows != n || lr.V.Cols != 4 || len(lr.S) != 4 {
+		t.Fatalf("lowrank shapes: U %dx%d V %dx%d S %d", lr.U.Rows, lr.U.Cols, lr.V.Rows, lr.V.Cols, len(lr.S))
+	}
+	for i := 1; i < len(lr.S); i++ {
+		if lr.S[i] > lr.S[i-1] {
+			t.Fatalf("singular values not sorted: %v", lr.S)
+		}
+	}
+}
+
+func TestStatzShape(t *testing.T) {
+	s := New(Options{Workers: 2})
+	h := s.Handler()
+	m, n := 64, 16
+	data := testMatrix(80, m, n, 1)
+	var fr factorizeReply
+	post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, &fr)
+	post(t, h, "/v1/solve", map[string]any{"key": fr.Key, "b": make([]float64, m)}, nil)
+	post(t, h, "/v1/solve", map[string]any{"key": "missing", "b": make([]float64, m)}, nil)
+
+	var statz struct {
+		UptimeSeconds float64          `json:"uptime_seconds"`
+		Draining      bool             `json:"draining"`
+		Requests      map[string]int64 `json:"requests"`
+		Errors        map[string]int64 `json:"errors"`
+		Cache         CacheStats       `json:"cache"`
+		Coalescer     CoalescerStats   `json:"coalescer"`
+		Pool          PoolStats        `json:"pool"`
+		Timing        map[string]struct {
+			Count   int64   `json:"count"`
+			TotalMS float64 `json:"total_ms"`
+			AvgMS   float64 `json:"avg_ms"`
+			MaxMS   float64 `json:"max_ms"`
+		} `json:"timing"`
+		Hazards map[string]int64 `json:"hazards"`
+	}
+	if code := get(t, h, "/statz", &statz); code != 200 {
+		t.Fatalf("statz: code=%d", code)
+	}
+	if statz.Requests["factorize"] != 1 || statz.Requests["solve"] != 2 {
+		t.Fatalf("request counters %+v", statz.Requests)
+	}
+	if statz.Errors["unknown_key"] != 1 {
+		t.Fatalf("error counters %+v", statz.Errors)
+	}
+	if statz.Cache.Misses != 1 || statz.Cache.Entries != 1 {
+		t.Fatalf("cache stats %+v", statz.Cache)
+	}
+	if statz.Pool.Workers != 2 || statz.Pool.Completed < 1 {
+		t.Fatalf("pool stats %+v", statz.Pool)
+	}
+	for _, stage := range []string{"queue", "factorize", "solve", "encode"} {
+		agg, ok := statz.Timing[stage]
+		if !ok || agg.Count < 1 {
+			t.Fatalf("timing stage %q missing or empty: %+v", stage, statz.Timing)
+		}
+		if agg.MaxMS < 0 || agg.TotalMS < 0 {
+			t.Fatalf("timing stage %q has negative durations: %+v", stage, agg)
+		}
+	}
+}

@@ -1,0 +1,575 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcqr"
+	"tcqr/internal/hazard"
+)
+
+// Options configures a Server. Zero values select sensible production
+// defaults (see New).
+type Options struct {
+	// Workers is the compute worker count (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (0 = 64). Submissions past the
+	// bound are rejected with 429 immediately.
+	QueueDepth int
+	// CacheEntries bounds the factorization cache (0 = 32 entries, LRU).
+	CacheEntries int
+	// Window is the coalescing window: same-factorization solves arriving
+	// within it share one multi-RHS call. 0 disables coalescing; tcqrd
+	// defaults it to 2ms.
+	Window time.Duration
+	// MaxBatch caps a coalesced batch; a full batch flushes before its
+	// window closes (0 = 32).
+	MaxBatch int
+	// DefaultDeadline bounds each request when the client sends no
+	// deadline_ms (0 = 30s).
+	DefaultDeadline time.Duration
+	// MaxBodyBytes caps request bodies (0 = 64 MiB).
+	MaxBodyBytes int64
+	// MaxElements caps rows*cols of an uploaded matrix (0 = 8Mi elements).
+	MaxElements int
+	// Backend routes compute; nil = LibraryBackend. Tests install counting
+	// or delaying backends here.
+	Backend Backend
+}
+
+// stageAgg accumulates one pipeline stage across requests.
+type stageAgg struct {
+	Count   int64
+	TotalNs int64
+	MaxNs   int64
+}
+
+// Server is the serving core: cache + coalescer + pool behind an
+// http.Handler. Create with New, mount Handler, and call BeginDrain /
+// AwaitIdle around shutdown.
+type Server struct {
+	opts     Options
+	backend  Backend
+	cache    *FactorCache
+	coal     *Coalescer
+	pool     *Pool
+	start    time.Time
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	requests map[string]int64
+	errors   map[string]int64
+	timing   map[string]*stageAgg
+	hazards  map[string]int64
+}
+
+// New builds a Server from opts, filling in defaults for zero fields.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 32
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 32
+	}
+	if opts.DefaultDeadline <= 0 {
+		opts.DefaultDeadline = 30 * time.Second
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	if opts.MaxElements <= 0 {
+		opts.MaxElements = 8 << 20
+	}
+	if opts.Backend == nil {
+		opts.Backend = LibraryBackend{}
+	}
+	s := &Server{
+		opts:     opts,
+		backend:  opts.Backend,
+		pool:     NewPool(opts.Workers, opts.QueueDepth),
+		start:    time.Now(),
+		requests: make(map[string]int64),
+		errors:   make(map[string]int64),
+		timing:   make(map[string]*stageAgg),
+		hazards:  make(map[string]int64),
+	}
+	s.cache = NewFactorCache(opts.CacheEntries, s.backend)
+	s.coal = NewCoalescer(opts.Window, opts.MaxBatch, s.backend, func(fn func()) error {
+		_, err := s.pool.Do(context.Background(), fn)
+		return err
+	})
+	return s
+}
+
+// Cache exposes the factorization cache (benchmarks reset it to measure the
+// cold path).
+func (s *Server) Cache() *FactorCache { return s.cache }
+
+// CoalescerStats exposes the coalescer counters (tests assert one multi-RHS
+// call per batch through them).
+func (s *Server) CoalescerStats() CoalescerStats { return s.coal.Stats() }
+
+// BeginDrain flips the server to draining: /healthz turns 503, new compute
+// requests are rejected, and every parked coalesced batch is flushed so
+// in-flight requests complete promptly. Idempotent.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.coal.PendingFlush()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// AwaitIdle blocks until the worker pool has no queued or running work, or
+// ctx expires. Call after the HTTP server has stopped accepting requests.
+func (s *Server) AwaitIdle(ctx context.Context) error { return s.pool.AwaitIdle(ctx) }
+
+// Handler returns the HTTP API: POST /v1/factorize, /v1/solve, /v1/lowrank;
+// GET /healthz, /statz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/factorize", s.handleFactorize)
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/lowrank", s.handleLowRank)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+// admit is the common front door of the compute endpoints: method check,
+// drain check, request accounting, body cap, deadline.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) (*hazard.Report, bool) {
+	rep := &hazard.Report{}
+	s.mu.Lock()
+	s.requests[endpoint]++
+	s.mu.Unlock()
+	if r.Method != http.MethodPost {
+		s.fail(w, rep, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+			msg: fmt.Sprintf("%s requires POST", r.URL.Path)})
+		return nil, false
+	}
+	if s.draining.Load() {
+		s.fail(w, rep, classifyError(ErrDraining))
+		return nil, false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	return rep, true
+}
+
+// requestContext derives the request's compute deadline: the client's
+// deadline_ms when given, the server default otherwise, whichever is
+// sooner.
+func (s *Server) requestContext(r *http.Request, deadlineMS int64) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultDeadline
+	if deadlineMS > 0 {
+		if cd := time.Duration(deadlineMS) * time.Millisecond; cd < d {
+			d = cd
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// resolveMatrix validates an uploaded matrix against the size cap.
+func (s *Server) resolveMatrix(wm *WireMatrix) (*tcqr.Matrix, *apiError) {
+	a, err := wm.matrix()
+	if err != nil {
+		return nil, classifyError(err)
+	}
+	if a.Rows*a.Cols > s.opts.MaxElements {
+		return nil, &apiError{status: http.StatusRequestEntityTooLarge, code: "too_large",
+			msg: fmt.Sprintf("matrix has %d elements; the server caps uploads at %d", a.Rows*a.Cols, s.opts.MaxElements)}
+	}
+	return a, nil
+}
+
+// factorEntry runs GetOrFactor through the pool, recording queue and (on
+// non-hit sources) factorize stage timings.
+func (s *Server) factorEntry(ctx context.Context, rep *hazard.Report, key string, a *tcqr.Matrix, cfg tcqr.Config) (*Entry, Source, error) {
+	var (
+		entry *Entry
+		src   Source
+		ferr  error
+	)
+	wait, err := s.pool.Do(ctx, func() {
+		t0 := time.Now()
+		entry, src, ferr = s.cache.GetOrFactor(key, a, cfg)
+		if src != SourceHit {
+			rep.RecordTiming("factorize", time.Since(t0))
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	rep.RecordTiming("queue", wait)
+	return entry, src, ferr
+}
+
+func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
+	rep, ok := s.admit(w, r, "factorize")
+	if !ok {
+		return
+	}
+	var req factorizeRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.fail(w, rep, classifyError(err))
+		return
+	}
+	a, aerr := s.resolveMatrix(req.Matrix)
+	if aerr != nil {
+		s.fail(w, rep, aerr)
+		return
+	}
+	cfg, err := req.Config.config()
+	if err != nil {
+		s.fail(w, rep, classifyError(err))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.DeadlineMS)
+	defer cancel()
+	key := CacheKey(a, cfg)
+	entry, src, ferr := s.factorEntry(ctx, rep, key, a, cfg)
+	if ferr != nil {
+		s.fail(w, rep, classifyError(ferr))
+		return
+	}
+	f := entry.F
+	s.ok(w, rep, factorizeResponse{
+		Key:              key,
+		Rows:             a.Rows,
+		Cols:             a.Cols,
+		Cached:           src == SourceHit,
+		Shared:           src == SourceShared,
+		Reorthogonalized: f.Reorthogonalized,
+		EngineStats: wireEngineStats{
+			GemmCalls:  f.EngineStats.GemmCalls,
+			Flops:      f.EngineStats.Flops,
+			Overflows:  f.EngineStats.Overflows,
+			Underflows: f.EngineStats.Underflows,
+		},
+		Hazards: s.noteHazards(f.Hazards),
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	rep, ok := s.admit(w, r, "solve")
+	if !ok {
+		return
+	}
+	var req solveRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.fail(w, rep, classifyError(err))
+		return
+	}
+	opts, err := req.Options.options()
+	if err != nil {
+		s.fail(w, rep, classifyError(err))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.DeadlineMS)
+	defer cancel()
+
+	var (
+		entry *Entry
+		src   Source
+	)
+	switch {
+	case req.Key != "" && req.Matrix != nil:
+		s.fail(w, rep, errBadInput("give key or matrix, not both"))
+		return
+	case req.Key != "":
+		e, found := s.cache.Get(req.Key)
+		if !found {
+			s.fail(w, rep, &apiError{status: http.StatusNotFound, code: "unknown_key",
+				msg: fmt.Sprintf("no cached factorization for key %q (it may have been evicted; re-send the matrix)", req.Key)})
+			return
+		}
+		entry, src = e, SourceHit
+	case req.Matrix != nil:
+		a, aerr := s.resolveMatrix(req.Matrix)
+		if aerr != nil {
+			s.fail(w, rep, aerr)
+			return
+		}
+		cfg, cerr := req.Config.config()
+		if cerr != nil {
+			s.fail(w, rep, classifyError(cerr))
+			return
+		}
+		var ferr error
+		entry, src, ferr = s.factorEntry(ctx, rep, CacheKey(a, cfg), a, cfg)
+		if ferr != nil {
+			s.fail(w, rep, classifyError(ferr))
+			return
+		}
+	default:
+		s.fail(w, rep, errBadInput("missing key or matrix"))
+		return
+	}
+
+	if len(req.B) != entry.A.Rows {
+		s.fail(w, rep, errBadInput(fmt.Sprintf("b holds %d elements; the matrix has %d rows", len(req.B), entry.A.Rows)))
+		return
+	}
+	if err := hazard.CheckVec("b", req.B); err != nil {
+		s.fail(w, rep, classifyError(err))
+		return
+	}
+
+	out := s.coal.Submit(ctx, entry, opts, req.B)
+	if out.err != nil {
+		s.fail(w, rep, classifyError(out.err))
+		return
+	}
+	rep.RecordTiming("queue", out.queueWait)
+	rep.RecordTiming("solve", out.solveTime)
+	s.ok(w, rep, solveResponse{
+		X:          out.x,
+		Iterations: out.iterations,
+		Converged:  out.converged,
+		Optimality: out.optimality,
+		Key:        entry.Key,
+		Cached:     src == SourceHit,
+		Batched:    out.batched,
+		Hazards:    s.noteHazards(out.hazards),
+	})
+}
+
+func (s *Server) handleLowRank(w http.ResponseWriter, r *http.Request) {
+	rep, ok := s.admit(w, r, "lowrank")
+	if !ok {
+		return
+	}
+	var req lowRankRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.fail(w, rep, classifyError(err))
+		return
+	}
+	a, aerr := s.resolveMatrix(req.Matrix)
+	if aerr != nil {
+		s.fail(w, rep, aerr)
+		return
+	}
+	cfg, err := req.Config.config()
+	if err != nil {
+		s.fail(w, rep, classifyError(err))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.DeadlineMS)
+	defer cancel()
+	var (
+		res  *tcqr.LowRankApprox
+		lerr error
+	)
+	wait, perr := s.pool.Do(ctx, func() {
+		t0 := time.Now()
+		res, lerr = s.backend.LowRank(tcqr.ToFloat32(a), req.Rank, cfg)
+		rep.RecordTiming("solve", time.Since(t0))
+	})
+	if perr != nil {
+		s.fail(w, rep, classifyError(perr))
+		return
+	}
+	rep.RecordTiming("queue", wait)
+	if lerr != nil {
+		s.fail(w, rep, classifyError(lerr))
+		return
+	}
+	sing := make([]float64, len(res.S))
+	for i, v := range res.S {
+		sing[i] = float64(v)
+	}
+	s.ok(w, rep, lowRankResponse{
+		U:       fromMatrix(res.U),
+		S:       sing,
+		V:       fromMatrix(res.V),
+		Rank:    res.Rank,
+		Hazards: s.noteHazards(res.Hazards),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// statzTiming is the aggregated view of one pipeline stage.
+type statzTiming struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	AvgMS   float64 `json:"avg_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// statzResponse is the body of GET /statz.
+type statzResponse struct {
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Draining      bool                   `json:"draining"`
+	Requests      map[string]int64       `json:"requests"`
+	Errors        map[string]int64       `json:"errors"`
+	Cache         CacheStats             `json:"cache"`
+	Coalescer     CoalescerStats         `json:"coalescer"`
+	Pool          PoolStats              `json:"pool"`
+	Timing        map[string]statzTiming `json:"timing"`
+	Hazards       map[string]int64       `json:"hazards"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := statzResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+		Requests:      copyMap(s.requests),
+		Errors:        copyMap(s.errors),
+		Timing:        make(map[string]statzTiming, len(s.timing)),
+		Hazards:       copyMap(s.hazards),
+	}
+	for stage, agg := range s.timing {
+		resp.Timing[stage] = statzTiming{
+			Count:   agg.Count,
+			TotalMS: float64(agg.TotalNs) / 1e6,
+			AvgMS:   float64(agg.TotalNs) / float64(agg.Count) / 1e6,
+			MaxMS:   float64(agg.MaxNs) / 1e6,
+		}
+	}
+	s.mu.Unlock()
+	resp.Cache = s.cache.Stats()
+	resp.Coalescer = s.coal.Stats()
+	resp.Pool = s.pool.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+func copyMap(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// noteHazards serializes a hazard list and folds it into the server-wide
+// per-kind counters surfaced by /statz.
+func (s *Server) noteHazards(hs []tcqr.Hazard) []WireHazard {
+	ws := wireHazards(hs)
+	if len(ws) > 0 {
+		s.mu.Lock()
+		for _, h := range ws {
+			s.hazards[h.Kind]++
+		}
+		s.mu.Unlock()
+	}
+	return ws
+}
+
+// ok encodes v (timed as the encode stage) and finishes the response.
+func (s *Server) ok(w http.ResponseWriter, rep *hazard.Report, v any) {
+	var buf bytes.Buffer
+	t0 := time.Now()
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		s.fail(w, rep, &apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()})
+		return
+	}
+	rep.RecordTiming("encode", time.Since(t0))
+	s.finish(w, rep, http.StatusOK, buf.Bytes())
+}
+
+// fail encodes the uniform error envelope for e and finishes the response.
+func (s *Server) fail(w http.ResponseWriter, rep *hazard.Report, e *apiError) {
+	s.mu.Lock()
+	s.errors[e.code]++
+	s.mu.Unlock()
+	body, _ := json.Marshal(errorBody{Error: errorDetail{Code: e.code, Message: e.msg, Hazards: e.hazards}})
+	if e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.finish(w, rep, e.status, append(body, '\n'))
+}
+
+// finish aggregates the request's stage timings into /statz, emits the
+// Server-Timing header, and writes the response.
+func (s *Server) finish(w http.ResponseWriter, rep *hazard.Report, status int, body []byte) {
+	timings := rep.Timings()
+	s.mu.Lock()
+	for _, t := range timings {
+		agg := s.timing[t.Stage]
+		if agg == nil {
+			agg = &stageAgg{}
+			s.timing[t.Stage] = agg
+		}
+		agg.Count++
+		agg.TotalNs += t.D.Nanoseconds()
+		if ns := t.D.Nanoseconds(); ns > agg.MaxNs {
+			agg.MaxNs = ns
+		}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if st := serverTimingHeader(timings); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// serverTimingHeader renders the stage breakdown in the standard
+// Server-Timing format, one metric per stage (durations summed if a stage
+// was recorded twice), in the canonical queue/factorize/solve/encode order.
+func serverTimingHeader(timings []hazard.Timing) string {
+	if len(timings) == 0 {
+		return ""
+	}
+	sums := make(map[string]time.Duration)
+	var order []string
+	for _, t := range timings {
+		if _, seen := sums[t.Stage]; !seen {
+			order = append(order, t.Stage)
+		}
+		sums[t.Stage] += t.D
+	}
+	sort.SliceStable(order, func(i, j int) bool { return stageRank(order[i]) < stageRank(order[j]) })
+	var sb strings.Builder
+	for i, stage := range order {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s;dur=%.3f", stage, float64(sums[stage].Nanoseconds())/1e6)
+	}
+	return sb.String()
+}
+
+func stageRank(stage string) int {
+	switch stage {
+	case "queue":
+		return 0
+	case "factorize":
+		return 1
+	case "solve":
+		return 2
+	case "encode":
+		return 3
+	}
+	return 4
+}

@@ -17,4 +17,7 @@ for pkg in ./internal/f16 ./internal/bf16 ./internal/blas; do
 	go test -run '^$' -fuzz . -fuzztime 10s "$pkg"
 done
 
+echo "== serve smoke =="
+sh scripts/serve_smoke.sh
+
 echo "OK"

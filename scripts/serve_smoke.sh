@@ -1,0 +1,66 @@
+#!/bin/sh
+# End-to-end smoke test of the tcqrd daemon: build it, start it on an
+# ephemeral port, drive it with its own -smoke client (factorize, cache hit,
+# coalesced solves, hazard fallback/fail, malformed input, /statz), and shut
+# it down. Exits non-zero if the daemon fails to start, any API response
+# deviates from the contract, or the daemon does not drain cleanly on
+# SIGTERM. Run from the repository root; `make serve-smoke` wraps this.
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill -9 "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build tcqrd =="
+go build -o "$workdir/tcqrd" ./cmd/tcqrd
+
+# A long coalescing window makes the smoke client's concurrent solves batch
+# deterministically (they all arrive well within 250ms of each other).
+echo "== start daemon =="
+"$workdir/tcqrd" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+	-window 250ms -deadline 30s >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+i=0
+while [ ! -s "$workdir/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ] || ! kill -0 "$daemon_pid" 2>/dev/null; then
+		echo "daemon failed to start:" >&2
+		cat "$workdir/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$workdir/addr")
+echo "daemon listening on $addr"
+
+echo "== run smoke client =="
+"$workdir/tcqrd" -smoke "http://$addr"
+
+echo "== graceful drain =="
+kill -TERM "$daemon_pid"
+# Watchdog: the daemon's own drain budget is 10s; if it hangs past 15s the
+# watchdog kills it and wait reports the non-zero status below.
+(sleep 15 && kill -9 "$daemon_pid" 2>/dev/null) &
+watchdog=$!
+if wait "$daemon_pid"; then
+	drain_status=0
+else
+	drain_status=$?
+fi
+kill "$watchdog" 2>/dev/null || true
+daemon_pid=""
+if [ "$drain_status" -ne 0 ]; then
+	echo "daemon exited uncleanly (status $drain_status):" >&2
+	cat "$workdir/daemon.log" >&2
+	exit 1
+fi
+
+echo "SERVE SMOKE OK"

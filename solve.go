@@ -156,6 +156,18 @@ func SolveLeastSquaresMulti(a *Matrix, b *Matrix, opts SolveOptions) (*MultiResu
 	if err != nil {
 		return nil, err
 	}
+	return SolveLeastSquaresMultiWithFactor(f, a, b, opts)
+}
+
+// SolveLeastSquaresMultiWithFactor reuses an existing factorization of A for
+// a block of right-hand sides: the batched analogue of
+// SolveLeastSquaresWithFactor, and the call a request coalescer should make
+// for solves that share a cached factorization (one GEMM-shaped refinement
+// pass instead of N independent solves). The refinement method is CGLS with
+// the LSQR fallback under opts.OnHazard == HazardFallback; hazards recorded
+// during the factorization propagate into the result ahead of the
+// refinement's own events.
+func SolveLeastSquaresMultiWithFactor(f *Factorization, a *Matrix, b *Matrix, opts SolveOptions) (*MultiResult, error) {
 	rep := &hazard.Report{}
 	sol, err := lls.SolveMultiWithFactor(f.inner(), a, b, lls.SolveOptions{
 		Tol:          opts.Tol,
