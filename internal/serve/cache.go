@@ -151,14 +151,23 @@ func (c *FactorCache) GetOrFactor(key string, a *tcqr.Matrix, cfg tcqr.Config) (
 	c.mu.Unlock()
 
 	// Leader path: factor outside the lock (this is the expensive call the
-	// whole cache exists to amortize).
-	f, err := c.backend.Factorize(tcqr.ToFloat32(a), cfg)
-	if err == nil {
-		fl.entry = &Entry{Key: key, A: a, F: f, Config: cfg}
-		fl.entry.bytes = fl.entry.sizeBytes()
-	} else {
-		fl.err = err
-	}
+	// whole cache exists to amortize). A panicking backend is converted to
+	// an error rather than unwinding: the flight must always resolve, or
+	// every singleflight follower parked on fl.done would hang forever.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fl.err = fmt.Errorf("serve: panic during factorize: %v", r)
+			}
+		}()
+		f, err := c.backend.Factorize(tcqr.ToFloat32(a), cfg)
+		if err == nil {
+			fl.entry = &Entry{Key: key, A: a, F: f, Config: cfg}
+			fl.entry.bytes = fl.entry.sizeBytes()
+		} else {
+			fl.err = err
+		}
+	}()
 
 	c.mu.Lock()
 	delete(c.inflight, key)

@@ -212,9 +212,15 @@ func (c *Coalescer) execute(bt *batch) {
 	})
 	if err != nil {
 		// The scheduler rejected the whole flush (queue full, draining,
-		// deadline): every waiter sees the same backpressure error.
+		// deadline) or the flush panicked partway: every waiter that has not
+		// already received an outcome sees the error. The send is
+		// non-blocking because a waiter whose buffered slot was filled
+		// before a mid-distribution panic keeps its delivered outcome.
 		for _, w := range bt.waiters {
-			w.ch <- solveOutcome{err: err}
+			select {
+			case w.ch <- solveOutcome{err: err}:
+			default:
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -58,6 +59,7 @@ type poolTask struct {
 	cancelled atomic.Bool
 	done      chan struct{} // closed after fn returns (or the task is skipped)
 	skipped   bool
+	panicErr  error // set by the worker when fn panicked; surfaced by Do
 }
 
 // NewPool starts workers goroutines draining a queue of depth queueDepth.
@@ -77,25 +79,45 @@ func NewPool(workers, queueDepth int) *Pool {
 
 func (p *Pool) worker() {
 	for t := range p.tasks {
+		// inFlight rises before queued falls so AwaitIdle can never observe
+		// queued==0 && inFlight==0 while a dequeued task is about to run.
+		p.inFlight.Add(1)
 		p.queued.Add(-1)
 		if t.cancelled.Load() {
+			p.inFlight.Add(-1)
 			p.expired.Add(1)
 			t.skipped = true
 			close(t.done)
 			continue
 		}
 		t.wait = time.Since(t.enqueued)
-		p.inFlight.Add(1)
-		t.fn()
+		p.runTask(t)
 		p.inFlight.Add(-1)
 		p.completed.Add(1)
 		close(t.done)
 	}
 }
 
+// runTask executes t.fn, converting a panic into an error on the task so a
+// single failing request cannot take down the worker (and with it every
+// other request in the process). The worker loop continues normally.
+func (p *Pool) runTask(t *poolTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicErr = fmt.Errorf("serve: panic in pool task: %v", r)
+		}
+	}()
+	t.fn()
+}
+
 // Do submits fn and blocks until it has run, the queue rejects it, or ctx
 // expires while it is still queued. It returns the time fn spent waiting in
-// the queue. fn is never run after Do returns an error.
+// the queue. If fn panics, the panic is recovered and returned as the error
+// (the worker survives). After a queue-full or draining rejection fn is
+// never run; after a ctx-expiry ErrDeadline, however, a worker that
+// dequeued the task in the same instant may still run fn to completion —
+// its result is discarded, so fn must not assume it never runs once Do has
+// returned an error.
 func (p *Pool) Do(ctx context.Context, fn func()) (time.Duration, error) {
 	if p.draining.Load() {
 		p.rejDrain.Add(1)
@@ -117,6 +139,9 @@ func (p *Pool) Do(ctx context.Context, fn func()) (time.Duration, error) {
 	case <-t.done:
 		if t.skipped {
 			return 0, ErrDeadline
+		}
+		if t.panicErr != nil {
+			return 0, t.panicErr
 		}
 		return t.wait, nil
 	case <-ctx.Done():

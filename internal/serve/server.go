@@ -190,9 +190,11 @@ func (s *Server) resolveMatrix(wm *WireMatrix) (*tcqr.Matrix, *apiError) {
 	if err != nil {
 		return nil, classifyError(err)
 	}
-	if a.Rows*a.Cols > s.opts.MaxElements {
+	// matrix() guarantees Rows*Cols == len(Data), so the product is an exact
+	// int; the int64 widening keeps this cap overflow-proof regardless.
+	if n := int64(a.Rows) * int64(a.Cols); n > int64(s.opts.MaxElements) {
 		return nil, &apiError{status: http.StatusRequestEntityTooLarge, code: "too_large",
-			msg: fmt.Sprintf("matrix has %d elements; the server caps uploads at %d", a.Rows*a.Cols, s.opts.MaxElements)}
+			msg: fmt.Sprintf("matrix has %d elements; the server caps uploads at %d", n, s.opts.MaxElements)}
 	}
 	return a, nil
 }
@@ -292,6 +294,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, rep, errBadInput("give key or matrix, not both"))
 		return
 	case req.Key != "":
+		// A cached factorization keeps the config it was built with; a
+		// config riding alongside a key would be silently ignored, so
+		// reject it (mirroring the key+matrix conflict above).
+		if req.Config != (WireConfig{}) {
+			s.fail(w, rep, errBadInput("config cannot accompany key: the cached factorization's config applies (re-send the matrix to factorize under a different config)"))
+			return
+		}
 		e, found := s.cache.Get(req.Key)
 		if !found {
 			s.fail(w, rep, &apiError{status: http.StatusNotFound, code: "unknown_key",

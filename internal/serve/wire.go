@@ -33,9 +33,14 @@ func (w *WireMatrix) matrix() (*tcqr.Matrix, error) {
 	if w.Rows <= 0 || w.Cols <= 0 {
 		return nil, errBadInput(fmt.Sprintf("matrix is %dx%d; need at least 1x1", w.Rows, w.Cols))
 	}
-	if len(w.Data) != w.Rows*w.Cols {
-		return nil, errBadInput(fmt.Sprintf("matrix data holds %d elements; %dx%d needs %d",
-			len(w.Data), w.Rows, w.Cols, w.Rows*w.Cols))
+	// Shape check via division, not multiplication: rows*cols can wrap for
+	// huge dimensions (rows=cols=2^32 multiplies to 0, matching empty data)
+	// and a bogus matrix would panic deep in the compute pipeline. After
+	// this check rows*cols == len(Data) holds as an exact, non-overflowing
+	// int.
+	if len(w.Data)%w.Cols != 0 || len(w.Data)/w.Cols != w.Rows {
+		return nil, errBadInput(fmt.Sprintf("matrix data holds %d elements; a %dx%d matrix needs exactly rows*cols",
+			len(w.Data), w.Rows, w.Cols))
 	}
 	return tcqr.FromColMajor(w.Rows, w.Cols, w.Data), nil
 }
