@@ -2,11 +2,21 @@
 
 GO ?= go
 
-.PHONY: build check check-race check-deep fuzz bench bench-json \
+.PHONY: build check check-race check-deep lint fuzz bench bench-json \
 	serve serve-smoke bench-serve-json clean
 
 build:
 	$(GO) build ./...
+
+# Static analysis: vet always, staticcheck when installed (it is optional
+# tooling; the lint target must not depend on a network fetch).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck skipped: not installed"; \
+	fi
 
 # Tier-1 verification: everything must build and pass.
 check:

@@ -126,6 +126,14 @@ func runPackage(pkg, bench string, count, procs int, benchtime string) ([]Result
 		return nil, "", fmt.Errorf("go test: %w", err)
 	}
 	var results []Result
+	// When a result line has no "-N" suffix the benchmark binary ran at
+	// GOMAXPROCS 1; that happens exactly when -cpu pinned it to 1 or the
+	// inherited GOMAXPROCS was 1, so the right default is the pinned value
+	// when given and this process's GOMAXPROCS otherwise.
+	defaultProcs := procs
+	if defaultProcs <= 0 {
+		defaultProcs = runtime.GOMAXPROCS(0)
+	}
 	var cpu string
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
@@ -134,7 +142,7 @@ func runPackage(pkg, bench string, count, procs int, benchtime string) ([]Result
 			cpu = rest
 			continue
 		}
-		if r, ok := parseBenchLine(line); ok {
+		if r, ok := parseBenchLine(line, defaultProcs); ok {
 			r.Package = pkg
 			results = append(results, r)
 		}
@@ -147,18 +155,19 @@ func runPackage(pkg, bench string, count, procs int, benchtime string) ([]Result
 //	BenchmarkGemmNN256-4  1455  806146 ns/op  41623.26 MB/s  0 B/op  0 allocs/op
 //
 // returning ok == false for non-benchmark lines. The "-N" GOMAXPROCS suffix
-// becomes the result's Procs field and is stripped from the name (go test
-// omits it when GOMAXPROCS is 1, and sub-benchmark names like
-// Engines/TC-GEMM legitimately contain dashes, so a missing suffix means
-// Procs 1).
-func parseBenchLine(line string) (Result, bool) {
+// becomes the result's Procs field and is stripped from the name. go test
+// omits the suffix when the benchmark binary runs at GOMAXPROCS 1, and
+// sub-benchmark names like Engines/TC-GEMM legitimately contain dashes, so
+// a missing suffix means the caller-supplied defaultProcs — the proc count
+// the subprocess actually ran at, not a hardcoded guess.
+func parseBenchLine(line string, defaultProcs int) (Result, bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 		return Result{}, false
 	}
 	var r Result
 	r.Name = f[0]
-	r.Procs = 1
+	r.Procs = defaultProcs
 	if i := strings.LastIndex(r.Name, "-"); i >= 0 && isDigits(r.Name[i+1:]) {
 		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
 			r.Procs = p

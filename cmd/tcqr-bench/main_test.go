@@ -3,7 +3,7 @@ package main
 import "testing"
 
 func TestParseBenchLine(t *testing.T) {
-	r, ok := parseBenchLine("BenchmarkGemmNN256-4  \t1455\t  806146 ns/op\t41623.26 MB/s\t       0 B/op\t       0 allocs/op")
+	r, ok := parseBenchLine("BenchmarkGemmNN256-4  \t1455\t  806146 ns/op\t41623.26 MB/s\t       0 B/op\t       0 allocs/op", 16)
 	if !ok {
 		t.Fatal("line not recognized")
 	}
@@ -11,7 +11,7 @@ func TestParseBenchLine(t *testing.T) {
 		t.Errorf("name/iterations = %q/%d", r.Name, r.Iterations)
 	}
 	if r.Procs != 4 {
-		t.Errorf("procs = %d, want 4 (from the -4 suffix)", r.Procs)
+		t.Errorf("procs = %d, want 4 (the -4 suffix beats the default)", r.Procs)
 	}
 	if r.NsPerOp != 806146 {
 		t.Errorf("ns/op = %v", r.NsPerOp)
@@ -25,26 +25,28 @@ func TestParseBenchLine(t *testing.T) {
 }
 
 func TestParseBenchLineNoSuffix(t *testing.T) {
-	// GOMAXPROCS=1 omits the -N suffix; dashed sub-benchmark names keep
-	// their dashes.
-	r, ok := parseBenchLine("BenchmarkEngines/TC-GEMM \t 100 \t 18281466 ns/op")
+	// The -N suffix is omitted when the benchmark binary ran at GOMAXPROCS 1;
+	// the parser must fall back to the caller's default (what the subprocess
+	// actually ran at), not a hardcoded constant. Dashed sub-benchmark names
+	// keep their dashes.
+	r, ok := parseBenchLine("BenchmarkEngines/TC-GEMM \t 100 \t 18281466 ns/op", 1)
 	if !ok || r.Name != "BenchmarkEngines/TC-GEMM" {
 		t.Fatalf("got ok=%v name=%q", ok, r.Name)
 	}
 	if r.Procs != 1 {
-		t.Errorf("procs = %d, want 1 when the suffix is absent", r.Procs)
+		t.Errorf("procs = %d, want the default 1 when the suffix is absent", r.Procs)
 	}
-	r, ok = parseBenchLine("BenchmarkGemmNN256 \t 1455 \t 806146 ns/op \t 41623.26 MB/s")
+	r, ok = parseBenchLine("BenchmarkGemmNN256 \t 1455 \t 806146 ns/op \t 41623.26 MB/s", 8)
 	if !ok || r.Name != "BenchmarkGemmNN256" {
 		t.Fatalf("got ok=%v name=%q", ok, r.Name)
 	}
-	if r.Procs != 1 {
-		t.Errorf("procs = %d, want 1 when the suffix is absent", r.Procs)
+	if r.Procs != 8 {
+		t.Errorf("procs = %d, want the default 8 when the suffix is absent", r.Procs)
 	}
 }
 
 func TestParseBenchLineNoThroughput(t *testing.T) {
-	r, ok := parseBenchLine("BenchmarkFig1_HouseholderEstimate-4   12  95000000 ns/op  128 B/op  3 allocs/op")
+	r, ok := parseBenchLine("BenchmarkFig1_HouseholderEstimate-4   12  95000000 ns/op  128 B/op  3 allocs/op", 1)
 	if !ok {
 		t.Fatal("line not recognized")
 	}
@@ -61,7 +63,7 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 		"ok  \ttcqr/internal/blas\t3.9s",
 		"BenchmarkBroken-4 notanumber ns/op",
 	} {
-		if _, ok := parseBenchLine(line); ok {
+		if _, ok := parseBenchLine(line, 1); ok {
 			t.Errorf("line %q should be rejected", line)
 		}
 	}

@@ -8,6 +8,8 @@
 //	POST /v1/lowrank    — truncated QR-SVD low-rank approximation
 //	GET  /healthz       — liveness (503 while draining)
 //	GET  /statz         — cache / coalescer / pool / timing / hazard counters
+//	GET  /metrics       — Prometheus text exposition of every counter,
+//	                      gauge, and latency histogram
 //
 // Responses carry a Server-Timing header (queue, factorize, solve, encode)
 // and serialize every numerical hazard the fallback ladder detected or
@@ -19,19 +21,28 @@
 //	tcqrd [-addr :8723] [-workers N] [-queue 64] [-cache 32]
 //	      [-window 2ms] [-max-batch 32] [-deadline 30s]
 //	      [-drain-timeout 10s] [-addr-file path]
+//	      [-log-level info] [-debug-addr host:port]
+//
+// -log-level selects the structured (slog) logging threshold: debug, info,
+// warn, error, or off (per-request records log at info, client errors at
+// warn, server errors at error). -debug-addr starts a second listener
+// serving net/http/pprof under /debug/pprof/ — kept off the public API
+// listener so profiling endpoints are never exposed to API clients.
 //
 // The -smoke flag runs the binary as a client instead: it drives a running
-// daemon through factorize, cache-hit, coalesced-solve, hazard and
-// bad-input scenarios, exiting non-zero if any response deviates from the
-// contract (scripts/serve_smoke.sh wires this into CI).
+// daemon through factorize, cache-hit, coalesced-solve, hazard, bad-input
+// and metrics-scrape scenarios, exiting non-zero if any response deviates
+// from the contract (scripts/serve_smoke.sh wires this into CI).
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -52,12 +63,20 @@ func main() {
 		deadline     = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
+		logLevel     = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error, off")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 		smoke        = flag.String("smoke", "", "run as smoke-test client against this base URL and exit")
 	)
 	flag.Parse()
 
 	if *smoke != "" {
 		os.Exit(runSmoke(*smoke))
+	}
+
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcqrd: %v\n", err)
+		os.Exit(2)
 	}
 
 	srv := serve.New(serve.Options{
@@ -67,20 +86,43 @@ func main() {
 		Window:          *window,
 		MaxBatch:        *maxBatch,
 		DefaultDeadline: *deadline,
+		Logger:          logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("tcqrd: listen %s: %v", *addr, err)
+		fatal(logger, "listen failed", "addr", *addr, "err", err)
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
-			log.Fatalf("tcqrd: write -addr-file: %v", err)
+			fatal(logger, "write -addr-file failed", "err", err)
 		}
 	}
-	log.Printf("tcqrd: listening on %s (workers=%d queue=%d cache=%d window=%s max-batch=%d)",
-		bound, *workers, *queue, *cacheEntries, *window, *maxBatch)
+	info(logger, "listening", "addr", bound, "workers", *workers, "queue", *queue,
+		"cache", *cacheEntries, "window", (*window).String(), "max_batch", *maxBatch)
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(logger, "debug listen failed", "addr", *debugAddr, "err", err)
+		}
+		info(logger, "pprof listening", "addr", dln.Addr().String())
+		go func() {
+			// The profiling mux is deliberately its own listener (and its own
+			// mux — not http.DefaultServeMux) so pprof is never reachable
+			// through the public API address.
+			dmux := http.NewServeMux()
+			dmux.HandleFunc("/debug/pprof/", pprof.Index)
+			dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			if err := http.Serve(dln, dmux); err != nil {
+				warn(logger, "pprof server exited", "err", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -90,20 +132,66 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errc:
-		log.Fatalf("tcqrd: serve: %v", err)
+		fatal(logger, "serve failed", "err", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("tcqrd: draining (budget %s)", *drainTimeout)
+	info(logger, "draining", "budget", (*drainTimeout).String())
 	srv.BeginDrain()
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
-		log.Printf("tcqrd: shutdown: %v", err)
+		warn(logger, "shutdown error", "err", err)
 	}
 	if err := srv.AwaitIdle(dctx); err != nil {
-		log.Printf("tcqrd: drain incomplete: %v", err)
+		warn(logger, "drain incomplete", "err", err)
 		os.Exit(1)
 	}
-	log.Printf("tcqrd: drained cleanly")
+	info(logger, "drained cleanly")
+}
+
+// buildLogger maps the -log-level flag to a text slog.Logger on stderr, or
+// nil for "off" (which disables request logging entirely).
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off", "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// The lifecycle helpers keep the daemon speaking through the same structured
+// logger as the request path, while degrading to stderr (fatal) or silence
+// when logging is off.
+
+func info(lg *slog.Logger, msg string, args ...any) {
+	if lg != nil {
+		lg.Info(msg, args...)
+	}
+}
+
+func warn(lg *slog.Logger, msg string, args ...any) {
+	if lg != nil {
+		lg.Warn(msg, args...)
+	}
+}
+
+func fatal(lg *slog.Logger, msg string, args ...any) {
+	if lg != nil {
+		lg.Error(msg, args...)
+	} else {
+		fmt.Fprintf(os.Stderr, "tcqrd: %s %v\n", msg, args)
+	}
+	os.Exit(1)
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -158,12 +160,63 @@ func runSmoke(base string) int {
 		"code=%d cache.hits=%d multi=%d timing[solve].count=%d err=%v",
 		code, statz.Cache.Hits, statz.Coalescer.MultiSolveCalls, statz.Timing["solve"].Count, err)
 
+	// /metrics must serve Prometheus text reflecting the same traffic:
+	// serve, hazard, and engine families present, with non-zero request and
+	// cache-hit counters.
+	text, code, err := s.getText("/metrics")
+	s.check(err == nil && code == 200, "metrics returns 200", "code=%d err=%v", code, err)
+	for _, family := range []string{
+		"tcqrd_requests_total",
+		"tcqrd_responses_total",
+		"tcqrd_cache_hits_total",
+		"tcqrd_stage_duration_seconds_bucket",
+		"tcqrd_coalescer_batch_size_bucket",
+		"tcqrd_hazards_total",
+		"tcqrd_engine_gemm_calls_total",
+	} {
+		s.check(strings.Contains(text, family),
+			fmt.Sprintf("metrics exposes %s", family), "family missing from exposition")
+	}
+	s.check(metricAbove(text, "tcqrd_requests_total", 0),
+		"metrics counted requests", "every tcqrd_requests_total series is zero")
+	s.check(metricAbove(text, "tcqrd_cache_hits_total", 0),
+		"metrics counted cache hits", "tcqrd_cache_hits_total is zero")
+	s.check(metricAbove(text, "tcqrd_hazards_total", 0),
+		"metrics counted hazards", "every tcqrd_hazards_total series is zero")
+	s.check(metricAbove(text, "tcqrd_engine_gemm_calls_total", 0),
+		"metrics counted engine GEMM calls", "every tcqrd_engine_gemm_calls_total series is zero")
+
 	if s.failed {
 		fmt.Fprintln(os.Stderr, "SMOKE FAILED")
 		return 1
 	}
 	fmt.Println("SMOKE OK")
 	return 0
+}
+
+// metricAbove reports whether any sample line of the named family (exact
+// name or name{labels}) has a value strictly greater than min.
+func metricAbove(exposition, name string, min float64) bool {
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if strings.HasPrefix(rest, "{") {
+			if i := strings.Index(rest, "} "); i >= 0 {
+				rest = rest[i+1:]
+			} else {
+				continue
+			}
+		} else if !strings.HasPrefix(rest, " ") {
+			continue // a longer family name sharing the prefix
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err == nil && v > min {
+			return true
+		}
+	}
+	return false
 }
 
 // smoker carries the HTTP plumbing and the running pass/fail state.
@@ -188,6 +241,17 @@ func (s *smoker) get(path string, out any) (int, error) {
 		return 0, err
 	}
 	return decodeResp(resp, out)
+}
+
+// getText fetches a non-JSON endpoint (the Prometheus exposition) raw.
+func (s *smoker) getText(path string) (string, int, error) {
+	resp, err := s.client.Get(s.base + path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), resp.StatusCode, err
 }
 
 func (s *smoker) post(path string, body any, out any) (int, error) {

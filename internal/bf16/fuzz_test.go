@@ -42,10 +42,10 @@ func FuzzBF16RoundTrip(f *testing.F) {
 		1.0078125,  // 1 + 2^-7, smallest step above 1
 		1.00390625, // 1 + 2^-8, exactly halfway: ties to even (1)
 		MaxValue,
-		3.3961775e38,       // rounds to +Inf (above the midpoint)
-		math.MaxFloat32,    // top of float32: overflows bfloat16
-		MinNormal,          // 2^-126
-		1e-40, 1.4e-45,     // float32 subnormals
+		3.3961775e38,    // rounds to +Inf (above the midpoint)
+		math.MaxFloat32, // top of float32: overflows bfloat16
+		MinNormal,       // 2^-126
+		1e-40, 1.4e-45,  // float32 subnormals
 		3.14159265, 0.1, 65504,
 		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
 	}

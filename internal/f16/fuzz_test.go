@@ -24,8 +24,8 @@ func refRound16(x float32) float64 {
 	if abs < math.Ldexp(1, -14) {
 		ulp = math.Ldexp(1, -24) // subnormal spacing
 	} else {
-		_, exp := math.Frexp(abs)        // abs = f·2^exp, f ∈ [0.5, 1)
-		ulp = math.Ldexp(1, exp-1-10)    // 10 mantissa bits: spacing 2^(e-10)
+		_, exp := math.Frexp(abs)     // abs = f·2^exp, f ∈ [0.5, 1)
+		ulp = math.Ldexp(1, exp-1-10) // 10 mantissa bits: spacing 2^(e-10)
 	}
 	r := math.RoundToEven(abs/ulp) * ulp
 	if r > MaxValue {

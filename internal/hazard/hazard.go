@@ -115,6 +115,21 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// Kinds returns every defined hazard kind in declaration order. Metrics
+// layers use this to pre-seed per-kind counters (so a scrape always sees the
+// full label set) and to normalize untrusted kind strings to a bounded
+// vocabulary.
+func Kinds() []Kind {
+	return []Kind{
+		KindNonFinite,
+		KindOverflow,
+		KindBreakdown,
+		KindRankDeficient,
+		KindStagnation,
+		KindDivergence,
+	}
+}
+
 // Event records one detected hazard and what was done about it.
 type Event struct {
 	// Kind classifies the hazard.

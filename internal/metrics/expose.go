@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format rendered by WriteText.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format: families sorted by name, series sorted by label values,
+// histograms expanded into cumulative _bucket series plus _sum and _count.
+// Families with no series yet still emit their HELP/TYPE header, so a
+// scraper always sees the full schema.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n", f.name)
+			if f.counter != nil {
+				fmt.Fprintf(bw, "%s %d\n", f.name, f.counter.Value())
+			} else {
+				writeCounterVec(bw, f.name, f.cvec)
+			}
+		case kindCounterFunc:
+			fmt.Fprintf(bw, "# TYPE %s counter\n", f.name)
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.cfn())
+		case kindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", f.name)
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.gfn()))
+		case kindHistogram:
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", f.name)
+			if f.hist != nil {
+				writeHistogram(bw, f.name, "", f.hist)
+			} else {
+				writeHistogramVec(bw, f.name, f.hvec)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ServeHTTP implements http.Handler: GET returns the text exposition.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "metrics endpoint requires GET", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", TextContentType)
+	_ = r.WriteText(w)
+}
+
+func writeCounterVec(w io.Writer, name string, v *CounterVec) {
+	for _, s := range sortedSeries(v.labels, func() map[string]int64 {
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+		out := make(map[string]int64, len(v.series))
+		for k, c := range v.series {
+			out[k] = c.Value()
+		}
+		return out
+	}()) {
+		fmt.Fprintf(w, "%s{%s} %d\n", name, s.labelString, s.value)
+	}
+}
+
+func writeHistogramVec(w io.Writer, name string, v *HistogramVec) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.series))
+	hists := make(map[string]*Histogram, len(v.series))
+	for k, h := range v.series {
+		keys = append(keys, k)
+		hists[k] = h
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeHistogram(w, name, labelString(v.labels, strings.Split(k, "\x1f")), hists[k])
+	}
+}
+
+// writeHistogram renders one histogram series. labels is the pre-rendered
+// `k="v",...` prefix ("" for an unlabeled histogram); the le label is
+// appended to it.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	counts := h.snapshotCounts()
+	var cum int64
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatFloat(bound), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count())
+}
+
+type renderedSeries struct {
+	labelString string
+	value       int64
+}
+
+func sortedSeries(labels []string, values map[string]int64) []renderedSeries {
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]renderedSeries, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, renderedSeries{
+			labelString: labelString(labels, strings.Split(k, "\x1f")),
+			value:       values[k],
+		})
+	}
+	return out
+}
+
+// labelString renders `name="value"` pairs with Prometheus escaping.
+func labelString(names, values []string) string {
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(values[i]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	h = strings.ReplaceAll(h, "\n", `\n`)
+	return h
+}

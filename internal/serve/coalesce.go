@@ -70,6 +70,10 @@ type Coalescer struct {
 	// run executes a flush; the server points it at the worker pool so
 	// coalesced batches obey the same admission control as everything else.
 	run func(fn func()) error
+	// onFlush, when set, observes every flushed batch size (the server wires
+	// it to the batch-size histogram). Set before serving begins; not
+	// synchronized.
+	onFlush func(size int)
 
 	mu      sync.Mutex
 	pending map[string]*batch
@@ -156,6 +160,9 @@ func (c *Coalescer) flush(bt *batch) {
 // distributes per-column outcomes to the waiters.
 func (c *Coalescer) execute(bt *batch) {
 	k := len(bt.waiters)
+	if c.onFlush != nil {
+		c.onFlush(k)
+	}
 	c.mu.Lock()
 	c.stats.Batches++
 	if k > 1 {

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"time"
+
+	"tcqr"
+	"tcqr/internal/hazard"
+	"tcqr/internal/metrics"
+	"tcqr/internal/tcsim"
+)
+
+// serverMetrics owns every metric family the daemon exposes on /metrics.
+// All families live in one Registry so the Prometheus text endpoint, the
+// /statz JSON view, and the structured request logs draw from a single
+// source of truth.
+//
+// Naming scheme (see DESIGN.md §10): everything is prefixed tcqrd_, counters
+// end in _total, durations are histograms in seconds named *_seconds.
+// Label sets are bounded by construction — endpoints, status codes, error
+// codes, hazard kinds, ladder actions, engine kinds, and flops buckets are
+// all finite vocabularies, and the registry's per-vec series cap collapses
+// anything hostile into the "_other" series.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	requests  *metrics.CounterVec // by endpoint
+	responses *metrics.CounterVec // by HTTP status
+	errors    *metrics.CounterVec // by wire error code
+
+	stageSeconds *metrics.HistogramVec // queue/factorize/solve/encode
+	batchSize    *metrics.Histogram    // coalesced batch sizes
+
+	hazards    *metrics.CounterVec // by hazard kind
+	recoveries *metrics.CounterVec // by fallback-ladder action
+	panels     *metrics.CounterVec // by requested panel algorithm
+
+	gemmCalls *metrics.CounterVec // by engine kind and flops bucket
+	gemmFlops *metrics.CounterVec // by engine kind
+
+	unobserve func() // detaches the engine GEMM observer
+}
+
+// newServerMetrics registers the daemon's families in reg and wires the
+// stats-snapshot families (pool, cache, coalescer, uptime) as live gauge
+// functions over s, so a scrape always reads current values without a
+// second bookkeeping path.
+func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("tcqrd_requests_total",
+			"Requests received, by API endpoint.", "endpoint"),
+		responses: reg.CounterVec("tcqrd_responses_total",
+			"Responses written, by HTTP status code.", "status"),
+		errors: reg.CounterVec("tcqrd_errors_total",
+			"Failed requests, by wire error code.", "code"),
+		stageSeconds: reg.HistogramVec("tcqrd_stage_duration_seconds",
+			"Per-request pipeline stage latency.", metrics.LatencyBuckets, "stage"),
+		batchSize: reg.Histogram("tcqrd_coalescer_batch_size",
+			"Solve requests per coalesced flush.", metrics.SizeBuckets),
+		hazards: reg.CounterVec("tcqrd_hazards_total",
+			"Numerical hazards detected, by kind.", "kind"),
+		recoveries: reg.CounterVec("tcqrd_hazard_recoveries_total",
+			"Fallback-ladder recoveries applied, by action.", "action"),
+		panels: reg.CounterVec("tcqrd_factorize_panel_total",
+			"Factorizations started, by panel algorithm.", "panel"),
+		gemmCalls: reg.CounterVec("tcqrd_engine_gemm_calls_total",
+			"Engine GEMM calls, by engine kind and flops bucket.", "engine", "flops_bucket"),
+		gemmFlops: reg.CounterVec("tcqrd_engine_gemm_flops_total",
+			"Engine GEMM floating-point operations, by engine kind.", "engine"),
+	}
+
+	reg.GaugeFunc("tcqrd_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("tcqrd_draining",
+		"1 while the server is draining, 0 otherwise.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	reg.GaugeFunc("tcqrd_pool_queue_depth",
+		"Tasks waiting in the admission queue.",
+		func() float64 { return float64(s.pool.Stats().Queued) })
+	reg.GaugeFunc("tcqrd_pool_in_flight",
+		"Tasks currently running on workers.",
+		func() float64 { return float64(s.pool.Stats().InFlight) })
+	reg.CounterFunc("tcqrd_pool_completed_total",
+		"Tasks completed by the worker pool.",
+		func() int64 { return s.pool.Stats().Completed })
+	reg.CounterFunc("tcqrd_pool_rejected_queue_full_total",
+		"Submissions rejected because the queue was full (HTTP 429).",
+		func() int64 { return s.pool.Stats().RejectedFull })
+	reg.CounterFunc("tcqrd_pool_rejected_draining_total",
+		"Submissions rejected because the server was draining (HTTP 503).",
+		func() int64 { return s.pool.Stats().RejectedDraining })
+	reg.CounterFunc("tcqrd_pool_expired_in_queue_total",
+		"Queued tasks whose deadline expired before a worker picked them up (HTTP 504).",
+		func() int64 { return s.pool.Stats().Expired })
+
+	reg.GaugeFunc("tcqrd_cache_entries",
+		"Factorizations resident in the cache.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.GaugeFunc("tcqrd_cache_bytes",
+		"Estimated bytes resident in the factorization cache.",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	reg.CounterFunc("tcqrd_cache_hits_total",
+		"Factorization cache hits.",
+		func() int64 { return s.cache.Stats().Hits })
+	reg.CounterFunc("tcqrd_cache_misses_total",
+		"Factorization cache misses (each one factored a matrix).",
+		func() int64 { return s.cache.Stats().Misses })
+	reg.CounterFunc("tcqrd_cache_evictions_total",
+		"Factorizations evicted by the LRU bound.",
+		func() int64 { return s.cache.Stats().Evictions })
+	reg.CounterFunc("tcqrd_cache_singleflight_shared_total",
+		"Requests that piggybacked on another request's in-flight factorization.",
+		func() int64 { return s.cache.Stats().SingleflightShared })
+
+	reg.CounterFunc("tcqrd_coalescer_batches_total",
+		"Coalesced batch flushes (each issues one backend call).",
+		func() int64 { return s.coal.Stats().Batches })
+	reg.CounterFunc("tcqrd_coalescer_batched_requests_total",
+		"Solve requests that rode in batches of size > 1.",
+		func() int64 { return s.coal.Stats().BatchedRequests })
+	reg.CounterFunc("tcqrd_coalescer_multi_solve_total",
+		"Batch flushes executed as one multi-RHS solve.",
+		func() int64 { return s.coal.Stats().MultiSolveCalls })
+	reg.CounterFunc("tcqrd_coalescer_single_solve_total",
+		"Batch flushes executed as a plain single solve.",
+		func() int64 { return s.coal.Stats().SingleSolveCalls })
+
+	m.unobserve = tcsim.RegisterGemmObserver(func(engine string, mm, nn, kk int) {
+		flops := 2 * int64(mm) * int64(nn) * int64(kk)
+		lbl := engineLabel(engine)
+		m.gemmCalls.With(lbl, flopsBucket(flops)).Inc()
+		m.gemmFlops.With(lbl).Add(flops)
+	})
+	return m
+}
+
+// close detaches the engine observer so a retired Server stops accumulating
+// global GEMM traffic.
+func (m *serverMetrics) close() {
+	if m.unobserve != nil {
+		m.unobserve()
+		m.unobserve = nil
+	}
+}
+
+// observeStages folds a request's stage timings into the latency histograms,
+// one observation per stage (repeated stages summed, mirroring the
+// Server-Timing header).
+func (m *serverMetrics) observeStages(timings []hazard.Timing) {
+	if len(timings) == 0 {
+		return
+	}
+	sums := make(map[string]time.Duration, 4)
+	for _, t := range timings {
+		sums[t.Stage] += t.D
+	}
+	for stage, d := range sums {
+		m.stageSeconds.With(stage).ObserveDuration(d)
+	}
+}
+
+// noteHazard counts one wire hazard, normalizing the kind to the bounded
+// hazard vocabulary and counting ladder recoveries by action.
+func (m *serverMetrics) noteHazard(h WireHazard) {
+	m.hazards.With(normalizeHazardKind(h.Kind)).Inc()
+	if h.Action != "" {
+		m.recoveries.With(h.Action).Inc()
+	}
+}
+
+// knownHazardKinds is the bounded set of kind labels built from the hazard
+// package's own vocabulary.
+var knownHazardKinds = func() map[string]bool {
+	out := make(map[string]bool, 8)
+	for _, k := range hazard.Kinds() {
+		out[k.String()] = true
+	}
+	return out
+}()
+
+// normalizeHazardKind maps any kind string onto the bounded vocabulary: a
+// kind the hazard package does not define collapses to "other", so no input
+// can mint new label values.
+func normalizeHazardKind(kind string) string {
+	if knownHazardKinds[kind] {
+		return kind
+	}
+	return "other"
+}
+
+// panelLabel names a requested panel algorithm for the panel counter.
+func panelLabel(p tcqr.PanelAlgorithm) string {
+	switch p {
+	case tcqr.PanelCAQR:
+		return "caqr"
+	case tcqr.PanelHouseholder:
+		return "householder"
+	case tcqr.PanelCholQR:
+		return "cholqr"
+	case tcqr.PanelMGS:
+		return "mgs"
+	}
+	return "other"
+}
+
+// engineLabel maps a tcsim engine Name() to its wire vocabulary: tc for the
+// simulated fp16 TensorCore, bf16 for the bfloat16 engine, fp32 for plain
+// SGEMM.
+func engineLabel(name string) string {
+	switch name {
+	case "TC-GEMM":
+		return "tc"
+	case "BF16-GEMM":
+		return "bf16"
+	case "SGEMM":
+		return "fp32"
+	}
+	return "other"
+}
+
+// flopsBucket classifies a GEMM call by decade of floating-point operations,
+// giving the shape-mix view the paper's per-kernel accounting cares about
+// without unbounded (m,n,k) label explosion.
+func flopsBucket(flops int64) string {
+	switch {
+	case flops < 1e6:
+		return "<1e6"
+	case flops < 1e8:
+		return "1e6-1e8"
+	case flops < 1e10:
+		return "1e8-1e10"
+	}
+	return ">=1e10"
+}

@@ -5,16 +5,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"tcqr"
 	"tcqr/internal/hazard"
+	"tcqr/internal/metrics"
 )
 
 // Options configures a Server. Zero values select sensible production
@@ -44,18 +46,20 @@ type Options struct {
 	// Backend routes compute; nil = LibraryBackend. Tests install counting
 	// or delaying backends here.
 	Backend Backend
-}
-
-// stageAgg accumulates one pipeline stage across requests.
-type stageAgg struct {
-	Count   int64
-	TotalNs int64
-	MaxNs   int64
+	// Registry receives the server's metric families (nil = a private
+	// registry, reachable via Metrics). Pass a shared registry to mount
+	// additional families beside the server's own.
+	Registry *metrics.Registry
+	// Logger receives one structured record per request (nil = request
+	// logging disabled). Lifecycle logging stays with the caller; this
+	// logger only sees request-scoped records.
+	Logger *slog.Logger
 }
 
 // Server is the serving core: cache + coalescer + pool behind an
-// http.Handler. Create with New, mount Handler, and call BeginDrain /
-// AwaitIdle around shutdown.
+// http.Handler. Create with New, mount Handler, call BeginDrain / AwaitIdle
+// around shutdown, and Close when retiring the server (it detaches the
+// process-global engine-GEMM observer).
 type Server struct {
 	opts     Options
 	backend  Backend
@@ -64,12 +68,8 @@ type Server struct {
 	pool     *Pool
 	start    time.Time
 	draining atomic.Bool
-
-	mu       sync.Mutex
-	requests map[string]int64
-	errors   map[string]int64
-	timing   map[string]*stageAgg
-	hazards  map[string]int64
+	metrics  *serverMetrics
+	log      *slog.Logger
 }
 
 // New builds a Server from opts, filling in defaults for zero fields.
@@ -98,21 +98,23 @@ func New(opts Options) *Server {
 	if opts.Backend == nil {
 		opts.Backend = LibraryBackend{}
 	}
+	if opts.Registry == nil {
+		opts.Registry = metrics.NewRegistry()
+	}
 	s := &Server{
-		opts:     opts,
-		backend:  opts.Backend,
-		pool:     NewPool(opts.Workers, opts.QueueDepth),
-		start:    time.Now(),
-		requests: make(map[string]int64),
-		errors:   make(map[string]int64),
-		timing:   make(map[string]*stageAgg),
-		hazards:  make(map[string]int64),
+		opts:    opts,
+		backend: opts.Backend,
+		pool:    NewPool(opts.Workers, opts.QueueDepth),
+		start:   time.Now(),
+		log:     opts.Logger,
 	}
 	s.cache = NewFactorCache(opts.CacheEntries, s.backend)
 	s.coal = NewCoalescer(opts.Window, opts.MaxBatch, s.backend, func(fn func()) error {
 		_, err := s.pool.Do(context.Background(), fn)
 		return err
 	})
+	s.metrics = newServerMetrics(opts.Registry, s)
+	s.coal.onFlush = func(size int) { s.metrics.batchSize.Observe(float64(size)) }
 	return s
 }
 
@@ -123,6 +125,14 @@ func (s *Server) Cache() *FactorCache { return s.cache }
 // CoalescerStats exposes the coalescer counters (tests assert one multi-RHS
 // call per batch through them).
 func (s *Server) CoalescerStats() CoalescerStats { return s.coal.Stats() }
+
+// Metrics exposes the server's metrics registry (the same one /metrics
+// renders).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics.reg }
+
+// Close detaches the server's engine-GEMM observer. Call when retiring a
+// Server whose process keeps running (tests, embedders); idempotent.
+func (s *Server) Close() { s.metrics.close() }
 
 // BeginDrain flips the server to draining: /healthz turns 503, new compute
 // requests are rejected, and every parked coalesced batch is flushed so
@@ -140,7 +150,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) AwaitIdle(ctx context.Context) error { return s.pool.AwaitIdle(ctx) }
 
 // Handler returns the HTTP API: POST /v1/factorize, /v1/solve, /v1/lowrank;
-// GET /healthz, /statz.
+// GET /healthz, /statz, /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/factorize", s.handleFactorize)
@@ -148,27 +158,50 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/lowrank", s.handleLowRank)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
+	mux.Handle("/metrics", s.metrics.reg)
 	return mux
 }
 
+// reqScope carries one request's instrumentation through its handler: the
+// hazard/timing report, the identifiers the structured log line wants
+// (filled in as the handler learns them), and the terminal-status
+// bookkeeping shared by ok and fail.
+type reqScope struct {
+	s        *Server
+	endpoint string
+	method   string
+	rep      *hazard.Report
+	start    time.Time
+
+	key         string
+	rows, cols  int
+	batched     int
+	errCode     string
+	hazardKinds []string
+}
+
 // admit is the common front door of the compute endpoints: method check,
-// drain check, request accounting, body cap, deadline.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) (*hazard.Report, bool) {
-	rep := &hazard.Report{}
-	s.mu.Lock()
-	s.requests[endpoint]++
-	s.mu.Unlock()
+// drain check, request accounting, body cap.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) (*reqScope, bool) {
+	rc := &reqScope{
+		s:        s,
+		endpoint: endpoint,
+		method:   r.Method,
+		rep:      &hazard.Report{},
+		start:    time.Now(),
+	}
+	s.metrics.requests.With(endpoint).Inc()
 	if r.Method != http.MethodPost {
-		s.fail(w, rep, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+		rc.fail(w, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
 			msg: fmt.Sprintf("%s requires POST", r.URL.Path)})
 		return nil, false
 	}
 	if s.draining.Load() {
-		s.fail(w, rep, classifyError(ErrDraining))
+		rc.fail(w, classifyError(ErrDraining))
 		return nil, false
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	return rep, true
+	return rc, true
 }
 
 // requestContext derives the request's compute deadline: the client's
@@ -200,7 +233,8 @@ func (s *Server) resolveMatrix(wm *WireMatrix) (*tcqr.Matrix, *apiError) {
 }
 
 // factorEntry runs GetOrFactor through the pool, recording queue and (on
-// non-hit sources) factorize stage timings.
+// non-hit sources) factorize stage timings plus the panel counter for
+// factorizations actually performed.
 func (s *Server) factorEntry(ctx context.Context, rep *hazard.Report, key string, a *tcqr.Matrix, cfg tcqr.Config) (*Entry, Source, error) {
 	var (
 		entry *Entry
@@ -218,39 +252,44 @@ func (s *Server) factorEntry(ctx context.Context, rep *hazard.Report, key string
 		return nil, 0, err
 	}
 	rep.RecordTiming("queue", wait)
+	if src == SourceMiss {
+		s.metrics.panels.With(panelLabel(cfg.Panel)).Inc()
+	}
 	return entry, src, ferr
 }
 
 func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
-	rep, ok := s.admit(w, r, "factorize")
+	rc, ok := s.admit(w, r, "factorize")
 	if !ok {
 		return
 	}
 	var req factorizeRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		s.fail(w, rep, classifyError(err))
+		rc.fail(w, classifyError(err))
 		return
 	}
 	a, aerr := s.resolveMatrix(req.Matrix)
 	if aerr != nil {
-		s.fail(w, rep, aerr)
+		rc.fail(w, aerr)
 		return
 	}
+	rc.rows, rc.cols = a.Rows, a.Cols
 	cfg, err := req.Config.config()
 	if err != nil {
-		s.fail(w, rep, classifyError(err))
+		rc.fail(w, classifyError(err))
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.DeadlineMS)
 	defer cancel()
 	key := CacheKey(a, cfg)
-	entry, src, ferr := s.factorEntry(ctx, rep, key, a, cfg)
+	rc.key = key
+	entry, src, ferr := s.factorEntry(ctx, rc.rep, key, a, cfg)
 	if ferr != nil {
-		s.fail(w, rep, classifyError(ferr))
+		rc.fail(w, classifyError(ferr))
 		return
 	}
 	f := entry.F
-	s.ok(w, rep, factorizeResponse{
+	rc.ok(w, factorizeResponse{
 		Key:              key,
 		Rows:             a.Rows,
 		Cols:             a.Cols,
@@ -263,23 +302,23 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 			Overflows:  f.EngineStats.Overflows,
 			Underflows: f.EngineStats.Underflows,
 		},
-		Hazards: s.noteHazards(f.Hazards),
+		Hazards: rc.noteHazards(f.Hazards),
 	})
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	rep, ok := s.admit(w, r, "solve")
+	rc, ok := s.admit(w, r, "solve")
 	if !ok {
 		return
 	}
 	var req solveRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		s.fail(w, rep, classifyError(err))
+		rc.fail(w, classifyError(err))
 		return
 	}
 	opts, err := req.Options.options()
 	if err != nil {
-		s.fail(w, rep, classifyError(err))
+		rc.fail(w, classifyError(err))
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.DeadlineMS)
@@ -291,19 +330,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	)
 	switch {
 	case req.Key != "" && req.Matrix != nil:
-		s.fail(w, rep, errBadInput("give key or matrix, not both"))
+		rc.fail(w, errBadInput("give key or matrix, not both"))
 		return
 	case req.Key != "":
 		// A cached factorization keeps the config it was built with; a
 		// config riding alongside a key would be silently ignored, so
 		// reject it (mirroring the key+matrix conflict above).
 		if req.Config != (WireConfig{}) {
-			s.fail(w, rep, errBadInput("config cannot accompany key: the cached factorization's config applies (re-send the matrix to factorize under a different config)"))
+			rc.fail(w, errBadInput("config cannot accompany key: the cached factorization's config applies (re-send the matrix to factorize under a different config)"))
 			return
 		}
 		e, found := s.cache.Get(req.Key)
 		if !found {
-			s.fail(w, rep, &apiError{status: http.StatusNotFound, code: "unknown_key",
+			rc.fail(w, &apiError{status: http.StatusNotFound, code: "unknown_key",
 				msg: fmt.Sprintf("no cached factorization for key %q (it may have been evicted; re-send the matrix)", req.Key)})
 			return
 		}
@@ -311,42 +350,45 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case req.Matrix != nil:
 		a, aerr := s.resolveMatrix(req.Matrix)
 		if aerr != nil {
-			s.fail(w, rep, aerr)
+			rc.fail(w, aerr)
 			return
 		}
 		cfg, cerr := req.Config.config()
 		if cerr != nil {
-			s.fail(w, rep, classifyError(cerr))
+			rc.fail(w, classifyError(cerr))
 			return
 		}
 		var ferr error
-		entry, src, ferr = s.factorEntry(ctx, rep, CacheKey(a, cfg), a, cfg)
+		entry, src, ferr = s.factorEntry(ctx, rc.rep, CacheKey(a, cfg), a, cfg)
 		if ferr != nil {
-			s.fail(w, rep, classifyError(ferr))
+			rc.fail(w, classifyError(ferr))
 			return
 		}
 	default:
-		s.fail(w, rep, errBadInput("missing key or matrix"))
+		rc.fail(w, errBadInput("missing key or matrix"))
 		return
 	}
+	rc.key = entry.Key
+	rc.rows, rc.cols = entry.A.Rows, entry.A.Cols
 
 	if len(req.B) != entry.A.Rows {
-		s.fail(w, rep, errBadInput(fmt.Sprintf("b holds %d elements; the matrix has %d rows", len(req.B), entry.A.Rows)))
+		rc.fail(w, errBadInput(fmt.Sprintf("b holds %d elements; the matrix has %d rows", len(req.B), entry.A.Rows)))
 		return
 	}
 	if err := hazard.CheckVec("b", req.B); err != nil {
-		s.fail(w, rep, classifyError(err))
+		rc.fail(w, classifyError(err))
 		return
 	}
 
 	out := s.coal.Submit(ctx, entry, opts, req.B)
 	if out.err != nil {
-		s.fail(w, rep, classifyError(out.err))
+		rc.fail(w, classifyError(out.err))
 		return
 	}
-	rep.RecordTiming("queue", out.queueWait)
-	rep.RecordTiming("solve", out.solveTime)
-	s.ok(w, rep, solveResponse{
+	rc.rep.RecordTiming("queue", out.queueWait)
+	rc.rep.RecordTiming("solve", out.solveTime)
+	rc.batched = out.batched
+	rc.ok(w, solveResponse{
 		X:          out.x,
 		Iterations: out.iterations,
 		Converged:  out.converged,
@@ -354,28 +396,29 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Key:        entry.Key,
 		Cached:     src == SourceHit,
 		Batched:    out.batched,
-		Hazards:    s.noteHazards(out.hazards),
+		Hazards:    rc.noteHazards(out.hazards),
 	})
 }
 
 func (s *Server) handleLowRank(w http.ResponseWriter, r *http.Request) {
-	rep, ok := s.admit(w, r, "lowrank")
+	rc, ok := s.admit(w, r, "lowrank")
 	if !ok {
 		return
 	}
 	var req lowRankRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		s.fail(w, rep, classifyError(err))
+		rc.fail(w, classifyError(err))
 		return
 	}
 	a, aerr := s.resolveMatrix(req.Matrix)
 	if aerr != nil {
-		s.fail(w, rep, aerr)
+		rc.fail(w, aerr)
 		return
 	}
+	rc.rows, rc.cols = a.Rows, a.Cols
 	cfg, err := req.Config.config()
 	if err != nil {
-		s.fail(w, rep, classifyError(err))
+		rc.fail(w, classifyError(err))
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.DeadlineMS)
@@ -387,27 +430,27 @@ func (s *Server) handleLowRank(w http.ResponseWriter, r *http.Request) {
 	wait, perr := s.pool.Do(ctx, func() {
 		t0 := time.Now()
 		res, lerr = s.backend.LowRank(tcqr.ToFloat32(a), req.Rank, cfg)
-		rep.RecordTiming("solve", time.Since(t0))
+		rc.rep.RecordTiming("solve", time.Since(t0))
 	})
 	if perr != nil {
-		s.fail(w, rep, classifyError(perr))
+		rc.fail(w, classifyError(perr))
 		return
 	}
-	rep.RecordTiming("queue", wait)
+	rc.rep.RecordTiming("queue", wait)
 	if lerr != nil {
-		s.fail(w, rep, classifyError(lerr))
+		rc.fail(w, classifyError(lerr))
 		return
 	}
 	sing := make([]float64, len(res.S))
 	for i, v := range res.S {
 		sing[i] = float64(v)
 	}
-	s.ok(w, rep, lowRankResponse{
+	rc.ok(w, lowRankResponse{
 		U:       fromMatrix(res.U),
 		S:       sing,
 		V:       fromMatrix(res.V),
 		Rank:    res.Rank,
-		Hazards: s.noteHazards(res.Hazards),
+		Hazards: rc.noteHazards(res.Hazards),
 	})
 }
 
@@ -427,6 +470,9 @@ type statzTiming struct {
 	TotalMS float64 `json:"total_ms"`
 	AvgMS   float64 `json:"avg_ms"`
 	MaxMS   float64 `json:"max_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
 }
 
 // statzResponse is the body of GET /statz.
@@ -442,25 +488,35 @@ type statzResponse struct {
 	Hazards       map[string]int64       `json:"hazards"`
 }
 
+// handleStatz renders the JSON stats view. Since the metrics registry became
+// the single source of truth, this is a thin projection of registry
+// snapshots — every map is a private copy, so encoding can never interleave
+// with writers.
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
 	resp := statzResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Draining:      s.draining.Load(),
-		Requests:      copyMap(s.requests),
-		Errors:        copyMap(s.errors),
-		Timing:        make(map[string]statzTiming, len(s.timing)),
-		Hazards:       copyMap(s.hazards),
+		Requests:      s.metrics.requests.Snapshot(),
+		Errors:        s.metrics.errors.Snapshot(),
+		Hazards:       s.metrics.hazards.Snapshot(),
+		Timing:        make(map[string]statzTiming),
 	}
-	for stage, agg := range s.timing {
+	for stage, h := range s.metrics.stageSeconds.Series() {
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		sum := h.Sum()
 		resp.Timing[stage] = statzTiming{
-			Count:   agg.Count,
-			TotalMS: float64(agg.TotalNs) / 1e6,
-			AvgMS:   float64(agg.TotalNs) / float64(agg.Count) / 1e6,
-			MaxMS:   float64(agg.MaxNs) / 1e6,
+			Count:   n,
+			TotalMS: sum * 1e3,
+			AvgMS:   sum / float64(n) * 1e3,
+			MaxMS:   h.Max() * 1e3,
+			P50MS:   h.Quantile(0.50) * 1e3,
+			P95MS:   h.Quantile(0.95) * 1e3,
+			P99MS:   h.Quantile(0.99) * 1e3,
 		}
 	}
-	s.mu.Unlock()
 	resp.Cache = s.cache.Stats()
 	resp.Coalescer = s.coal.Stats()
 	resp.Pool = s.pool.Stats()
@@ -470,77 +526,101 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(resp)
 }
 
-func copyMap(m map[string]int64) map[string]int64 {
-	out := make(map[string]int64, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
-}
-
-// noteHazards serializes a hazard list and folds it into the server-wide
-// per-kind counters surfaced by /statz.
-func (s *Server) noteHazards(hs []tcqr.Hazard) []WireHazard {
+// noteHazards serializes a hazard list and folds it into the per-kind
+// hazard and per-action recovery counters.
+func (rc *reqScope) noteHazards(hs []tcqr.Hazard) []WireHazard {
 	ws := wireHazards(hs)
-	if len(ws) > 0 {
-		s.mu.Lock()
-		for _, h := range ws {
-			s.hazards[h.Kind]++
-		}
-		s.mu.Unlock()
+	for _, h := range ws {
+		rc.s.metrics.noteHazard(h)
+		rc.hazardKinds = append(rc.hazardKinds, normalizeHazardKind(h.Kind))
 	}
 	return ws
 }
 
 // ok encodes v (timed as the encode stage) and finishes the response.
-func (s *Server) ok(w http.ResponseWriter, rep *hazard.Report, v any) {
+func (rc *reqScope) ok(w http.ResponseWriter, v any) {
 	var buf bytes.Buffer
 	t0 := time.Now()
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(v); err != nil {
-		s.fail(w, rep, &apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()})
+		rc.fail(w, &apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()})
 		return
 	}
-	rep.RecordTiming("encode", time.Since(t0))
-	s.finish(w, rep, http.StatusOK, buf.Bytes())
+	rc.rep.RecordTiming("encode", time.Since(t0))
+	rc.finish(w, http.StatusOK, buf.Bytes())
 }
 
 // fail encodes the uniform error envelope for e and finishes the response.
-func (s *Server) fail(w http.ResponseWriter, rep *hazard.Report, e *apiError) {
-	s.mu.Lock()
-	s.errors[e.code]++
-	s.mu.Unlock()
+func (rc *reqScope) fail(w http.ResponseWriter, e *apiError) {
+	rc.errCode = e.code
+	rc.s.metrics.errors.With(e.code).Inc()
 	body, _ := json.Marshal(errorBody{Error: errorDetail{Code: e.code, Message: e.msg, Hazards: e.hazards}})
 	if e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	s.finish(w, rep, e.status, append(body, '\n'))
+	rc.finish(w, e.status, append(body, '\n'))
 }
 
-// finish aggregates the request's stage timings into /statz, emits the
-// Server-Timing header, and writes the response.
-func (s *Server) finish(w http.ResponseWriter, rep *hazard.Report, status int, body []byte) {
-	timings := rep.Timings()
-	s.mu.Lock()
-	for _, t := range timings {
-		agg := s.timing[t.Stage]
-		if agg == nil {
-			agg = &stageAgg{}
-			s.timing[t.Stage] = agg
-		}
-		agg.Count++
-		agg.TotalNs += t.D.Nanoseconds()
-		if ns := t.D.Nanoseconds(); ns > agg.MaxNs {
-			agg.MaxNs = ns
-		}
-	}
-	s.mu.Unlock()
+// finish folds the request's stage timings into the latency histograms,
+// emits the Server-Timing header, writes the response, and logs the request.
+func (rc *reqScope) finish(w http.ResponseWriter, status int, body []byte) {
+	timings := rc.rep.Timings()
+	rc.s.metrics.observeStages(timings)
+	rc.s.metrics.responses.With(strconv.Itoa(status)).Inc()
 	w.Header().Set("Content-Type", "application/json")
-	if st := serverTimingHeader(timings); st != "" {
+	st := serverTimingHeader(timings)
+	if st != "" {
 		w.Header().Set("Server-Timing", st)
 	}
 	w.WriteHeader(status)
 	_, _ = w.Write(body)
+	rc.logRequest(status, st)
+}
+
+// logRequest emits one structured record for the finished request: Info for
+// successes, Warn for client errors, Error for server errors. Identifiers
+// the handler never learned (key, shape) are omitted.
+func (rc *reqScope) logRequest(status int, stages string) {
+	lg := rc.s.log
+	if lg == nil {
+		return
+	}
+	level := slog.LevelInfo
+	switch {
+	case status >= 500:
+		level = slog.LevelError
+	case status >= 400:
+		level = slog.LevelWarn
+	}
+	ctx := context.Background()
+	if !lg.Enabled(ctx, level) {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("endpoint", rc.endpoint),
+		slog.String("method", rc.method),
+		slog.Int("status", status),
+		slog.Duration("duration", time.Since(rc.start)),
+	}
+	if rc.errCode != "" {
+		attrs = append(attrs, slog.String("code", rc.errCode))
+	}
+	if rc.key != "" {
+		attrs = append(attrs, slog.String("key", rc.key))
+	}
+	if rc.rows > 0 {
+		attrs = append(attrs, slog.Int("rows", rc.rows), slog.Int("cols", rc.cols))
+	}
+	if rc.batched > 0 {
+		attrs = append(attrs, slog.Int("batched", rc.batched))
+	}
+	if stages != "" {
+		attrs = append(attrs, slog.String("stages", stages))
+	}
+	if len(rc.hazardKinds) > 0 {
+		attrs = append(attrs, slog.String("hazards", strings.Join(rc.hazardKinds, ",")))
+	}
+	lg.LogAttrs(ctx, level, "request", attrs...)
 }
 
 // serverTimingHeader renders the stage breakdown in the standard

@@ -38,7 +38,7 @@ var bfHook = blas.PackHook[float32]{
 // accumulation. Rounding (and overflow accounting) is fused into the packed
 // kernel's operand packing, so no rounded copies are materialized.
 func (e *BFloat16) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, beta float32, c *dense.M32) {
-	recordCall(&e.stats, tA, a, tB, b)
+	recordCall(e.Name(), &e.stats, tA, a, tB, b)
 	ov, _ := blas.GemmHooked(tA, tB, alpha, a, b, beta, c, &bfHook, &bfHook, e.TrackSpecials)
 	if e.TrackSpecials {
 		atomic.AddInt64(&e.stats.Overflows, ov)

@@ -94,7 +94,7 @@ func TestBFloat16TracksOverflow(t *testing.T) {
 	m, n, k := 80, 70, 64
 	a := specialsMat(rng, m, k)
 	b := specialsMat(rng, k, n)
-	a.Data[5] = 3.4e38  // rounds up past MaxValue → +Inf in bfloat16
+	a.Data[5] = 3.4e38 // rounds up past MaxValue → +Inf in bfloat16
 	b.Data[11] = -3.4e38
 	c := dense.New[float32](m, n)
 	e := &BFloat16{TrackSpecials: true}

@@ -55,7 +55,7 @@ func (e *TensorCore) GemmHalf(tA, tB blas.Transpose, alpha float32, a, b *Half, 
 	if got, want := gemmInner(tA, da, tB, db); got != want {
 		panic(fmt.Sprintf("tcsim: GemmHalf inner dimensions %d vs %d", got, want))
 	}
-	recordCall(&e.stats, tA, da, tB, db)
+	recordCall(e.Name(), &e.stats, tA, da, tB, db)
 	// Decoded values are already exactly representable in fp16; no second
 	// rounding is needed (or performed — Round is idempotent).
 	blas.Gemm(tA, tB, alpha, da, db, beta, c)

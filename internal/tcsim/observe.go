@@ -1,0 +1,78 @@
+package tcsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// GemmObserver receives one callback per engine GEMM call: the engine's
+// Name() ("TC-GEMM", "BF16-GEMM", "SGEMM") and the op-shape m×n×k of the
+// product. The serving layer registers an observer to expose per-engine,
+// per-shape-bucket GEMM counters on /metrics without coupling this package
+// to the metrics registry.
+//
+// Observers run inline on the GEMM path and must be cheap (a few atomic
+// increments) and safe for concurrent use.
+type GemmObserver func(engine string, m, n, k int)
+
+// The observer list is copy-on-write: readers pay one atomic pointer load,
+// which is nil in the common unobserved case. Registration keys each
+// observer with an id so unregister removes exactly its own entry.
+type gemmObserverEntry struct {
+	id int64
+	fn GemmObserver
+}
+
+var (
+	gemmObserverMu sync.Mutex
+	gemmObserverID int64
+	gemmObservers  atomic.Pointer[[]gemmObserverEntry]
+)
+
+// RegisterGemmObserver adds fn to the engine GEMM observer list and returns
+// a function that removes it again. Multiple observers may be registered;
+// each GEMM call reaches all of them. The returned unregister function is
+// idempotent.
+func RegisterGemmObserver(fn GemmObserver) (unregister func()) {
+	gemmObserverMu.Lock()
+	defer gemmObserverMu.Unlock()
+	gemmObserverID++
+	id := gemmObserverID
+	var cur []gemmObserverEntry
+	if p := gemmObservers.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]gemmObserverEntry, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, gemmObserverEntry{id: id, fn: fn})
+	gemmObservers.Store(&next)
+	return func() {
+		gemmObserverMu.Lock()
+		defer gemmObserverMu.Unlock()
+		old := gemmObservers.Load()
+		if old == nil {
+			return
+		}
+		repl := make([]gemmObserverEntry, 0, len(*old))
+		for _, e := range *old {
+			if e.id != id {
+				repl = append(repl, e)
+			}
+		}
+		if len(repl) == 0 {
+			gemmObservers.Store(nil)
+			return
+		}
+		gemmObservers.Store(&repl)
+	}
+}
+
+func observeGemm(engine string, m, n, k int) {
+	p := gemmObservers.Load()
+	if p == nil {
+		return
+	}
+	for _, e := range *p {
+		e.fn(engine, m, n, k)
+	}
+}

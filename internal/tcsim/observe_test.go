@@ -1,0 +1,101 @@
+package tcsim
+
+import (
+	"sync"
+	"testing"
+
+	"tcqr/internal/blas"
+	"tcqr/internal/dense"
+)
+
+func TestGemmObserver(t *testing.T) {
+	type call struct {
+		engine  string
+		m, n, k int
+	}
+	var mu sync.Mutex
+	var calls []call
+	unregister := RegisterGemmObserver(func(engine string, m, n, k int) {
+		mu.Lock()
+		calls = append(calls, call{engine, m, n, k})
+		mu.Unlock()
+	})
+
+	a := dense.New[float32](4, 3)
+	b := dense.New[float32](3, 2)
+	c := dense.New[float32](4, 2)
+	var fp FP32
+	fp.Gemm(blas.NoTrans, blas.NoTrans, 1, a, b, 0, c)
+
+	tc := &TensorCore{}
+	tc.Gemm(blas.NoTrans, blas.NoTrans, 1, a, b, 0, c)
+
+	// Transposed operands must report the op shape, not the storage shape.
+	ct := dense.New[float32](3, 3)
+	fp.Gemm(blas.Trans, blas.NoTrans, 1, a, a, 0, ct)
+
+	mu.Lock()
+	got := append([]call(nil), calls...)
+	mu.Unlock()
+	want := []call{
+		{"SGEMM", 4, 2, 3},
+		{"TC-GEMM", 4, 2, 3},
+		{"SGEMM", 3, 3, 4},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("observer saw %d calls, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("call %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	unregister()
+	unregister() // idempotent
+	fp.Gemm(blas.NoTrans, blas.NoTrans, 1, a, b, 0, c)
+	mu.Lock()
+	after := len(calls)
+	mu.Unlock()
+	if after != len(want) {
+		t.Fatalf("observer still firing after unregister: %d calls", after)
+	}
+}
+
+func TestGemmObserverMultipleAndConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	counts := [2]int{}
+	un0 := RegisterGemmObserver(func(string, int, int, int) {
+		mu.Lock()
+		counts[0]++
+		mu.Unlock()
+	})
+	un1 := RegisterGemmObserver(func(string, int, int, int) {
+		mu.Lock()
+		counts[1]++
+		mu.Unlock()
+	})
+	defer un1()
+
+	a := dense.New[float32](8, 8)
+	b := dense.New[float32](8, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var fp FP32
+			c := dense.New[float32](8, 8)
+			for i := 0; i < 25; i++ {
+				fp.Gemm(blas.NoTrans, blas.NoTrans, 1, a, b, 0, c)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[0] != 100 || counts[1] != 100 {
+		t.Fatalf("observer counts = %v, want [100 100]", counts)
+	}
+	un0()
+}

@@ -62,7 +62,7 @@ type FP32 struct {
 
 // Gemm implements Engine using float32 arithmetic throughout.
 func (e *FP32) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, beta float32, c *dense.M32) {
-	recordCall(&e.stats, tA, a, tB, b)
+	recordCall(e.Name(), &e.stats, tA, a, tB, b)
 	blas.Gemm(tA, tB, alpha, a, b, beta, c)
 }
 
@@ -101,7 +101,7 @@ var tcHook = blas.PackHook[float32]{
 // packing via blas.GemmHooked, so no rounded operand copies are ever
 // materialized and the call is allocation-free after pool warmup.
 func (e *TensorCore) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, beta float32, c *dense.M32) {
-	recordCall(&e.stats, tA, a, tB, b)
+	recordCall(e.Name(), &e.stats, tA, a, tB, b)
 	ov, uf := blas.GemmHooked(tA, tB, alpha, a, b, beta, c, &tcHook, &tcHook, e.TrackSpecials)
 	if e.TrackSpecials {
 		atomic.AddInt64(&e.stats.Overflows, ov)
@@ -118,7 +118,7 @@ func (e *TensorCore) Stats() Stats { return snapshot(&e.stats) }
 // ResetStats zeroes the counters.
 func (e *TensorCore) ResetStats() { reset(&e.stats) }
 
-func recordCall(s *Stats, tA blas.Transpose, a *dense.M32, tB blas.Transpose, b *dense.M32) {
+func recordCall(engine string, s *Stats, tA blas.Transpose, a *dense.M32, tB blas.Transpose, b *dense.M32) {
 	m, k := a.Rows, a.Cols
 	if tA == blas.Trans {
 		m, k = k, m
@@ -129,6 +129,7 @@ func recordCall(s *Stats, tA blas.Transpose, a *dense.M32, tB blas.Transpose, b 
 	}
 	atomic.AddInt64(&s.Calls, 1)
 	atomic.AddInt64(&s.Flops, 2*int64(m)*int64(n)*int64(k))
+	observeGemm(engine, m, n, k)
 }
 
 func snapshot(s *Stats) Stats {

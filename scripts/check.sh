@@ -8,6 +8,16 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+# staticcheck is optional tooling: run it when the developer has it
+# installed, skip (loudly) when not, so the check never depends on a
+# network fetch.
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "== staticcheck =="
+	staticcheck ./...
+else
+	echo "== staticcheck (skipped: not installed) =="
+fi
+
 echo "== go test -race =="
 go test -race ./...
 

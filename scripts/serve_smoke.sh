@@ -1,10 +1,12 @@
 #!/bin/sh
 # End-to-end smoke test of the tcqrd daemon: build it, start it on an
 # ephemeral port, drive it with its own -smoke client (factorize, cache hit,
-# coalesced solves, hazard fallback/fail, malformed input, /statz), and shut
-# it down. Exits non-zero if the daemon fails to start, any API response
-# deviates from the contract, or the daemon does not drain cleanly on
-# SIGTERM. Run from the repository root; `make serve-smoke` wraps this.
+# coalesced solves, hazard fallback/fail, malformed input, /statz, /metrics),
+# scrape /metrics independently with curl, and shut it down. Exits non-zero
+# if the daemon fails to start, any API response deviates from the contract,
+# the metrics scrape is missing traffic, or the daemon does not drain
+# cleanly on SIGTERM. Run from the repository root; `make serve-smoke`
+# wraps this.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -43,6 +45,43 @@ echo "daemon listening on $addr"
 
 echo "== run smoke client =="
 "$workdir/tcqrd" -smoke "http://$addr"
+
+# Independent scrape: after the smoke traffic, /metrics must serve the
+# Prometheus text format with non-zero request and cache-hit counters. The
+# fetcher degrades curl -> wget so the check runs wherever one exists.
+echo "== scrape /metrics =="
+if command -v curl >/dev/null 2>&1; then
+	curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
+elif command -v wget >/dev/null 2>&1; then
+	wget -qO "$workdir/metrics.txt" "http://$addr/metrics"
+else
+	echo "neither curl nor wget available" >&2
+	exit 1
+fi
+# metric_above family: succeeds when any sample of the family is > 0.
+metric_above() {
+	awk -v name="$1" '
+		$1 == name || index($1, name "{") == 1 { if ($2 + 0 > 0) found = 1 }
+		END { exit !found }
+	' "$workdir/metrics.txt"
+}
+for family in tcqrd_requests_total tcqrd_cache_hits_total; do
+	if metric_above "$family"; then
+		echo "ok   $family > 0"
+	else
+		echo "FAIL $family has no non-zero sample:" >&2
+		grep "^$family" "$workdir/metrics.txt" >&2 || echo "(family absent)" >&2
+		exit 1
+	fi
+done
+for family in tcqrd_stage_duration_seconds_count tcqrd_hazards_total tcqrd_engine_gemm_calls_total; do
+	if grep -q "^$family" "$workdir/metrics.txt"; then
+		echo "ok   $family present"
+	else
+		echo "FAIL $family missing from /metrics" >&2
+		exit 1
+	fi
+done
 
 echo "== graceful drain =="
 kill -TERM "$daemon_pid"
