@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build check check-race check-deep lint fuzz bench bench-json \
+.PHONY: build check check-race check-deep lint fuzz chaos bench bench-json \
 	serve serve-smoke bench-serve-json clean
 
 build:
@@ -35,6 +35,14 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/f16
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/bf16
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/blas
+	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/serve
+
+# Chaos/soak battery under the race detector: 64 concurrent clients against
+# a seeded fault schedule (panics, delays, decode errors at every failpoint
+# layer), plus the metamorphic no-silent-garbage property over the
+# adversarial matrix battery. See DESIGN.md §11.
+chaos:
+	$(GO) test -race -run 'TestChaosBattery|TestMetamorphicNoSilentGarbage' -v ./internal/serve
 
 # Deep verification: race gate, fuzz smoke, and the daemon end-to-end smoke
 # (what scripts/check.sh runs). Tier-1 `check` stays fast; this one takes

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// faultSmokeSpec is the schedule scripts/serve_smoke.sh arms the daemon with
+// for the fault pass. The shape is chosen so the client below can walk the
+// daemon through every failure-policy state deterministically:
+//
+//   - serve.cache.factorize=error@every=2 fails every second cold
+//     factorization. The first factorize (hit 1) passes and warms the cache;
+//     the second (hit 2) is injected and — with -retry-attempts 1 disabling
+//     retry and -degrade-threshold 1 — surfaces as a 500 that flips the
+//     daemon into degraded mode.
+//   - -degrade-cooldown is long (5m) so the daemon stays degraded for the
+//     rest of the pass: cold factorizations must get 503 + Retry-After while
+//     the warm entry keeps serving.
+const faultSmokeSpec = "seed=7;serve.cache.factorize=error@every=2"
+
+// runFaultSmoke drives a daemon armed with faultSmokeSpec through the
+// failure contract: an injected 500, the flip into degraded cache-only mode,
+// Retry-After on degraded 503s, cache hits still served, healthz honest
+// about the state, and the fault/degraded metric families non-zero.
+func runFaultSmoke(base string) int {
+	s := &smoker{base: base, client: &http.Client{Timeout: 60 * time.Second}}
+
+	// Hit 1 of serve.cache.factorize passes: the cache gets one warm entry.
+	m, n := 96, 24
+	matA := smokeMatrix(m, n, 1)
+	var fr struct {
+		Key    string `json:"key"`
+		Cached bool   `json:"cached"`
+	}
+	code, err := s.post("/v1/factorize", map[string]any{"matrix": matA}, &fr)
+	s.check(err == nil && code == 200 && fr.Key != "",
+		"warm-up factorize succeeds (fault hit 1 passes)",
+		"code=%d key=%q err=%v", code, fr.Key, err)
+	keyA := fr.Key
+
+	// Hit 2 fires. Retry is disabled (-retry-attempts 1), so the injected
+	// failure surfaces as a typed 500 — and trips the degrade threshold of 1.
+	matB := smokeMatrix(m, n, 2) // different content, so it is a cold miss
+	var er struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	code, err = s.post("/v1/factorize", map[string]any{"matrix": matB}, &er)
+	s.check(err == nil && code == 500 && er.Error.Code == "internal",
+		"injected factorize fault surfaces as 500 internal",
+		"code=%d error=%+v err=%v", code, er.Error, err)
+
+	// Degraded mode: cold factorizations are rejected with 503, code
+	// "degraded", and a Retry-After header holding a positive integer.
+	matC := smokeMatrix(m, n, 4)
+	code, hdr, err := s.postHdr("/v1/factorize", map[string]any{"matrix": matC}, &er)
+	s.check(err == nil && code == 503 && er.Error.Code == "degraded",
+		"cold factorize while degraded returns 503 degraded",
+		"code=%d error=%+v err=%v", code, er.Error, err)
+	ra, raErr := strconv.Atoi(strings.TrimSpace(hdr.Get("Retry-After")))
+	s.check(raErr == nil && ra >= 1,
+		"degraded 503 carries an integer Retry-After",
+		"Retry-After=%q err=%v", hdr.Get("Retry-After"), raErr)
+
+	// The warm entry keeps serving: solve by key and re-factorize of the
+	// resident matrix both succeed while the daemon is degraded.
+	xTrue := make([]float64, n)
+	for j := range xTrue {
+		xTrue[j] = 1 + float64(j%7)
+	}
+	var sr struct {
+		X []float64 `json:"x"`
+	}
+	code, err = s.post("/v1/solve", map[string]any{"key": keyA, "b": matVec(matA, xTrue)}, &sr)
+	s.check(err == nil && code == 200 && maxAbsDiff(sr.X, xTrue) < 1e-6,
+		"degraded daemon still serves accurate cache-hit solves",
+		"code=%d max|x-x*|=%g err=%v", code, maxAbsDiff(sr.X, xTrue), err)
+	code, err = s.post("/v1/factorize", map[string]any{"matrix": matA}, &fr)
+	s.check(err == nil && code == 200 && fr.Cached,
+		"degraded daemon still serves factorize cache hits",
+		"code=%d cached=%v err=%v", code, fr.Cached, err)
+
+	// healthz stays 200 (load balancers must not eject a node that can serve
+	// cache traffic) but reports the degraded state honestly.
+	var health struct {
+		Status string `json:"status"`
+	}
+	code, err = s.get("/healthz", &health)
+	s.check(err == nil && code == 200 && health.Status == "degraded",
+		"healthz reports 200 with status degraded",
+		"code=%d status=%q err=%v", code, health.Status, err)
+
+	// The fault and degradation families must account for everything above.
+	text, code, err := s.getText("/metrics")
+	s.check(err == nil && code == 200, "metrics returns 200", "code=%d err=%v", code, err)
+	s.check(metricAbove(text, "tcqrd_fault_injected_total", 0),
+		"metrics counted injected faults", "tcqrd_fault_injected_total has no non-zero sample")
+	s.check(metricAbove(text, "tcqrd_degraded", 0),
+		"metrics show the degraded gauge raised", "tcqrd_degraded is zero")
+	s.check(metricAbove(text, "tcqrd_degraded_entered_total", 0),
+		"metrics counted the degraded-mode entry", "tcqrd_degraded_entered_total is zero")
+	s.check(metricAbove(text, "tcqrd_degraded_rejected_total", 0),
+		"metrics counted degraded rejections", "tcqrd_degraded_rejected_total is zero")
+
+	if s.failed {
+		fmt.Fprintln(os.Stderr, "FAULT SMOKE FAILED")
+		return 1
+	}
+	fmt.Println("FAULT SMOKE OK")
+	return 0
+}

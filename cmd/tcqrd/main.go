@@ -22,6 +22,9 @@
 //	      [-window 2ms] [-max-batch 32] [-deadline 30s]
 //	      [-drain-timeout 10s] [-addr-file path]
 //	      [-log-level info] [-debug-addr host:port]
+//	      [-retry-attempts 3] [-stage-timeout 0]
+//	      [-degrade-threshold 5] [-degrade-cooldown 10s]
+//	      [-fault-spec schedule]
 //
 // -log-level selects the structured (slog) logging threshold: debug, info,
 // warn, error, or off (per-request records log at info, client errors at
@@ -29,10 +32,22 @@
 // serving net/http/pprof under /debug/pprof/ — kept off the public API
 // listener so profiling endpoints are never exposed to API clients.
 //
+// -retry-attempts, -stage-timeout, -degrade-threshold and -degrade-cooldown
+// tune the failure policy (DESIGN.md §11): transient internal failures are
+// retried with exponential backoff, and a streak of internal failures flips
+// the daemon into degraded cache-only mode, where cold factorizations get
+// 503 with a Retry-After header until the cooldown expires. -fault-spec
+// arms the deterministic failpoint registry (internal/faultinject) with a
+// seeded fault schedule — a testing facility; never arm it in production.
+//
 // The -smoke flag runs the binary as a client instead: it drives a running
 // daemon through factorize, cache-hit, coalesced-solve, hazard, bad-input
 // and metrics-scrape scenarios, exiting non-zero if any response deviates
 // from the contract (scripts/serve_smoke.sh wires this into CI).
+// -smoke-fault is its failure-path sibling, run against a daemon armed with
+// the specific schedule scripts/serve_smoke.sh passes: it asserts injected
+// 500s, the flip into degraded mode, Retry-After on degraded 503s,
+// cache-only serving, and the fault/degraded metric families.
 package main
 
 import (
@@ -49,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"tcqr/internal/faultinject"
 	"tcqr/internal/serve"
 )
 
@@ -66,11 +82,21 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error, off")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 		smoke        = flag.String("smoke", "", "run as smoke-test client against this base URL and exit")
+		smokeFault   = flag.String("smoke-fault", "", "run as fault-mode smoke client against this base URL and exit (expects a daemon armed by scripts/serve_smoke.sh)")
+
+		faultSpec     = flag.String("fault-spec", "", "arm the deterministic failpoint registry with this schedule (DESIGN.md §11 grammar; testing only)")
+		retryAttempts = flag.Int("retry-attempts", 0, "max attempts for transient internal failures (0 = default 3, 1 disables retry)")
+		stageTimeout  = flag.Duration("stage-timeout", 0, "per-attempt compute stage timeout (0 disables)")
+		degradeAfter  = flag.Int("degrade-threshold", 0, "consecutive internal failures before degraded (cache-only) mode (0 = default 5, negative disables)")
+		degradeCool   = flag.Duration("degrade-cooldown", 0, "how long degraded mode lasts once entered (0 = default 10s)")
 	)
 	flag.Parse()
 
 	if *smoke != "" {
 		os.Exit(runSmoke(*smoke))
+	}
+	if *smokeFault != "" {
+		os.Exit(runFaultSmoke(*smokeFault))
 	}
 
 	logger, err := buildLogger(*logLevel)
@@ -79,14 +105,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *faultSpec != "" {
+		if err := faultinject.Arm(*faultSpec); err != nil {
+			fatal(logger, "bad -fault-spec", "err", err)
+		}
+		// Loud on purpose: an armed registry injects failures into production
+		// traffic, so the fact (and the exact sites) must be in the log.
+		warn(logger, "fault injection armed", "sites", faultinject.Sites())
+	}
+
 	srv := serve.New(serve.Options{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cacheEntries,
-		Window:          *window,
-		MaxBatch:        *maxBatch,
-		DefaultDeadline: *deadline,
-		Logger:          logger,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheEntries,
+		Window:           *window,
+		MaxBatch:         *maxBatch,
+		DefaultDeadline:  *deadline,
+		Logger:           logger,
+		Retry:            serve.RetryPolicy{MaxAttempts: *retryAttempts},
+		StageTimeout:     *stageTimeout,
+		DegradeThreshold: *degradeAfter,
+		DegradeCooldown:  *degradeCool,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

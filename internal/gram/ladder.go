@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"tcqr/internal/dense"
+	"tcqr/internal/faultinject"
 	"tcqr/internal/hazard"
 )
 
@@ -56,6 +57,14 @@ func (l *Ladder) Factor(a *dense.M32) (q, r *dense.M32, err error) {
 	}
 	for i, p := range l.Rungs {
 		q, r, err = p.Factor(a)
+		// Failpoint: an injected error forces this rung to report breakdown
+		// even when it factored cleanly, driving the escalation path on
+		// matrices that would not trip it naturally.
+		if err == nil {
+			if ferr := faultinject.Fire("gram.ladder.rung"); ferr != nil {
+				err = fmt.Errorf("gram: injected rung failure: %v: %w", ferr, hazard.ErrBreakdown)
+			}
+		}
 		if err == nil {
 			return q, r, nil
 		}

@@ -94,6 +94,11 @@ const (
 	KindStagnation
 	// KindDivergence: refinement residuals grew past the divergence guard.
 	KindDivergence
+	// KindTransient: a transient internal failure in the serving layer — a
+	// recovered compute panic or an injected fault — that was retried or
+	// degraded around rather than surfaced as a numerical result. Recorded
+	// so a request's report shows every recovery, not only numerical ones.
+	KindTransient
 )
 
 // String names the kind.
@@ -111,6 +116,8 @@ func (k Kind) String() string {
 		return "stagnation"
 	case KindDivergence:
 		return "divergence"
+	case KindTransient:
+		return "transient"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -127,6 +134,7 @@ func Kinds() []Kind {
 		KindRankDeficient,
 		KindStagnation,
 		KindDivergence,
+		KindTransient,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"tcqr"
+	"tcqr/internal/faultinject"
 )
 
 // CacheKey derives the content-addressed cache key for factoring a under
@@ -160,6 +161,13 @@ func (c *FactorCache) GetOrFactor(key string, a *tcqr.Matrix, cfg tcqr.Config) (
 				fl.err = fmt.Errorf("serve: panic during factorize: %v", r)
 			}
 		}()
+		// Failpoint: a panic here is recovered into fl.err exactly like a
+		// panicking backend, an error poisons this flight only (the next
+		// request retries the factorization — errors are never cached).
+		if err := faultinject.Fire(siteCacheFactorize); err != nil {
+			fl.err = err
+			return
+		}
 		f, err := c.backend.Factorize(tcqr.ToFloat32(a), cfg)
 		if err == nil {
 			fl.entry = &Entry{Key: key, A: a, F: f, Config: cfg}

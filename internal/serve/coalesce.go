@@ -8,6 +8,7 @@ import (
 
 	"tcqr"
 	"tcqr/internal/accuracy"
+	"tcqr/internal/faultinject"
 )
 
 // CoalescerStats is a snapshot of the coalescer counters.
@@ -174,6 +175,12 @@ func (c *Coalescer) execute(bt *batch) {
 	c.mu.Unlock()
 
 	err := c.run(func() {
+		// Failpoint: a delay here simulates a slow flush (every waiter in
+		// the batch sees the latency), an error or panic fails the whole
+		// batch — the fan-out below delivers it to every waiter.
+		if ferr := faultinject.Fire(siteCoalesceFlush); ferr != nil {
+			panic(ferr)
+		}
 		// Everything before this moment — the coalescing window plus the
 		// pool queue — is this batch's queue wait.
 		start := time.Now()

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tcqr"
+	"tcqr/internal/faultinject"
 	"tcqr/internal/hazard"
 	"tcqr/internal/metrics"
 	"tcqr/internal/tcsim"
@@ -37,7 +38,13 @@ type serverMetrics struct {
 	gemmCalls *metrics.CounterVec // by engine kind and flops bucket
 	gemmFlops *metrics.CounterVec // by engine kind
 
-	unobserve func() // detaches the engine GEMM observer
+	faultInjected  *metrics.CounterVec // by failpoint site and action
+	retryAttempts  *metrics.CounterVec // by endpoint
+	retryExhausted *metrics.CounterVec // by endpoint
+	retryBackoff   *metrics.Histogram  // backoff slept before each retry
+
+	unobserve      func() // detaches the engine GEMM observer
+	unobserveFault func() // detaches the fault-injection observer
 }
 
 // newServerMetrics registers the daemon's families in reg and wires the
@@ -67,6 +74,14 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 			"Engine GEMM calls, by engine kind and flops bucket.", "engine", "flops_bucket"),
 		gemmFlops: reg.CounterVec("tcqrd_engine_gemm_flops_total",
 			"Engine GEMM floating-point operations, by engine kind.", "engine"),
+		faultInjected: reg.CounterVec("tcqrd_fault_injected_total",
+			"Faults injected by the failpoint registry, by site and action.", "site", "action"),
+		retryAttempts: reg.CounterVec("tcqrd_retry_attempts_total",
+			"Retries of transient internal failures, by endpoint.", "endpoint"),
+		retryExhausted: reg.CounterVec("tcqrd_retry_exhausted_total",
+			"Requests whose transient failure survived every retry, by endpoint.", "endpoint"),
+		retryBackoff: reg.Histogram("tcqrd_retry_backoff_seconds",
+			"Backoff slept before each retry of a transient failure.", metrics.LatencyBuckets),
 	}
 
 	reg.GaugeFunc("tcqrd_uptime_seconds",
@@ -80,6 +95,20 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 			}
 			return 0
 		})
+	reg.GaugeFunc("tcqrd_degraded",
+		"1 while the server is in degraded (cache-only) mode, 0 otherwise.",
+		func() float64 {
+			if _, deg := s.brk.degraded(); deg {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("tcqrd_degraded_entered_total",
+		"Times the degradation breaker tripped into cache-only serving.",
+		func() int64 { return s.brk.entered.Load() })
+	reg.CounterFunc("tcqrd_degraded_rejected_total",
+		"Cold compute requests rejected with 503 while degraded.",
+		func() int64 { return s.brk.rejected.Load() })
 
 	reg.GaugeFunc("tcqrd_pool_queue_depth",
 		"Tasks waiting in the admission queue.",
@@ -138,15 +167,24 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 		m.gemmCalls.With(lbl, flopsBucket(flops)).Inc()
 		m.gemmFlops.With(lbl).Add(flops)
 	})
+	// Site and action are both code-defined vocabularies (fault specs only
+	// arm sites that exist in source), so the label set stays bounded.
+	m.unobserveFault = faultinject.RegisterObserver(func(ev faultinject.Event) {
+		m.faultInjected.With(ev.Site, ev.Action.String()).Inc()
+	})
 	return m
 }
 
-// close detaches the engine observer so a retired Server stops accumulating
-// global GEMM traffic.
+// close detaches the engine and fault observers so a retired Server stops
+// accumulating process-global traffic.
 func (m *serverMetrics) close() {
 	if m.unobserve != nil {
 		m.unobserve()
 		m.unobserve = nil
+	}
+	if m.unobserveFault != nil {
+		m.unobserveFault()
+		m.unobserveFault = nil
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"tcqr/internal/faultinject"
 )
 
 // Typed admission-control errors. The wire layer maps them to HTTP
@@ -79,34 +81,45 @@ func NewPool(workers, queueDepth int) *Pool {
 
 func (p *Pool) worker() {
 	for t := range p.tasks {
-		// inFlight rises before queued falls so AwaitIdle can never observe
-		// queued==0 && inFlight==0 while a dequeued task is about to run.
-		p.inFlight.Add(1)
-		p.queued.Add(-1)
-		if t.cancelled.Load() {
-			p.inFlight.Add(-1)
-			p.expired.Add(1)
-			t.skipped = true
-			close(t.done)
-			continue
-		}
-		t.wait = time.Since(t.enqueued)
-		p.runTask(t)
-		p.inFlight.Add(-1)
-		p.completed.Add(1)
-		close(t.done)
+		p.runOne(t)
 	}
 }
 
-// runTask executes t.fn, converting a panic into an error on the task so a
-// single failing request cannot take down the worker (and with it every
-// other request in the process). The worker loop continues normally.
-func (p *Pool) runTask(t *poolTask) {
+// runOne owns one dequeued task from accounting to completion. The counter
+// transition — inFlight rises before queued falls, so AwaitIdle can never
+// observe queued==0 && inFlight==0 while a dequeued task is about to run —
+// happens first, as two bare atomic adds with nothing between them that
+// could panic. Everything after it runs under a deferred recovery that
+// restores the counters, closes t.done, and keeps the worker goroutine
+// alive no matter what unwinds — a panicking task fn or a fault injected at
+// the dequeue site. There is therefore no instant at which a dequeued task
+// is counted in neither gauge, and no panic between dequeue and completion
+// can strand the submitter or make AwaitIdle lie (hardening_test.go drives
+// the window via the serve.pool.dequeue failpoint).
+func (p *Pool) runOne(t *poolTask) {
+	p.inFlight.Add(1)
+	p.queued.Add(-1)
 	defer func() {
-		if r := recover(); r != nil {
+		if r := recover(); r != nil && t.panicErr == nil {
 			t.panicErr = fmt.Errorf("serve: panic in pool task: %v", r)
 		}
+		if t.skipped {
+			p.expired.Add(1)
+		} else {
+			p.completed.Add(1)
+		}
+		p.inFlight.Add(-1)
+		close(t.done)
 	}()
+	if err := faultinject.Fire(sitePoolDequeue); err != nil {
+		t.panicErr = err
+		return
+	}
+	if t.cancelled.Load() {
+		t.skipped = true
+		return
+	}
+	t.wait = time.Since(t.enqueued)
 	t.fn()
 }
 
@@ -125,6 +138,9 @@ func (p *Pool) Do(ctx context.Context, fn func()) (time.Duration, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return 0, ErrDeadline
+	}
+	if err := faultinject.Fire(sitePoolEnqueue); err != nil {
+		return 0, err
 	}
 	t := &poolTask{fn: fn, enqueued: time.Now(), done: make(chan struct{})}
 	p.queued.Add(1)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"tcqr"
+	"tcqr/internal/faultinject"
 	"tcqr/internal/hazard"
 	"tcqr/internal/metrics"
 )
@@ -43,6 +44,21 @@ type Options struct {
 	MaxBodyBytes int64
 	// MaxElements caps rows*cols of an uploaded matrix (0 = 8Mi elements).
 	MaxElements int
+	// Retry bounds automatic retries of transient internal failures —
+	// recovered compute panics and injected faults — before a 500 is
+	// surfaced. Zero fields select the production defaults documented on
+	// RetryPolicy.
+	Retry RetryPolicy
+	// DegradeThreshold is the number of consecutive internal failures that
+	// trips degraded (cache-only) serving (0 = 5; negative disables the
+	// breaker).
+	DegradeThreshold int
+	// DegradeCooldown is how long a degraded trip lasts (0 = 10s).
+	DegradeCooldown time.Duration
+	// StageTimeout bounds each compute attempt independently of the request
+	// deadline, so one wedged attempt can be retried while the request still
+	// has budget (0 = disabled).
+	StageTimeout time.Duration
 	// Backend routes compute; nil = LibraryBackend. Tests install counting
 	// or delaying backends here.
 	Backend Backend
@@ -68,6 +84,7 @@ type Server struct {
 	pool     *Pool
 	start    time.Time
 	draining atomic.Bool
+	brk      *breaker
 	metrics  *serverMetrics
 	log      *slog.Logger
 }
@@ -95,6 +112,13 @@ func New(opts Options) *Server {
 	if opts.MaxElements <= 0 {
 		opts.MaxElements = 8 << 20
 	}
+	if opts.DegradeThreshold == 0 {
+		opts.DegradeThreshold = 5
+	}
+	if opts.DegradeCooldown <= 0 {
+		opts.DegradeCooldown = 10 * time.Second
+	}
+	opts.Retry = opts.Retry.withDefaults()
 	if opts.Backend == nil {
 		opts.Backend = LibraryBackend{}
 	}
@@ -107,6 +131,10 @@ func New(opts Options) *Server {
 		pool:    NewPool(opts.Workers, opts.QueueDepth),
 		start:   time.Now(),
 		log:     opts.Logger,
+	}
+	s.brk = &breaker{cooldown: opts.DegradeCooldown}
+	if opts.DegradeThreshold > 0 {
+		s.brk.threshold = int64(opts.DegradeThreshold)
 	}
 	s.cache = NewFactorCache(opts.CacheEntries, s.backend)
 	s.coal = NewCoalescer(opts.Window, opts.MaxBatch, s.backend, func(fn func()) error {
@@ -178,6 +206,7 @@ type reqScope struct {
 	batched     int
 	errCode     string
 	hazardKinds []string
+	repCounted  bool
 }
 
 // admit is the common front door of the compute endpoints: method check,
@@ -232,30 +261,94 @@ func (s *Server) resolveMatrix(wm *WireMatrix) (*tcqr.Matrix, *apiError) {
 	return a, nil
 }
 
-// factorEntry runs GetOrFactor through the pool, recording queue and (on
-// non-hit sources) factorize stage timings plus the panel counter for
-// factorizations actually performed.
-func (s *Server) factorEntry(ctx context.Context, rep *hazard.Report, key string, a *tcqr.Matrix, cfg tcqr.Config) (*Entry, Source, error) {
+// retryDo runs one compute stage under the server's retry policy. Each
+// attempt optionally runs under its own StageTimeout-derived context; an
+// attempt killed by the stage bound while the request itself is still alive
+// is lifted to errStageTimeout, which is retryable — a wedged attempt does
+// not doom a request with deadline budget left. Every retry is recorded in
+// the request's hazard report (KindTransient) and the retry metrics; a
+// transient failure that survives the whole policy bumps the exhausted
+// counter on its way to becoming a 500.
+func (s *Server) retryDo(ctx context.Context, rc *reqScope, stage string, fn func(ctx context.Context) error) error {
+	rt := newRetrier(s.opts.Retry)
+	rt.onRetry = func(attempt int, err error, d time.Duration) {
+		s.metrics.retryAttempts.With(rc.endpoint).Inc()
+		s.metrics.retryBackoff.ObserveDuration(d)
+		rc.rep.Record(hazard.Event{
+			Kind:   hazard.KindTransient,
+			Stage:  stage,
+			Detail: fmt.Sprintf("attempt %d: %v", attempt, err),
+			Action: fmt.Sprintf("retry after %s", d.Round(10*time.Microsecond)),
+		})
+	}
+	err := rt.do(ctx, func() error {
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if s.opts.StageTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, s.opts.StageTimeout)
+		}
+		defer cancel()
+		aerr := fn(actx)
+		if aerr != nil && actx.Err() != nil && ctx.Err() == nil {
+			aerr = errStageTimeout
+		}
+		return aerr
+	})
+	if err != nil && retryable(err) {
+		s.metrics.retryExhausted.With(rc.endpoint).Inc()
+	}
+	return err
+}
+
+// degradedReject returns the rejection for cold compute while the breaker
+// is tripped, or nil when the server is healthy.
+func (s *Server) degradedReject() *apiError {
+	rem, deg := s.brk.degraded()
+	if !deg {
+		return nil
+	}
+	s.brk.rejected.Add(1)
+	return degradedError(rem)
+}
+
+// factorEntry runs GetOrFactor through the pool under the retry policy,
+// recording queue and (on non-hit sources) factorize stage timings plus the
+// panel counter for factorizations actually performed. While the server is
+// degraded only the cache answers: a resident factorization is served as a
+// hit, anything cold is rejected with 503 + Retry-After.
+func (s *Server) factorEntry(ctx context.Context, rc *reqScope, key string, a *tcqr.Matrix, cfg tcqr.Config) (*Entry, Source, error) {
+	if rem, deg := s.brk.degraded(); deg {
+		if e, ok := s.cache.Get(key); ok {
+			return e, SourceHit, nil
+		}
+		s.brk.rejected.Add(1)
+		return nil, 0, degradedError(rem)
+	}
 	var (
 		entry *Entry
 		src   Source
-		ferr  error
 	)
-	wait, err := s.pool.Do(ctx, func() {
-		t0 := time.Now()
-		entry, src, ferr = s.cache.GetOrFactor(key, a, cfg)
-		if src != SourceHit {
-			rep.RecordTiming("factorize", time.Since(t0))
+	err := s.retryDo(ctx, rc, "factorize", func(actx context.Context) error {
+		var ferr error
+		wait, perr := s.pool.Do(actx, func() {
+			t0 := time.Now()
+			entry, src, ferr = s.cache.GetOrFactor(key, a, cfg)
+			if src != SourceHit {
+				rc.rep.RecordTiming("factorize", time.Since(t0))
+			}
+		})
+		if perr != nil {
+			return perr
 		}
+		rc.rep.RecordTiming("queue", wait)
+		if src == SourceMiss {
+			s.metrics.panels.With(panelLabel(cfg.Panel)).Inc()
+		}
+		return ferr
 	})
 	if err != nil {
 		return nil, 0, err
 	}
-	rep.RecordTiming("queue", wait)
-	if src == SourceMiss {
-		s.metrics.panels.With(panelLabel(cfg.Panel)).Inc()
-	}
-	return entry, src, ferr
+	return entry, src, nil
 }
 
 func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
@@ -283,7 +376,7 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	key := CacheKey(a, cfg)
 	rc.key = key
-	entry, src, ferr := s.factorEntry(ctx, rc.rep, key, a, cfg)
+	entry, src, ferr := s.factorEntry(ctx, rc, key, a, cfg)
 	if ferr != nil {
 		rc.fail(w, classifyError(ferr))
 		return
@@ -359,7 +452,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var ferr error
-		entry, src, ferr = s.factorEntry(ctx, rc.rep, CacheKey(a, cfg), a, cfg)
+		entry, src, ferr = s.factorEntry(ctx, rc, CacheKey(a, cfg), a, cfg)
 		if ferr != nil {
 			rc.fail(w, classifyError(ferr))
 			return
@@ -380,9 +473,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out := s.coal.Submit(ctx, entry, opts, req.B)
-	if out.err != nil {
-		rc.fail(w, classifyError(out.err))
+	var out solveOutcome
+	serr := s.retryDo(ctx, rc, "solve", func(actx context.Context) error {
+		out = s.coal.Submit(actx, entry, opts, req.B)
+		return out.err
+	})
+	if serr != nil {
+		rc.fail(w, classifyError(serr))
 		return
 	}
 	rc.rep.RecordTiming("queue", out.queueWait)
@@ -423,22 +520,30 @@ func (s *Server) handleLowRank(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.DeadlineMS)
 	defer cancel()
+	// Low-rank results are never cached, so degraded mode has nothing to
+	// serve here: the whole pipeline is suspended until the cooldown ends.
+	if de := s.degradedReject(); de != nil {
+		rc.fail(w, de)
+		return
+	}
 	var (
 		res  *tcqr.LowRankApprox
 		lerr error
 	)
-	wait, perr := s.pool.Do(ctx, func() {
-		t0 := time.Now()
-		res, lerr = s.backend.LowRank(tcqr.ToFloat32(a), req.Rank, cfg)
-		rc.rep.RecordTiming("solve", time.Since(t0))
+	err = s.retryDo(ctx, rc, "solve", func(actx context.Context) error {
+		wait, perr := s.pool.Do(actx, func() {
+			t0 := time.Now()
+			res, lerr = s.backend.LowRank(tcqr.ToFloat32(a), req.Rank, cfg)
+			rc.rep.RecordTiming("solve", time.Since(t0))
+		})
+		if perr != nil {
+			return perr
+		}
+		rc.rep.RecordTiming("queue", wait)
+		return lerr
 	})
-	if perr != nil {
-		rc.fail(w, classifyError(perr))
-		return
-	}
-	rc.rep.RecordTiming("queue", wait)
-	if lerr != nil {
-		rc.fail(w, classifyError(lerr))
+	if err != nil {
+		rc.fail(w, classifyError(err))
 		return
 	}
 	sing := make([]float64, len(res.S))
@@ -461,6 +566,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, `{"status":"draining"}`)
 		return
 	}
+	// Degraded is still 200: the process is alive and serving cache hits, so
+	// load balancers must not eject it — clients discover the restriction
+	// through per-request 503s with Retry-After.
+	if _, deg := s.brk.degraded(); deg {
+		fmt.Fprintln(w, `{"status":"degraded"}`)
+		return
+	}
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
@@ -479,6 +591,7 @@ type statzTiming struct {
 type statzResponse struct {
 	UptimeSeconds float64                `json:"uptime_seconds"`
 	Draining      bool                   `json:"draining"`
+	Degraded      bool                   `json:"degraded"`
 	Requests      map[string]int64       `json:"requests"`
 	Errors        map[string]int64       `json:"errors"`
 	Cache         CacheStats             `json:"cache"`
@@ -493,9 +606,11 @@ type statzResponse struct {
 // snapshots — every map is a private copy, so encoding can never interleave
 // with writers.
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	_, degraded := s.brk.degraded()
 	resp := statzResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Draining:      s.draining.Load(),
+		Degraded:      degraded,
 		Requests:      s.metrics.requests.Snapshot(),
 		Errors:        s.metrics.errors.Snapshot(),
 		Hazards:       s.metrics.hazards.Snapshot(),
@@ -526,10 +641,23 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(resp)
 }
 
-// noteHazards serializes a hazard list and folds it into the per-kind
-// hazard and per-action recovery counters.
+// takeRepEvents drains the request report's hazard events (the transient
+// failures the retry layer recorded) at most once per request, so the ok
+// path (via noteHazards) and the fail path cannot double-count them.
+func (rc *reqScope) takeRepEvents() []tcqr.Hazard {
+	if rc.repCounted {
+		return nil
+	}
+	rc.repCounted = true
+	return rc.rep.Events()
+}
+
+// noteHazards serializes the request's report events (retried transient
+// failures, in the order they happened) followed by the result's hazard
+// list, folding all of them into the per-kind hazard and per-action
+// recovery counters.
 func (rc *reqScope) noteHazards(hs []tcqr.Hazard) []WireHazard {
-	ws := wireHazards(hs)
+	ws := wireHazards(append(rc.takeRepEvents(), hs...))
 	for _, h := range ws {
 		rc.s.metrics.noteHazard(h)
 		rc.hazardKinds = append(rc.hazardKinds, normalizeHazardKind(h.Kind))
@@ -541,22 +669,53 @@ func (rc *reqScope) noteHazards(hs []tcqr.Hazard) []WireHazard {
 func (rc *reqScope) ok(w http.ResponseWriter, v any) {
 	var buf bytes.Buffer
 	t0 := time.Now()
+	// Failpoint: an injected encode failure takes the same 500 path as a
+	// real serialization error. It is not retried — the compute already
+	// succeeded, and replaying it for an encode fault would double-count
+	// work — but it does feed the degradation breaker.
+	if err := faultinject.Fire(siteWireEncode); err != nil {
+		rc.fail(w, classifyError(err))
+		return
+	}
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(v); err != nil {
 		rc.fail(w, &apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()})
 		return
 	}
 	rc.rep.RecordTiming("encode", time.Since(t0))
+	rc.s.brk.recordSuccess()
 	rc.finish(w, http.StatusOK, buf.Bytes())
 }
 
 // fail encodes the uniform error envelope for e and finishes the response.
+// Internal (500-class) failures feed the degradation breaker; transient
+// events the retry layer recorded on the way down ride in the envelope so a
+// failed request still shows what was attempted.
 func (rc *reqScope) fail(w http.ResponseWriter, e *apiError) {
 	rc.errCode = e.code
 	rc.s.metrics.errors.With(e.code).Inc()
-	body, _ := json.Marshal(errorBody{Error: errorDetail{Code: e.code, Message: e.msg, Hazards: e.hazards}})
+	hz := e.hazards
+	if reps := wireHazards(rc.takeRepEvents()); len(reps) > 0 {
+		for _, h := range reps {
+			rc.s.metrics.noteHazard(h)
+			rc.hazardKinds = append(rc.hazardKinds, normalizeHazardKind(h.Kind))
+		}
+		hz = append(reps, e.hazards...)
+	}
+	if e.status == http.StatusInternalServerError && rc.s.brk.recordFailure() {
+		if rc.s.log != nil {
+			rc.s.log.Warn("entering degraded mode",
+				slog.String("trigger_code", e.code),
+				slog.Duration("cooldown", rc.s.opts.DegradeCooldown))
+		}
+	}
+	body, _ := json.Marshal(errorBody{Error: errorDetail{Code: e.code, Message: e.msg, Hazards: hz}})
 	if e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		ra := "1"
+		if e.retryAfter > 0 {
+			ra = strconv.Itoa(e.retryAfter)
+		}
+		w.Header().Set("Retry-After", ra)
 	}
 	rc.finish(w, e.status, append(body, '\n'))
 }

@@ -1,0 +1,29 @@
+package serve
+
+// Failpoint site names threaded through the serving stack (see
+// internal/faultinject and DESIGN.md §11 for the naming scheme and spec
+// grammar). Each is a single atomic nil-check unless a fault schedule is
+// armed. Sites outside this package: gram.ladder.rung (forces a panel-rung
+// breakdown, driving the escalation ladder) and tcsim.gemm (delays or
+// corrupts an engine GEMM result).
+const (
+	// sitePoolEnqueue fires in Pool.Do before a task enters the queue;
+	// error faults surface as 500s from the submitting request.
+	sitePoolEnqueue = "serve.pool.enqueue"
+	// sitePoolDequeue fires in the worker between dequeuing a task and
+	// running it — the window the panic-recovery hardening test aims at.
+	sitePoolDequeue = "serve.pool.dequeue"
+	// siteCacheFactorize fires in the cache leader immediately before the
+	// backend Factorize call; panics here exercise the singleflight
+	// poison-recovery path.
+	siteCacheFactorize = "serve.cache.factorize"
+	// siteCoalesceFlush fires at the head of every batch flush; delay
+	// faults simulate slow flushes, error faults fail the whole batch.
+	siteCoalesceFlush = "serve.coalesce.flush"
+	// siteWireDecode fires inside request-body decoding; error faults
+	// surface as 400 bad_input, exactly like a real decode failure.
+	siteWireDecode = "serve.wire.decode"
+	// siteWireEncode fires before response encoding; error faults surface
+	// as 500s after compute succeeded.
+	siteWireEncode = "serve.wire.encode"
+)

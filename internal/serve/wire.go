@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"tcqr"
+	"tcqr/internal/faultinject"
 	"tcqr/internal/hazard"
 )
 
@@ -280,6 +281,10 @@ type apiError struct {
 	code    string
 	msg     string
 	hazards []WireHazard
+	// retryAfter, when > 0, overrides the Retry-After header on 429/503
+	// responses (seconds). Degraded-mode rejections set it to the remaining
+	// cooldown so clients back off for the right interval.
+	retryAfter int
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -321,6 +326,12 @@ func classifyError(err error) *apiError {
 // decodeJSON decodes a request body strictly: unknown fields and trailing
 // data are errors, and the reader is size-capped by the caller.
 func decodeJSON(r io.Reader, v any) error {
+	// Failpoint: an injected decode error surfaces as 400 bad_input,
+	// indistinguishable from a real malformed body (and, like one, is never
+	// retried by the server).
+	if err := faultinject.Fire(siteWireDecode); err != nil {
+		return errBadInput("malformed JSON body: " + err.Error())
+	}
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {

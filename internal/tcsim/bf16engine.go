@@ -43,6 +43,7 @@ func (e *BFloat16) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, b
 	if e.TrackSpecials {
 		atomic.AddInt64(&e.stats.Overflows, ov)
 	}
+	gemmFault(c)
 }
 
 // Name implements Engine.

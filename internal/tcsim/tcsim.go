@@ -29,11 +29,13 @@
 package tcsim
 
 import (
+	"math"
 	"sync/atomic"
 
 	"tcqr/internal/blas"
 	"tcqr/internal/dense"
 	"tcqr/internal/f16"
+	"tcqr/internal/faultinject"
 )
 
 // Engine is a GEMM provider. Implementations must be safe for concurrent
@@ -64,6 +66,7 @@ type FP32 struct {
 func (e *FP32) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32, beta float32, c *dense.M32) {
 	recordCall(e.Name(), &e.stats, tA, a, tB, b)
 	blas.Gemm(tA, tB, alpha, a, b, beta, c)
+	gemmFault(c)
 }
 
 // Name implements Engine.
@@ -107,6 +110,7 @@ func (e *TensorCore) Gemm(tA, tB blas.Transpose, alpha float32, a, b *dense.M32,
 		atomic.AddInt64(&e.stats.Overflows, ov)
 		atomic.AddInt64(&e.stats.Underflow, uf)
 	}
+	gemmFault(c)
 }
 
 // Name implements Engine.
@@ -117,6 +121,19 @@ func (e *TensorCore) Stats() Stats { return snapshot(&e.stats) }
 
 // ResetStats zeroes the counters.
 func (e *TensorCore) ResetStats() { reset(&e.stats) }
+
+// gemmFault evaluates the "tcsim.gemm" failpoint after an engine has
+// written c. A corrupt rule poisons c's first element with NaN — the
+// hazard-detection battery's job is to catch exactly this class of silent
+// engine fault; delay and panic rules behave as at any other site. Disarmed
+// it costs one atomic load per GEMM.
+func gemmFault(c *dense.M32) {
+	faultinject.Corrupt("tcsim.gemm", func() {
+		if len(c.Data) > 0 {
+			c.Data[0] = float32(math.NaN())
+		}
+	})
+}
 
 func recordCall(engine string, s *Stats, tA blas.Transpose, a *dense.M32, tB blas.Transpose, b *dense.M32) {
 	m, k := a.Rows, a.Cols

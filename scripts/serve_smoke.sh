@@ -2,11 +2,13 @@
 # End-to-end smoke test of the tcqrd daemon: build it, start it on an
 # ephemeral port, drive it with its own -smoke client (factorize, cache hit,
 # coalesced solves, hazard fallback/fail, malformed input, /statz, /metrics),
-# scrape /metrics independently with curl, and shut it down. Exits non-zero
-# if the daemon fails to start, any API response deviates from the contract,
-# the metrics scrape is missing traffic, or the daemon does not drain
-# cleanly on SIGTERM. Run from the repository root; `make serve-smoke`
-# wraps this.
+# scrape /metrics independently with curl, and shut it down. A second pass
+# restarts the daemon with -fault-spec armed and drives the failure contract
+# (injected 500, degraded 503 with Retry-After, cache-only serving, fault
+# metrics). Exits non-zero if the daemon fails to start, any API response
+# deviates from the contract, the metrics scrape is missing traffic, or the
+# daemon does not drain cleanly on SIGTERM. Run from the repository root;
+# `make serve-smoke` wraps this.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -58,12 +60,12 @@ else
 	echo "neither curl nor wget available" >&2
 	exit 1
 fi
-# metric_above family: succeeds when any sample of the family is > 0.
+# metric_above family [file]: succeeds when any sample of the family is > 0.
 metric_above() {
 	awk -v name="$1" '
 		$1 == name || index($1, name "{") == 1 { if ($2 + 0 > 0) found = 1 }
 		END { exit !found }
-	' "$workdir/metrics.txt"
+	' "${2:-$workdir/metrics.txt}"
 }
 for family in tcqrd_requests_total tcqrd_cache_hits_total; do
 	if metric_above "$family"; then
@@ -99,6 +101,70 @@ daemon_pid=""
 if [ "$drain_status" -ne 0 ]; then
 	echo "daemon exited uncleanly (status $drain_status):" >&2
 	cat "$workdir/daemon.log" >&2
+	exit 1
+fi
+
+# --- fault-armed pass -------------------------------------------------------
+# A second daemon with the failpoint registry armed (the schedule must match
+# faultSmokeSpec in cmd/tcqrd/faultsmoke.go): every second cold factorization
+# fails, retry is disabled, and a single internal failure trips degraded
+# cache-only mode for 5 minutes. The -smoke-fault client walks it through
+# the injected 500, the degraded 503 with Retry-After, and cache-hit serving
+# while degraded; the independent scrape then confirms the daemon actually
+# injected faults.
+echo "== start fault-armed daemon =="
+"$workdir/tcqrd" -addr 127.0.0.1:0 -addr-file "$workdir/addr2" \
+	-fault-spec "seed=7;serve.cache.factorize=error@every=2" \
+	-retry-attempts 1 -degrade-threshold 1 -degrade-cooldown 5m \
+	-window 0 -deadline 30s >"$workdir/daemon2.log" 2>&1 &
+daemon_pid=$!
+
+i=0
+while [ ! -s "$workdir/addr2" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ] || ! kill -0 "$daemon_pid" 2>/dev/null; then
+		echo "fault-armed daemon failed to start:" >&2
+		cat "$workdir/daemon2.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr2=$(cat "$workdir/addr2")
+echo "fault-armed daemon listening on $addr2"
+
+echo "== run fault smoke client =="
+"$workdir/tcqrd" -smoke-fault "http://$addr2"
+
+echo "== scrape fault metrics =="
+if command -v curl >/dev/null 2>&1; then
+	curl -fsS "http://$addr2/metrics" >"$workdir/metrics2.txt"
+else
+	wget -qO "$workdir/metrics2.txt" "http://$addr2/metrics"
+fi
+for family in tcqrd_fault_injected_total tcqrd_degraded_entered_total; do
+	if metric_above "$family" "$workdir/metrics2.txt"; then
+		echo "ok   $family > 0"
+	else
+		echo "FAIL $family has no non-zero sample:" >&2
+		grep "^$family" "$workdir/metrics2.txt" >&2 || echo "(family absent)" >&2
+		exit 1
+	fi
+done
+
+echo "== fault-armed drain =="
+kill -TERM "$daemon_pid"
+(sleep 15 && kill -9 "$daemon_pid" 2>/dev/null) &
+watchdog=$!
+if wait "$daemon_pid"; then
+	drain_status=0
+else
+	drain_status=$?
+fi
+kill "$watchdog" 2>/dev/null || true
+daemon_pid=""
+if [ "$drain_status" -ne 0 ]; then
+	echo "fault-armed daemon exited uncleanly (status $drain_status):" >&2
+	cat "$workdir/daemon2.log" >&2
 	exit 1
 fi
 
