@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/f16
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/bf16
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/blas
+	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/wirefmt
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/serve
 
 # Chaos/soak battery under the race detector: 64 concurrent clients against
@@ -67,10 +68,13 @@ bench:
 bench-json:
 	$(GO) run ./cmd/tcqr-bench -out BENCH_1.json
 
-# Serving-layer benchmark report (BENCH_3.json): cold factorize+solve vs
-# cache-hit solve vs coalesced multi-RHS waves at 1/8/64 clients.
+# Serving-layer benchmark report (BENCH_6.json): JSON vs binary-frame
+# encodings of the cold, cache-hit, and coalesced paths, swept across
+# GOMAXPROCS 1/4/8 to expose the sharded hot path's multicore scaling.
 bench-serve-json:
-	$(GO) run ./cmd/tcqr-bench -out BENCH_3.json -bench 'Serve' ./internal/serve
+	$(GO) run ./cmd/tcqr-bench -out BENCH_6.json -bench 'Serve' -procs 1,4,8 \
+		-notes "procs above num_cpu oversubscribe a single core; compare scaling against num_cpu, not the -cpu label" \
+		./internal/serve
 
 clean:
 	$(GO) clean ./...

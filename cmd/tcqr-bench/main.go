@@ -10,13 +10,14 @@
 // Usage:
 //
 //	go run ./cmd/tcqr-bench [-out BENCH_1.json] [-bench regex] [-count 1]
-//	                        [-procs N] [-benchtime t] [pkg ...]
+//	                        [-procs N[,N...]] [-benchtime t] [pkg ...]
 //
-// -procs pins the benchmark subprocess to N procs (go test -cpu N); without
-// it benchmarks run at the inherited GOMAXPROCS. Either way every result
-// records the proc count it actually ran at (the -N suffix go test appends
-// to benchmark names, which is runtime.GOMAXPROCS(0) inside the benchmark
-// binary).
+// -procs runs every benchmark at each listed GOMAXPROCS (go test -cpu, so
+// "-procs 1,4,8" sweeps the multicore scaling curve in one subprocess);
+// without it benchmarks run at the inherited GOMAXPROCS. Either way every
+// result records the proc count it actually ran at (the -N suffix go test
+// appends to benchmark names, which is runtime.GOMAXPROCS(0) inside the
+// benchmark binary; the suffix is omitted exactly at 1 proc).
 package main
 
 import (
@@ -52,7 +53,9 @@ type Report struct {
 	GeneratedAt string   `json:"generated_at"`
 	GoVersion   string   `json:"go_version"`
 	GOMAXPROCS  int      `json:"gomaxprocs"`
+	NumCPU      int      `json:"num_cpu"`
 	CPU         string   `json:"cpu,omitempty"`
+	Notes       string   `json:"notes,omitempty"`
 	Bench       string   `json:"bench_regex"`
 	Packages    []string `json:"packages"`
 	Results     []Result `json:"results"`
@@ -66,23 +69,31 @@ func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path")
 	bench := flag.String("bench", "Gemm|Trsm|Engines|TrackSpecials|Fig1|Fig2", "benchmark regex passed to go test")
 	count := flag.Int("count", 1, "-count passed to go test")
-	procs := flag.Int("procs", 0, "run benchmarks at this GOMAXPROCS (go test -cpu; 0 = inherit)")
+	procs := flag.String("procs", "", "comma-separated GOMAXPROCS sweep (go test -cpu, e.g. 1,4,8; empty = inherit)")
 	benchtime := flag.String("benchtime", "", "-benchtime passed to go test (empty = go test default)")
+	notes := flag.String("notes", "", "free-text caveats recorded in the report header")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
 		pkgs = defaultPackages
+	}
+	procList, err := parseProcsList(*procs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcqr-bench: -procs: %v\n", err)
+		os.Exit(2)
 	}
 
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Notes:       *notes,
 		Bench:       *bench,
 		Packages:    pkgs,
 	}
 	for _, pkg := range pkgs {
-		results, cpu, err := runPackage(pkg, *bench, *count, *procs, *benchtime)
+		results, cpu, err := runPackage(pkg, *bench, *count, procList, *benchtime)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcqr-bench: %s: %v\n", pkg, err)
 			os.Exit(1)
@@ -106,14 +117,38 @@ func main() {
 	fmt.Printf("wrote %d results to %s\n", len(rep.Results), *out)
 }
 
+// parseProcsList decodes the -procs flag: a comma-separated list of positive
+// proc counts ("1,4,8"), empty meaning "inherit GOMAXPROCS". The list is
+// forwarded verbatim to go test -cpu, which runs every benchmark once per
+// entry.
+func parseProcsList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	list := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q is not a positive proc count", p)
+		}
+		list = append(list, n)
+	}
+	return list, nil
+}
+
 // runPackage shells out to `go test -bench` for one package and parses its
 // output. The benchmark binary prints context lines (goos, cpu, pkg) that we
 // mine for the report header.
-func runPackage(pkg, bench string, count, procs int, benchtime string) ([]Result, string, error) {
+func runPackage(pkg, bench string, count int, procs []int, benchtime string) ([]Result, string, error) {
 	args := []string{"test", "-run", "^$",
 		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count)}
-	if procs > 0 {
-		args = append(args, "-cpu", strconv.Itoa(procs))
+	if len(procs) > 0 {
+		cpu := make([]string, len(procs))
+		for i, p := range procs {
+			cpu[i] = strconv.Itoa(p)
+		}
+		args = append(args, "-cpu", strings.Join(cpu, ","))
 	}
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
@@ -127,11 +162,10 @@ func runPackage(pkg, bench string, count, procs int, benchtime string) ([]Result
 	}
 	var results []Result
 	// When a result line has no "-N" suffix the benchmark binary ran at
-	// GOMAXPROCS 1; that happens exactly when -cpu pinned it to 1 or the
-	// inherited GOMAXPROCS was 1, so the right default is the pinned value
-	// when given and this process's GOMAXPROCS otherwise.
-	defaultProcs := procs
-	if defaultProcs <= 0 {
+	// GOMAXPROCS 1. Under a -cpu sweep that is exactly the 1-proc entry of
+	// the list; without a sweep it means the inherited GOMAXPROCS was 1.
+	defaultProcs := 1
+	if len(procs) == 0 {
 		defaultProcs = runtime.GOMAXPROCS(0)
 	}
 	var cpu string

@@ -55,6 +55,47 @@ func TestParseBenchLineNoThroughput(t *testing.T) {
 	}
 }
 
+func TestParseProcsList(t *testing.T) {
+	if l, err := parseProcsList(""); err != nil || l != nil {
+		t.Errorf("empty list: got %v, %v", l, err)
+	}
+	l, err := parseProcsList("1,4,8")
+	if err != nil || len(l) != 3 || l[0] != 1 || l[1] != 4 || l[2] != 8 {
+		t.Errorf("1,4,8: got %v, %v", l, err)
+	}
+	if l, err := parseProcsList(" 2 , 16 "); err != nil || len(l) != 2 || l[0] != 2 || l[1] != 16 {
+		t.Errorf("spaced list: got %v, %v", l, err)
+	}
+	for _, bad := range []string{"0", "-1", "1,,4", "1,x", ","} {
+		if _, err := parseProcsList(bad); err == nil {
+			t.Errorf("list %q should be rejected", bad)
+		}
+	}
+}
+
+func TestParseBenchLineSweepSuffixes(t *testing.T) {
+	// A -cpu 1,4,8 sweep emits one line per proc count: suffix-less at 1
+	// proc, -4/-8 suffixes otherwise. The caller passes defaultProcs=1 for
+	// sweeps, so all three lines land on the right Procs.
+	cases := []struct {
+		line  string
+		procs int
+	}{
+		{"BenchmarkServeCoalescedSolveBinary/clients=64 \t 100 \t 2100000 ns/op", 1},
+		{"BenchmarkServeCoalescedSolveBinary/clients=64-4 \t 100 \t 900000 ns/op", 4},
+		{"BenchmarkServeCoalescedSolveBinary/clients=64-8 \t 100 \t 600000 ns/op", 8},
+	}
+	for _, c := range cases {
+		r, ok := parseBenchLine(c.line, 1)
+		if !ok || r.Name != "BenchmarkServeCoalescedSolveBinary/clients=64" {
+			t.Fatalf("line %q: ok=%v name=%q", c.line, ok, r.Name)
+		}
+		if r.Procs != c.procs {
+			t.Errorf("line %q: procs = %d, want %d", c.line, r.Procs, c.procs)
+		}
+	}
+}
+
 func TestParseBenchLineRejectsNoise(t *testing.T) {
 	for _, line := range []string{
 		"goos: linux",

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tcqr/internal/wirefmt"
 )
 
 // runSmoke drives a running tcqrd through the API contract: factorize
@@ -97,6 +99,61 @@ func runSmoke(base string) int {
 	s.check(maxBatched >= 2, "concurrent same-key solves coalesced",
 		"largest batch was %d; expected >= 2 (is the daemon running with -window 0?)", maxBatched)
 
+	// Binary wire protocol (DESIGN.md §12): the same warm solve served as a
+	// zero-copy frame, content negotiation across mixed encodings, and the
+	// JSON error envelope on a malformed frame.
+	xTrue := make([]float64, n)
+	for j := range xTrue {
+		xTrue[j] = float64(j%7) - 3
+	}
+	bRHS := matVec(mat, xTrue)
+	solveMeta, _ := json.Marshal(map[string]any{"key": key})
+	frame, ferr := wirefmt.AppendFrame(nil, wirefmt.JSONSection(solveMeta), wirefmt.VectorSection(bRHS))
+	s.check(ferr == nil, "solve request encodes as a frame", "err=%v", ferr)
+	body, ct, code, err := s.postRaw("/v1/solve", wirefmt.ContentType, "", frame)
+	s.check(err == nil && code == 200 && ct == wirefmt.ContentType,
+		"binary solve answers 200 with a frame", "code=%d content-type=%q err=%v", code, ct, err)
+	var xBin []float64
+	secs, derr := wirefmt.Decode(body, nil)
+	if derr == nil {
+		if v := wirefmt.FindSection(secs, wirefmt.TagVector); v != nil {
+			xBin = v.Float64s()
+		}
+	}
+	s.check(derr == nil && maxAbsDiff(xBin, xTrue) < 1e-6,
+		"binary solve is accurate", "decode err=%v max |x-x*| = %g", derr, maxAbsDiff(xBin, xTrue))
+
+	// Mixed encodings: a JSON request may ask for a frame response via
+	// Accept, and a binary request may ask for JSON back.
+	jbody, _ := json.Marshal(map[string]any{"key": key, "b": bRHS})
+	_, ct, code, err = s.postRaw("/v1/solve", "application/json", wirefmt.ContentType, jbody)
+	s.check(err == nil && code == 200 && ct == wirefmt.ContentType,
+		"JSON request negotiates a frame response via Accept",
+		"code=%d content-type=%q err=%v", code, ct, err)
+	body, ct, code, err = s.postRaw("/v1/solve", wirefmt.ContentType, "application/json", frame)
+	var jsr struct {
+		X []float64 `json:"x"`
+	}
+	jerr := json.Unmarshal(body, &jsr)
+	s.check(err == nil && code == 200 && ct == "application/json" &&
+		jerr == nil && maxAbsDiff(jsr.X, xTrue) < 1e-6,
+		"binary request negotiates a JSON response via Accept",
+		"code=%d content-type=%q err=%v unmarshal=%v", code, ct, err, jerr)
+
+	// A malformed frame must come back as the usual typed JSON envelope,
+	// never as a frame and never as a 500.
+	body, ct, code, err = s.postRaw("/v1/solve", wirefmt.ContentType, "", []byte("TCQFgarbage"))
+	var benv struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	jerr = json.Unmarshal(body, &benv)
+	s.check(err == nil && code == 400 && strings.HasPrefix(ct, "application/json") &&
+		jerr == nil && benv.Error.Code == "bad_input",
+		"malformed frame returns 400 bad_input as JSON",
+		"code=%d content-type=%q error.code=%q err=%v unmarshal=%v", code, ct, benv.Error.Code, err, jerr)
+
 	// Hazard-triggering matrix: one column far past the binary16 maximum,
 	// column scaling disabled. Fail policy must refuse with a typed
 	// envelope; fallback must recover and say what it did.
@@ -173,6 +230,8 @@ func runSmoke(base string) int {
 		"tcqrd_coalescer_batch_size_bucket",
 		"tcqrd_hazards_total",
 		"tcqrd_engine_gemm_calls_total",
+		"tcqrd_wire_requests_total",
+		"tcqrd_wire_responses_total",
 	} {
 		s.check(strings.Contains(text, family),
 			fmt.Sprintf("metrics exposes %s", family), "family missing from exposition")
@@ -185,6 +244,10 @@ func runSmoke(base string) int {
 		"metrics counted hazards", "every tcqrd_hazards_total series is zero")
 	s.check(metricAbove(text, "tcqrd_engine_gemm_calls_total", 0),
 		"metrics counted engine GEMM calls", "every tcqrd_engine_gemm_calls_total series is zero")
+	s.check(metricLabelAbove(text, "tcqrd_wire_requests_total", `encoding="binary"`, 0),
+		"metrics counted binary-encoded requests", "no non-zero encoding=binary sample")
+	s.check(metricLabelAbove(text, "tcqrd_wire_responses_total", `encoding="binary"`, 0),
+		"metrics counted binary-encoded responses", "no non-zero encoding=binary sample")
 
 	if s.failed {
 		fmt.Fprintln(os.Stderr, "SMOKE FAILED")
@@ -212,6 +275,25 @@ func metricAbove(exposition, name string, min float64) bool {
 			continue // a longer family name sharing the prefix
 		}
 		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err == nil && v > min {
+			return true
+		}
+	}
+	return false
+}
+
+// metricLabelAbove reports whether any sample line of the named family whose
+// label set contains labelSub has a value strictly greater than min.
+func metricLabelAbove(exposition, name, labelSub string, min float64) bool {
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name+"{") || !strings.Contains(line, labelSub) {
+			continue
+		}
+		i := strings.Index(line, "} ")
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
 		if err == nil && v > min {
 			return true
 		}
@@ -252,6 +334,27 @@ func (s *smoker) getText(path string) (string, int, error) {
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	return string(data), resp.StatusCode, err
+}
+
+// postRaw sends body verbatim under the given Content-Type (and Accept when
+// non-empty) and returns the raw response body, its Content-Type, and the
+// status code — the plumbing for binary-frame requests.
+func (s *smoker) postRaw(path, contentType, accept string, body []byte) ([]byte, string, int, error) {
+	req, err := http.NewRequest(http.MethodPost, s.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, "", 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return data, resp.Header.Get("Content-Type"), resp.StatusCode, err
 }
 
 func (s *smoker) post(path string, body any, out any) (int, error) {

@@ -1,0 +1,47 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/dense"
+)
+
+func benchM64(m, n int) *dense.M64 {
+	a := dense.New[float64](m, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+// The refinement hot shape: f64 Gemv at 1024x256 (CGLS runs one NoTrans and
+// one Trans pass per iteration at exactly this shape).
+func BenchmarkGemv64NoTrans1024x256(b *testing.B) {
+	a := benchM64(1024, 256)
+	x := make([]float64, 256)
+	y := make([]float64, 1024)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(1024 * 256 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemv(NoTrans, 1, a, x, 0, y)
+	}
+}
+
+func BenchmarkGemv64Trans1024x256(b *testing.B) {
+	a := benchM64(1024, 256)
+	x := make([]float64, 1024)
+	y := make([]float64, 256)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(1024 * 256 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemv(Trans, 1, a, x, 0, y)
+	}
+}

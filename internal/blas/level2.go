@@ -23,19 +23,79 @@ func Gemv[T dense.Float](tA Transpose, alpha T, a *dense.Matrix[T], x []T, beta 
 		return
 	}
 	if tA == NoTrans {
-		for j := 0; j < a.Cols; j++ {
-			xj := alpha * x[j]
-			if xj == 0 {
-				continue
-			}
-			col := a.Col(j)
-			for i, v := range col {
-				y[i] += v * xj
-			}
-		}
+		gemvNoTrans(alpha, a, x, y)
 		return
 	}
-	for j := 0; j < a.Cols; j++ {
+	gemvTrans(alpha, a, x, y)
+}
+
+// gemvNoTrans computes y += α·A·x four columns at a time. The blocked inner
+// loop folds four column updates into one pass over y, evaluated strictly
+// left to right, so every y[i] sees exactly the same addition sequence as
+// four successive single-column sweeps — results are bit-identical to the
+// reference loop (the same policy the assembly GEMM kernels follow: more
+// instruction-level parallelism, never a reassociated accumulation). A zero
+// scaled coefficient falls back to per-column updates because the reference
+// loop skips those columns entirely (adding v·0 is not a no-op for ±0 and
+// non-finite v).
+func gemvNoTrans[T dense.Float](alpha T, a *dense.Matrix[T], x, y []T) {
+	j := 0
+	for ; j+4 <= a.Cols; j += 4 {
+		x0, x1, x2, x3 := alpha*x[j], alpha*x[j+1], alpha*x[j+2], alpha*x[j+3]
+		if x0 == 0 || x1 == 0 || x2 == 0 || x3 == 0 {
+			gemvNoTransRef(alpha, a, x[j:j+4], y, j)
+			continue
+		}
+		c0 := a.Col(j)[:len(y)]
+		c1 := a.Col(j + 1)[:len(y)]
+		c2 := a.Col(j + 2)[:len(y)]
+		c3 := a.Col(j + 3)[:len(y)]
+		for i := range y {
+			y[i] = y[i] + c0[i]*x0 + c1[i]*x1 + c2[i]*x2 + c3[i]*x3
+		}
+	}
+	gemvNoTransRef(alpha, a, x[j:], y, j)
+}
+
+// gemvNoTransRef is the reference column sweep over columns [j0, j0+len(xs)).
+func gemvNoTransRef[T dense.Float](alpha T, a *dense.Matrix[T], xs, y []T, j0 int) {
+	for k, xv := range xs {
+		xj := alpha * xv
+		if xj == 0 {
+			continue
+		}
+		col := a.Col(j0 + k)
+		for i, v := range col {
+			y[i] += v * xj
+		}
+	}
+}
+
+// gemvTrans computes y += α·Aᵀ·x four columns at a time: four independent
+// dot-product accumulators share one pass over x. Each accumulator runs the
+// same sequential sum as Dot(a.Col(j), x), so per-column results are
+// bit-identical to the reference loop while the four independent chains hide
+// the floating-point add latency that serializes a single running sum.
+func gemvTrans[T dense.Float](alpha T, a *dense.Matrix[T], x, y []T) {
+	j := 0
+	for ; j+4 <= a.Cols; j += 4 {
+		c0 := a.Col(j)[:len(x)]
+		c1 := a.Col(j + 1)[:len(x)]
+		c2 := a.Col(j + 2)[:len(x)]
+		c3 := a.Col(j + 3)[:len(x)]
+		var s0, s1, s2, s3 T
+		for i, xv := range x {
+			s0 += c0[i] * xv
+			s1 += c1[i] * xv
+			s2 += c2[i] * xv
+			s3 += c3[i] * xv
+		}
+		y[j] += alpha * s0
+		y[j+1] += alpha * s1
+		y[j+2] += alpha * s2
+		y[j+3] += alpha * s3
+	}
+	for ; j < a.Cols; j++ {
 		y[j] += alpha * Dot(a.Col(j), x)
 	}
 }
@@ -61,6 +121,11 @@ func Ger[T dense.Float](alpha T, x, y []T, a *dense.Matrix[T]) {
 }
 
 // Trsv solves op(A)·x = b in place (x ← op(A)⁻¹·x) for a triangular A.
+//
+// The two cases on the refinement hot path — Upper/NoTrans back-substitution
+// and Upper/Trans forward elimination, both run twice per CGLS iteration —
+// use blocked kernels that are bit-identical to the reference sweeps (same
+// policy as Gemv: fold work for ILP, never reassociate an accumulation).
 func Trsv[T dense.Float](uplo Uplo, tA Transpose, diag Diag, a *dense.Matrix[T], x []T) {
 	n := a.Rows
 	if a.Cols != n {
@@ -87,35 +152,13 @@ func Trsv[T dense.Float](uplo Uplo, tA Transpose, diag Diag, a *dense.Matrix[T],
 				}
 			}
 		} else { // upper, backward substitution
-			for j := n - 1; j >= 0; j-- {
-				if diag == NonUnit {
-					x[j] /= a.At(j, j)
-				}
-				xj := x[j]
-				if xj == 0 {
-					continue
-				}
-				col := a.Col(j)
-				for i := 0; i < j; i++ {
-					x[i] -= col[i] * xj
-				}
-			}
+			trsvUpperNoTrans(diag, a, x)
 		}
 		return
 	}
 	// Transposed cases use dot products along columns.
 	if forward { // A upper, solving Aᵀx = b forward
-		for j := 0; j < n; j++ {
-			col := a.Col(j)
-			var s T
-			for i := 0; i < j; i++ {
-				s += col[i] * x[i]
-			}
-			x[j] -= s
-			if diag == NonUnit {
-				x[j] /= col[j]
-			}
-		}
+		trsvUpperTrans(diag, a, x)
 	} else { // A lower, solving Aᵀx = b backward
 		for j := n - 1; j >= 0; j-- {
 			col := a.Col(j)
@@ -127,6 +170,145 @@ func Trsv[T dense.Float](uplo Uplo, tA Transpose, diag Diag, a *dense.Matrix[T],
 			if diag == NonUnit {
 				x[j] /= col[j]
 			}
+		}
+	}
+}
+
+// trsvUpperNoTrans is blocked backward substitution for an upper triangular
+// A. Four columns are finalized in the reference (descending) order inside a
+// small corner, then their updates to the remaining prefix fold into one
+// pass evaluated strictly left to right — every x[i] sees exactly the
+// subtraction sequence of four successive reference column sweeps. A zero
+// solved component falls back to per-column sweeps for its block, because
+// the reference loop skips zero columns entirely.
+func trsvUpperNoTrans[T dense.Float](diag Diag, a *dense.Matrix[T], x []T) {
+	n := a.Rows
+	j := n - 1
+	for ; j >= 3; j -= 4 {
+		c0 := a.Col(j) // columns in reference order: j, j-1, j-2, j-3
+		c1 := a.Col(j - 1)
+		c2 := a.Col(j - 2)
+		c3 := a.Col(j - 3)
+		// Corner: finalize the block's four components exactly as the
+		// reference would, column by column in descending order.
+		if diag == NonUnit {
+			x[j] /= c0[j]
+		}
+		x0 := x[j]
+		if x0 != 0 {
+			x[j-1] -= c0[j-1] * x0
+			x[j-2] -= c0[j-2] * x0
+			x[j-3] -= c0[j-3] * x0
+		}
+		if diag == NonUnit {
+			x[j-1] /= c1[j-1]
+		}
+		x1 := x[j-1]
+		if x1 != 0 {
+			x[j-2] -= c1[j-2] * x1
+			x[j-3] -= c1[j-3] * x1
+		}
+		if diag == NonUnit {
+			x[j-2] /= c2[j-2]
+		}
+		x2 := x[j-2]
+		if x2 != 0 {
+			x[j-3] -= c2[j-3] * x2
+		}
+		if diag == NonUnit {
+			x[j-3] /= c3[j-3]
+		}
+		x3 := x[j-3]
+		if x0 == 0 || x1 == 0 || x2 == 0 || x3 == 0 {
+			// The reference skips zero columns; replay them one at a time.
+			for k, xv := range [4]T{x0, x1, x2, x3} {
+				if xv == 0 {
+					continue
+				}
+				col := a.Col(j - k)
+				for i := 0; i < j-3; i++ {
+					x[i] -= col[i] * xv
+				}
+			}
+			continue
+		}
+		head := x[:j-3]
+		for i := range head {
+			head[i] = head[i] - c0[i]*x0 - c1[i]*x1 - c2[i]*x2 - c3[i]*x3
+		}
+	}
+	for ; j >= 0; j-- {
+		if diag == NonUnit {
+			x[j] /= a.At(j, j)
+		}
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		col := a.Col(j)
+		for i := 0; i < j; i++ {
+			x[i] -= col[i] * xj
+		}
+	}
+}
+
+// trsvUpperTrans is blocked forward elimination for Aᵀx = b with A upper
+// triangular. The reference computes one sequential dot per column — a
+// single floating-point add chain whose latency nothing hides. Here four
+// columns share one pass over the solved prefix with four independent
+// accumulator chains; each chain then finishes inside the 4×4 corner in the
+// same ascending element order, so every component is the bit-identical
+// sequential dot of the reference loop.
+func trsvUpperTrans[T dense.Float](diag Diag, a *dense.Matrix[T], x []T) {
+	n := a.Rows
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		c0 := a.Col(j)
+		c1 := a.Col(j + 1)
+		c2 := a.Col(j + 2)
+		c3 := a.Col(j + 3)
+		var s0, s1, s2, s3 T
+		head := x[:j]
+		for i, xv := range head {
+			s0 += c0[i] * xv
+			s1 += c1[i] * xv
+			s2 += c2[i] * xv
+			s3 += c3[i] * xv
+		}
+		// Corner: each column's chain continues in ascending order over the
+		// components solved within the block.
+		x[j] -= s0
+		if diag == NonUnit {
+			x[j] /= c0[j]
+		}
+		s1 += c1[j] * x[j]
+		x[j+1] -= s1
+		if diag == NonUnit {
+			x[j+1] /= c1[j+1]
+		}
+		s2 += c2[j] * x[j]
+		s2 += c2[j+1] * x[j+1]
+		x[j+2] -= s2
+		if diag == NonUnit {
+			x[j+2] /= c2[j+2]
+		}
+		s3 += c3[j] * x[j]
+		s3 += c3[j+1] * x[j+1]
+		s3 += c3[j+2] * x[j+2]
+		x[j+3] -= s3
+		if diag == NonUnit {
+			x[j+3] /= c3[j+3]
+		}
+	}
+	for ; j < n; j++ {
+		col := a.Col(j)
+		var s T
+		for i := 0; i < j; i++ {
+			s += col[i] * x[i]
+		}
+		x[j] -= s
+		if diag == NonUnit {
+			x[j] /= col[j]
 		}
 	}
 }

@@ -68,7 +68,7 @@ func SolveMultiWithFactor(f *rgs.Result, a *dense.M64, b *dense.M64, opts SolveO
 	if err := hazard.CheckMatrix("B", b); err != nil {
 		return nil, fmt.Errorf("lls: %w", err)
 	}
-	r64 := dense.ToF64(f.R)
+	r64 := f.R64()
 
 	nrhs := b.Cols
 	out := &MultiSolution{

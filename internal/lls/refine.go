@@ -163,10 +163,10 @@ func SolveWithFactor(f *rgs.Result, a *dense.M64, b []float64, opts SolveOptions
 		res := RefineQR(f, a, b, opts.Tol, opts.MaxIter)
 		return fromIter(res, f), nil
 	case MethodLSQR:
-		res := LSQR(a, b, dense.ToF64(f.R), opts.Tol, opts.MaxIter)
+		res := LSQR(a, b, f.R64(), opts.Tol, opts.MaxIter)
 		return fromIter(res, f), nil
 	case MethodCGLS:
-		res := RefineCGLS(a, b, dense.ToF64(f.R), opts)
+		res := RefineCGLS(a, b, f.R64(), opts)
 		return fromIter(res, f), nil
 	}
 	return nil, fmt.Errorf("lls: unknown method %d", opts.Method)

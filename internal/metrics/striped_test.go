@@ -1,0 +1,29 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStripedConcurrentSum(t *testing.T) {
+	var c Striped
+	const goroutines, per = 32, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*per {
+		t.Fatalf("Load() = %d, want %d", got, goroutines*per)
+	}
+	c.Add(-5)
+	if got := c.Load(); got != goroutines*per-5 {
+		t.Fatalf("after Add(-5): %d", got)
+	}
+}

@@ -23,6 +23,7 @@ package rgs
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"tcqr/internal/blas"
 	"tcqr/internal/dense"
@@ -92,6 +93,22 @@ type Result struct {
 	ColumnScales []float32
 	// Reorthogonalized records whether the second pass ran.
 	Reorthogonalized bool
+
+	// r64 memoizes the float64 widening of R (see R64).
+	r64 atomic.Pointer[dense.M64]
+}
+
+// R64 returns R widened to float64, converting on first use and caching the
+// result. Every refinement solve preconditions with R in float64; for a
+// served factorization the n×n widening would otherwise be recomputed (and
+// reallocated) on each solve of a cached factor. R must not be mutated after
+// the first call. Safe for concurrent use.
+func (f *Result) R64() *dense.M64 {
+	if r := f.r64.Load(); r != nil {
+		return r
+	}
+	f.r64.CompareAndSwap(nil, dense.ToF64(f.R))
+	return f.r64.Load()
 }
 
 // Factor computes the RGSQRF factorization of a (m×n, m >= n). The input is

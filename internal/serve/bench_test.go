@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tcqr/internal/wirefmt"
 )
 
 // Serving benchmarks at the ISSUE's acceptance shape (1024×256): the cold
@@ -66,6 +68,39 @@ func benchPost(b *testing.B, h http.Handler, path string, body []byte) {
 	}
 }
 
+// benchBinSolveBody builds the binary-frame twin of benchServer's solve
+// body: [JSON {key}, vector b] for the warm factorization behind sbody.
+func benchBinSolveBody(sbody []byte) []byte {
+	var sr struct {
+		Key string    `json:"key"`
+		B   []float64 `json:"b"`
+	}
+	if err := json.Unmarshal(sbody, &sr); err != nil {
+		panic(err)
+	}
+	meta, err := json.Marshal(map[string]any{"key": sr.Key})
+	if err != nil {
+		panic(err)
+	}
+	frame, err := wirefmt.AppendFrame(nil, wirefmt.JSONSection(meta), wirefmt.VectorSection(sr.B))
+	if err != nil {
+		panic(err)
+	}
+	return frame
+}
+
+// benchPostFrame drives one binary-encoded request (frame body in, frame
+// response negotiated by the absent Accept header).
+func benchPostFrame(b *testing.B, h http.Handler, path string, body []byte) {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", wirefmt.ContentType)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		b.Errorf("%s: code=%d body=%s", path, rec.Code, rec.Body.String())
+	}
+}
+
 // BenchmarkServeColdFactorizeSolve1024x256 measures the full cold path: the
 // cache is emptied every iteration, so each solve pays for a fresh
 // factorization.
@@ -90,6 +125,18 @@ func BenchmarkServeCacheHitSolve1024x256(b *testing.B) {
 	}
 }
 
+// BenchmarkServeCacheHitSolveBinary1024x256 is the binary-frame twin of the
+// cache-hit benchmark above: zero-copy b decode, pooled buffers, frame
+// response. The ISSUE acceptance bar is well under 1ms/op at this shape.
+func BenchmarkServeCacheHitSolveBinary1024x256(b *testing.B) {
+	_, h, _, sbody := benchServer(0, 1)
+	frame := benchBinSolveBody(sbody)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPostFrame(b, h, "/v1/solve", frame)
+	}
+}
+
 // BenchmarkServeCoalescedSolve measures one wave of `clients` concurrent
 // same-key solves per iteration; with MaxBatch == clients each wave flushes
 // as a single multi-RHS call, so ns/op is the latency of serving the whole
@@ -110,6 +157,35 @@ func BenchmarkServeCoalescedSolve(b *testing.B) {
 					go func() {
 						defer wg.Done()
 						benchPost(b, h, "/v1/solve", sbody)
+					}()
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkServeCoalescedSolveBinary is the binary-frame twin of the wave
+// benchmark: every client ships (and receives) frames, so the wave's cost is
+// pure batching plus the multi-RHS solve with no JSON float work. Run with
+// -cpu 1,4,8 to observe multicore scaling of the sharded hot path.
+func BenchmarkServeCoalescedSolveBinary(b *testing.B) {
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			window := 2 * time.Millisecond
+			if clients == 1 {
+				window = 0
+			}
+			_, h, _, sbody := benchServer(window, clients)
+			frame := benchBinSolveBody(sbody)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						benchPostFrame(b, h, "/v1/solve", frame)
 					}()
 				}
 				wg.Wait()

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+
+	"tcqr/internal/wirefmt"
+)
+
+// This file adapts the binary frame codec (internal/wirefmt) to the daemon's
+// API: content negotiation against the JSON contract, frame <-> request
+// mapping for the three compute endpoints, and the pooled-buffer lifecycle
+// that lets a cache-hit solve run without per-request heap growth.
+//
+// Negotiation rules (DESIGN.md §12): a request IS binary when its
+// Content-Type is application/x-tcqr-frame; a response IS binary when the
+// Accept header names that type explicitly, or is absent on a binary
+// request. Accept wildcards keep selecting JSON — existing clients that send
+// Accept: */* must keep receiving the byte-for-byte JSON contract. Error
+// responses are always the JSON envelope regardless of encoding: an error
+// body is tiny, and a client that cannot parse the frame it asked about
+// must still be able to read why.
+
+// Wire encoding labels for the tcqrd_wire_* metric families.
+const (
+	encJSON   = "json"
+	encBinary = "binary"
+)
+
+// isFrameRequest reports whether the request body is a binary frame.
+func isFrameRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return strings.EqualFold(strings.TrimSpace(ct), wirefmt.ContentType)
+	}
+	return strings.EqualFold(mt, wirefmt.ContentType)
+}
+
+// wantsFrameResponse reports whether the success response should be a binary
+// frame: an explicit Accept for the frame type, or a binary request with no
+// Accept preference at all.
+func wantsFrameResponse(r *http.Request, frameReq bool) bool {
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return frameReq
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err == nil && strings.EqualFold(mt, wirefmt.ContentType) {
+			return true
+		}
+	}
+	return false
+}
+
+// readFrameBody drains the (size-capped) request body into a pooled buffer.
+// The caller owns the buffer: release it with wirefmt.PutBuffer once no view
+// into it can be referenced, or leak it to the collector when in doubt (the
+// deadline-abandonment path) — never release early.
+func readFrameBody(r *http.Request) ([]byte, *apiError) {
+	hint := int(r.ContentLength)
+	if hint <= 0 {
+		hint = 16 << 10
+	}
+	buf := bytes.NewBuffer(wirefmt.GetBuffer(hint))
+	if _, err := io.Copy(buf, r.Body); err != nil {
+		wirefmt.PutBuffer(buf.Bytes())
+		return nil, errBadInput("reading frame body: " + err.Error())
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeFrame parses body and validates the shared frame shape: at least a
+// leading JSON metadata section, which is decoded strictly into meta (the
+// same DisallowUnknownFields contract — and the same decode failpoint — as
+// the JSON endpoints).
+func decodeFrame(body []byte, scratch []wirefmt.Section, meta any) ([]wirefmt.Section, *apiError) {
+	secs, err := wirefmt.Decode(body, scratch)
+	if err != nil {
+		return nil, errBadInput(err.Error())
+	}
+	if len(secs) == 0 || secs[0].Tag != wirefmt.TagJSON {
+		return nil, errBadInput("frame must start with a JSON metadata section")
+	}
+	metaBytes := secs[0].Raw
+	if len(metaBytes) == 0 {
+		metaBytes = []byte("{}")
+	}
+	if err := decodeJSON(bytes.NewReader(metaBytes), meta); err != nil {
+		return nil, classifyError(err)
+	}
+	return secs, nil
+}
+
+// sectionMatrix copies a matrix section into the JSON wire vocabulary.
+// Matrix payloads are always copied out of the frame buffer: factorize and
+// solve-by-matrix park the matrix in the factorization cache, which outlives
+// the pooled request buffer by design.
+func sectionMatrix(s *wirefmt.Section) *WireMatrix {
+	return &WireMatrix{
+		Rows: int(s.A),
+		Cols: int(s.B),
+		Data: append([]float64(nil), s.Float64s()...),
+	}
+}
+
+// decodeFactorizeFrame maps a factorize frame — [JSON meta, matrix A] — onto
+// the JSON request vocabulary. The returned request does not alias body.
+func decodeFactorizeFrame(body []byte, scratch []wirefmt.Section) (*factorizeRequest, *apiError) {
+	var req factorizeRequest
+	secs, aerr := decodeFrame(body, scratch, &req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if req.Matrix != nil {
+		return nil, errBadInput("factorize frame metadata must not carry a matrix field; send a matrix section")
+	}
+	if len(secs) != 2 || secs[1].Tag != wirefmt.TagMatrix {
+		return nil, errBadInput("factorize frame needs exactly [JSON meta, matrix] sections")
+	}
+	req.Matrix = sectionMatrix(&secs[1])
+	return &req, nil
+}
+
+// decodeSolveFrame maps a solve frame — [JSON meta, b] for solve-by-key or
+// [JSON meta, matrix A, b] for solve-by-matrix — onto the JSON request
+// vocabulary. The right-hand side aliases body zero-copy (on aligned
+// little-endian hosts): the caller must keep body alive until the solve
+// can no longer reference b.
+func decodeSolveFrame(body []byte, scratch []wirefmt.Section) (*solveRequest, *apiError) {
+	var req solveRequest
+	secs, aerr := decodeFrame(body, scratch, &req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if req.Matrix != nil || len(req.B) != 0 {
+		return nil, errBadInput("solve frame metadata must not carry matrix or b fields; send binary sections")
+	}
+	switch {
+	case len(secs) == 2 && secs[1].Tag == wirefmt.TagVector:
+		req.B = secs[1].Float64s()
+	case len(secs) == 3 && secs[1].Tag == wirefmt.TagMatrix && secs[2].Tag == wirefmt.TagVector:
+		req.Matrix = sectionMatrix(&secs[1])
+		req.B = secs[2].Float64s()
+	default:
+		return nil, errBadInput("solve frame needs [JSON meta, b] or [JSON meta, matrix, b] sections")
+	}
+	return &req, nil
+}
+
+// decodeLowRankFrame maps a lowrank frame — [JSON meta, matrix A] — onto the
+// JSON request vocabulary. The returned request does not alias body.
+func decodeLowRankFrame(body []byte, scratch []wirefmt.Section) (*lowRankRequest, *apiError) {
+	var req lowRankRequest
+	secs, aerr := decodeFrame(body, scratch, &req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if req.Matrix != nil {
+		return nil, errBadInput("lowrank frame metadata must not carry a matrix field; send a matrix section")
+	}
+	if len(secs) != 2 || secs[1].Tag != wirefmt.TagMatrix {
+		return nil, errBadInput("lowrank frame needs exactly [JSON meta, matrix] sections")
+	}
+	req.Matrix = sectionMatrix(&secs[1])
+	return &req, nil
+}
+
+// binSolveMeta is the JSON metadata section of a binary solve response:
+// solveResponse with the bulk x payload lifted into a vector section.
+type binSolveMeta struct {
+	Iterations int          `json:"iterations"`
+	Converged  bool         `json:"converged"`
+	Optimality float64      `json:"optimality"`
+	Key        string       `json:"key"`
+	Cached     bool         `json:"cached"`
+	Batched    int          `json:"batched"`
+	Hazards    []WireHazard `json:"hazards,omitempty"`
+}
+
+// binLowRankMeta is the JSON metadata section of a binary lowrank response:
+// lowRankResponse with U, s and V lifted into binary sections (in that
+// order).
+type binLowRankMeta struct {
+	Rank    int          `json:"rank"`
+	Hazards []WireHazard `json:"hazards,omitempty"`
+}
+
+// frameSections splits a response into its binary frame sections: a JSON
+// metadata section (marshaled by the caller) plus bulk float sections per
+// endpoint. Returns the metadata value to marshal and the trailing bulk
+// sections.
+func frameSections(v any) (meta any, bulk []wirefmt.Section, err error) {
+	switch resp := v.(type) {
+	case factorizeResponse:
+		return resp, nil, nil
+	case solveResponse:
+		return binSolveMeta{
+			Iterations: resp.Iterations,
+			Converged:  resp.Converged,
+			Optimality: resp.Optimality,
+			Key:        resp.Key,
+			Cached:     resp.Cached,
+			Batched:    resp.Batched,
+			Hazards:    resp.Hazards,
+		}, []wirefmt.Section{wirefmt.VectorSection(resp.X)}, nil
+	case lowRankResponse:
+		return binLowRankMeta{Rank: resp.Rank, Hazards: resp.Hazards},
+			[]wirefmt.Section{
+				wirefmt.MatrixSection(resp.U.Rows, resp.U.Cols, resp.U.Data),
+				wirefmt.VectorSection(resp.S),
+				wirefmt.MatrixSection(resp.V.Rows, resp.V.Cols, resp.V.Data),
+			}, nil
+	}
+	return nil, nil, fmt.Errorf("serve: no binary frame mapping for %T", v)
+}

@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tcqr/internal/wirefmt"
+)
+
+// --- binary test plumbing --------------------------------------------------
+
+// frameBody assembles a request frame: JSON-marshaled meta plus bulk
+// sections.
+func frameBody(t testing.TB, meta any, bulk ...wirefmt.Section) []byte {
+	t.Helper()
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		t.Fatalf("marshal frame meta: %v", err)
+	}
+	secs := append([]wirefmt.Section{wirefmt.JSONSection(mj)}, bulk...)
+	out, err := wirefmt.AppendFrame(nil, secs...)
+	if err != nil {
+		t.Fatalf("assemble frame: %v", err)
+	}
+	return out
+}
+
+// postFrame drives one binary request through the handler. accept == ""
+// sends no Accept header (binary requests then negotiate a binary
+// response).
+func postFrame(t testing.TB, h http.Handler, path string, body []byte, accept string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", wirefmt.ContentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// decodeFrameResp splits a binary response into its decoded meta (into
+// out) and bulk sections.
+func decodeFrameResp(t testing.TB, rec *httptest.ResponseRecorder, out any) []wirefmt.Section {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != wirefmt.ContentType {
+		t.Fatalf("binary response Content-Type = %q, want %q", ct, wirefmt.ContentType)
+	}
+	secs, err := wirefmt.Decode(rec.Body.Bytes(), nil)
+	if err != nil {
+		t.Fatalf("decode response frame: %v", err)
+	}
+	if len(secs) == 0 || secs[0].Tag != wirefmt.TagJSON {
+		t.Fatalf("response frame has no leading JSON section")
+	}
+	if out != nil {
+		if err := json.Unmarshal(secs[0].Raw, out); err != nil {
+			t.Fatalf("unmarshal response meta %q: %v", secs[0].Raw, err)
+		}
+	}
+	return secs
+}
+
+// --- golden round-trips ----------------------------------------------------
+
+// TestBinaryFactorizeSolveRoundTrip checks that the binary path and the JSON
+// path are the same service: a binary factorize lands on the same cache key,
+// and a binary solve returns bit-identical x to the JSON solve against the
+// same cached factorization.
+func TestBinaryFactorizeSolveRoundTrip(t *testing.T) {
+	s := New(Options{Workers: 2})
+	h := s.Handler()
+	m, n := 64, 16
+	data := testMatrix(7, m, n, 1)
+	xTrue := make([]float64, n)
+	for j := range xTrue {
+		xTrue[j] = float64(j) - 7.5
+	}
+	b := matVecData(m, n, data, xTrue)
+
+	// Factorize over JSON first to pin the contract key.
+	var jfr factorizeReply
+	code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, &jfr)
+	if code != 200 {
+		t.Fatalf("json factorize: code=%d", code)
+	}
+
+	// The binary factorize of the same matrix must hit the same cache entry.
+	rec := postFrame(t, h, "/v1/factorize", frameBody(t, map[string]any{}, wirefmt.MatrixSection(m, n, data)), "")
+	if rec.Code != 200 {
+		t.Fatalf("binary factorize: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	var bfr factorizeReply
+	decodeFrameResp(t, rec, &bfr)
+	if bfr.Key != jfr.Key || !bfr.Cached {
+		t.Fatalf("binary factorize key=%q cached=%v, want cached hit on %q", bfr.Key, bfr.Cached, jfr.Key)
+	}
+
+	// Solve over both encodings; the solutions must be bit-identical.
+	var jsr solveReply
+	code, _ = post(t, h, "/v1/solve", map[string]any{"key": jfr.Key, "b": b}, &jsr)
+	if code != 200 {
+		t.Fatalf("json solve: code=%d", code)
+	}
+	rec = postFrame(t, h, "/v1/solve", frameBody(t, map[string]any{"key": jfr.Key}, wirefmt.VectorSection(b)), "")
+	if rec.Code != 200 {
+		t.Fatalf("binary solve: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	var bsr binSolveMeta
+	secs := decodeFrameResp(t, rec, &bsr)
+	if len(secs) != 2 || secs[1].Tag != wirefmt.TagVector {
+		t.Fatalf("binary solve frame sections = %d, want [JSON, vector]", len(secs))
+	}
+	bx := secs[1].Float64s()
+	if len(bx) != len(jsr.X) {
+		t.Fatalf("binary x has %d elements, json %d", len(bx), len(jsr.X))
+	}
+	for i := range bx {
+		if math.Float64bits(bx[i]) != math.Float64bits(jsr.X[i]) {
+			t.Fatalf("x[%d]: binary %x json %x", i, math.Float64bits(bx[i]), math.Float64bits(jsr.X[i]))
+		}
+	}
+	if !bsr.Cached || bsr.Key != jfr.Key || !bsr.Converged {
+		t.Fatalf("binary solve meta %+v, want cached converged solve of %q", bsr, jfr.Key)
+	}
+	if d := maxDiff(bx, xTrue); d > 1e-8 {
+		t.Fatalf("binary solution off by %g", d)
+	}
+}
+
+// TestBinarySolveByMatrix exercises the [meta, matrix, b] frame shape end to
+// end: the matrix is copied into the cache, the solve succeeds, and a
+// follow-up solve by the returned key hits.
+func TestBinarySolveByMatrix(t *testing.T) {
+	s := New(Options{Workers: 2})
+	h := s.Handler()
+	m, n := 48, 8
+	data := testMatrix(8, m, n, 1)
+	b := matVecData(m, n, data, make([]float64, n))
+	for i := range b {
+		b[i] += 1
+	}
+
+	rec := postFrame(t, h, "/v1/solve",
+		frameBody(t, map[string]any{}, wirefmt.MatrixSection(m, n, data), wirefmt.VectorSection(b)), "")
+	if rec.Code != 200 {
+		t.Fatalf("binary solve-by-matrix: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	var meta binSolveMeta
+	decodeFrameResp(t, rec, &meta)
+	if meta.Key == "" || meta.Cached {
+		t.Fatalf("solve-by-matrix meta %+v, want a fresh key", meta)
+	}
+	rec = postFrame(t, h, "/v1/solve", frameBody(t, map[string]any{"key": meta.Key}, wirefmt.VectorSection(b)), "")
+	if rec.Code != 200 {
+		t.Fatalf("binary solve-by-key after matrix upload: code=%d", rec.Code)
+	}
+	var meta2 binSolveMeta
+	decodeFrameResp(t, rec, &meta2)
+	if !meta2.Cached {
+		t.Fatalf("second solve should hit the cache: %+v", meta2)
+	}
+}
+
+// TestBinaryLowRankFrame checks the lowrank binary response carries U, s, V
+// as sections matching the JSON response.
+func TestBinaryLowRankFrame(t *testing.T) {
+	s := New(Options{Workers: 2})
+	h := s.Handler()
+	m, n := 32, 8
+	data := testMatrix(9, m, n, 1)
+
+	var jlr struct {
+		U    WireMatrix `json:"u"`
+		S    []float64  `json:"s"`
+		V    WireMatrix `json:"v"`
+		Rank int        `json:"rank"`
+	}
+	code, _ := post(t, h, "/v1/lowrank", map[string]any{"matrix": wireMat(m, n, data), "rank": 4}, &jlr)
+	if code != 200 {
+		t.Fatalf("json lowrank: code=%d", code)
+	}
+
+	rec := postFrame(t, h, "/v1/lowrank",
+		frameBody(t, map[string]any{"rank": 4}, wirefmt.MatrixSection(m, n, data)), "")
+	if rec.Code != 200 {
+		t.Fatalf("binary lowrank: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	var meta binLowRankMeta
+	secs := decodeFrameResp(t, rec, &meta)
+	if len(secs) != 4 || secs[1].Tag != wirefmt.TagMatrix || secs[2].Tag != wirefmt.TagVector || secs[3].Tag != wirefmt.TagMatrix {
+		t.Fatalf("lowrank frame wants [JSON, U, s, V], got %d sections", len(secs))
+	}
+	if meta.Rank != jlr.Rank {
+		t.Fatalf("rank %d != json %d", meta.Rank, jlr.Rank)
+	}
+	if int(secs[1].A) != jlr.U.Rows || int(secs[1].B) != jlr.U.Cols {
+		t.Fatalf("U shape %dx%d != json %dx%d", secs[1].A, secs[1].B, jlr.U.Rows, jlr.U.Cols)
+	}
+	if d := maxDiff(secs[2].Float64s(), jlr.S); d != 0 {
+		t.Fatalf("singular values differ by %g", d)
+	}
+	if d := maxDiff(secs[1].Float64s(), jlr.U.Data); d != 0 {
+		t.Fatalf("U differs by %g", d)
+	}
+	if d := maxDiff(secs[3].Float64s(), jlr.V.Data); d != 0 {
+		t.Fatalf("V differs by %g", d)
+	}
+}
+
+// --- content negotiation ---------------------------------------------------
+
+// TestWireContentNegotiation pins the negotiation table: only an explicit
+// Accept for the frame type (or an Accept-less binary request) selects a
+// binary response; wildcards and JSON clients keep the byte-for-byte JSON
+// contract.
+func TestWireContentNegotiation(t *testing.T) {
+	s := New(Options{Workers: 2})
+	h := s.Handler()
+	m, n := 48, 8
+	data := testMatrix(11, m, n, 1)
+	jsonBody, err := json.Marshal(map[string]any{"matrix": wireMat(m, n, data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBody := frameBody(t, map[string]any{}, wirefmt.MatrixSection(m, n, data))
+
+	cases := []struct {
+		name        string
+		contentType string
+		accept      string
+		wantBinary  bool
+	}{
+		{"json_req_no_accept", "application/json", "", false},
+		{"json_req_wildcard", "application/json", "*/*", false},
+		{"json_req_accept_frame", "application/json", wirefmt.ContentType, true},
+		{"bin_req_no_accept", wirefmt.ContentType, "", true},
+		{"bin_req_wildcard", wirefmt.ContentType, "*/*", false},
+		{"bin_req_accept_json", wirefmt.ContentType, "application/json", false},
+		{"bin_req_accept_frame_list", wirefmt.ContentType, "application/json, " + wirefmt.ContentType, true},
+		{"bin_req_frame_with_params", wirefmt.ContentType, wirefmt.ContentType + "; q=0.9", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := jsonBody
+			if tc.contentType == wirefmt.ContentType {
+				body = binBody
+			}
+			req := httptest.NewRequest(http.MethodPost, "/v1/factorize", bytes.NewReader(body))
+			req.Header.Set("Content-Type", tc.contentType)
+			if tc.accept != "" {
+				req.Header.Set("Accept", tc.accept)
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				t.Fatalf("code=%d body=%q", rec.Code, rec.Body.String())
+			}
+			gotCT := rec.Header().Get("Content-Type")
+			if tc.wantBinary {
+				if gotCT != wirefmt.ContentType {
+					t.Fatalf("Content-Type = %q, want binary frame", gotCT)
+				}
+				var fr factorizeReply
+				decodeFrameResp(t, rec, &fr)
+				if fr.Key == "" {
+					t.Fatalf("binary factorize response has no key")
+				}
+			} else {
+				if gotCT != "application/json" {
+					t.Fatalf("Content-Type = %q, want application/json", gotCT)
+				}
+				var fr factorizeReply
+				if err := json.Unmarshal(rec.Body.Bytes(), &fr); err != nil || fr.Key == "" {
+					t.Fatalf("JSON response not decodable: %v %q", err, rec.Body.String())
+				}
+			}
+		})
+	}
+}
+
+// TestWireEncodingMetrics checks the tcqrd_wire_* families count both
+// directions per encoding.
+func TestWireEncodingMetrics(t *testing.T) {
+	s := New(Options{Workers: 2})
+	h := s.Handler()
+	m, n := 48, 8
+	data := testMatrix(12, m, n, 1)
+
+	post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, nil)
+	rec := postFrame(t, h, "/v1/factorize", frameBody(t, map[string]any{}, wirefmt.MatrixSection(m, n, data)), "")
+	if rec.Code != 200 {
+		t.Fatalf("binary factorize: code=%d", rec.Code)
+	}
+
+	reqs := s.metrics.wireRequests.Snapshot()
+	if reqs["factorize,json"] != 1 || reqs["factorize,binary"] != 1 {
+		t.Fatalf("wire request counts = %v", reqs)
+	}
+	resps := s.metrics.wireResponses.Snapshot()
+	if resps["json"] != 1 || resps["binary"] != 1 {
+		t.Fatalf("wire response counts = %v", resps)
+	}
+}
+
+// --- mixed-encoding coalescing ---------------------------------------------
+
+// TestMixedEncodingCoalescing parks JSON and binary solves for the same
+// factorization in one window and checks they flush as a single multi-RHS
+// batch: the wire encoding must be invisible to the coalescer.
+func TestMixedEncodingCoalescing(t *testing.T) {
+	be := &countingBackend{inner: LibraryBackend{}}
+	s := New(Options{Workers: 4, Window: 50 * time.Millisecond, MaxBatch: 8, Backend: be})
+	h := s.Handler()
+	m, n := 64, 16
+	data := testMatrix(13, m, n, 1)
+	xTrue := make([]float64, n)
+	for j := range xTrue {
+		xTrue[j] = 1
+	}
+	b := matVecData(m, n, data, xTrue)
+
+	var fr factorizeReply
+	if code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, &fr); code != 200 {
+		t.Fatalf("factorize: code=%d", code)
+	}
+	binSolve := frameBody(t, map[string]any{"key": fr.Key}, wirefmt.VectorSection(b))
+
+	// MaxBatch 8 with 4+4 clients: the batch flushes the moment the eighth
+	// waiter parks, so the test never rides on the window timer.
+	const half = 4
+	var wg sync.WaitGroup
+	batched := make([]int, 2*half)
+	for i := 0; i < half; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			var sr solveReply
+			if code, _ := post(t, h, "/v1/solve", map[string]any{"key": fr.Key, "b": b}, &sr); code != 200 {
+				t.Errorf("json solve: code=%d", code)
+			}
+			batched[i] = sr.Batched
+			if d := maxDiff(sr.X, xTrue); d > 1e-8 {
+				t.Errorf("json x off by %g", d)
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			rec := postFrame(t, h, "/v1/solve", binSolve, "")
+			if rec.Code != 200 {
+				t.Errorf("binary solve: code=%d body=%q", rec.Code, rec.Body.String())
+				return
+			}
+			var meta binSolveMeta
+			secs := decodeFrameResp(t, rec, &meta)
+			batched[half+i] = meta.Batched
+			if d := maxDiff(secs[1].Float64s(), xTrue); d > 1e-8 {
+				t.Errorf("binary x off by %g", d)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := be.solveMulti.Load(); got != 1 {
+		t.Fatalf("backend multi-RHS calls = %d, want exactly 1 for the mixed batch", got)
+	}
+	for i, k := range batched {
+		if k != 2*half {
+			t.Fatalf("request %d reports batched=%d, want %d", i, k, 2*half)
+		}
+	}
+}
+
+// --- errors stay JSON ------------------------------------------------------
+
+// TestBinaryErrorsUseJSONEnvelope pins the rule that every failure is the
+// JSON envelope, whatever encoding the request negotiated.
+func TestBinaryErrorsUseJSONEnvelope(t *testing.T) {
+	s := New(Options{Workers: 2})
+	h := s.Handler()
+
+	cases := []struct {
+		name     string
+		body     []byte
+		wantCode int
+		wantErr  string
+	}{
+		{"garbage_frame", []byte("not a frame at all"), 400, "bad_input"},
+		{"truncated_frame", frameBody(t, map[string]any{}, wirefmt.VectorSection([]float64{1, 2, 3}))[:20], 400, "bad_input"},
+		{"unknown_key", frameBody(t, map[string]any{"key": "m0-nope"}, wirefmt.VectorSection([]float64{1, 2, 3})), 404, "unknown_key"},
+		{"meta_carries_b", frameBody(t, map[string]any{"b": []float64{1}}, wirefmt.VectorSection([]float64{1})), 400, "bad_input"},
+		{"unknown_meta_field", frameBody(t, map[string]any{"bogus": 1}, wirefmt.VectorSection([]float64{1})), 400, "bad_input"},
+		{"missing_bulk_sections", frameBody(t, map[string]any{"key": "k"}), 400, "bad_input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postFrame(t, h, "/v1/solve", tc.body, "")
+			if rec.Code != tc.wantCode {
+				t.Fatalf("code=%d body=%q, want %d", rec.Code, rec.Body.String(), tc.wantCode)
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("error Content-Type = %q, want application/json", ct)
+			}
+			var env envelope
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("error body %q is not the JSON envelope: %v", rec.Body.String(), err)
+			}
+			if env.Error.Code != tc.wantErr {
+				t.Fatalf("error code = %q, want %q", env.Error.Code, tc.wantErr)
+			}
+		})
+	}
+
+	// Backpressure on the binary path: draining must answer 503 with the
+	// JSON envelope even to a frame client.
+	s.BeginDrain()
+	rec := postFrame(t, h, "/v1/solve", frameBody(t, map[string]any{"key": "k"}, wirefmt.VectorSection([]float64{1})), "")
+	if rec.Code != 503 {
+		t.Fatalf("draining binary solve: code=%d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("draining error Content-Type = %q", ct)
+	}
+	var env envelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Code != "draining" {
+		t.Fatalf("draining envelope: %v %q", err, rec.Body.String())
+	}
+}
+
+// --- allocation regression gate --------------------------------------------
+
+// TestBinaryCacheHitSolveAllocs gates the zero-copy promise: a binary
+// cache-hit solve must never allocate more objects than its JSON twin, must
+// stay under an absolute per-request object ceiling, and must allocate well
+// under half the heap bytes of the JSON path (which pays to parse and print
+// every float — its cost shows up as bytes, not object count).
+func TestBinaryCacheHitSolveAllocs(t *testing.T) {
+	s := New(Options{Workers: 1})
+	h := s.Handler()
+	m, n := 256, 64
+	data := testMatrix(14, m, n, 1)
+	b := matVecData(m, n, data, make([]float64, n))
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	var fr factorizeReply
+	if code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, &fr); code != 200 {
+		t.Fatalf("factorize: code=%d", code)
+	}
+	binBody := frameBody(t, map[string]any{"key": fr.Key}, wirefmt.VectorSection(b))
+	jsonBody, err := json.Marshal(map[string]any{"key": fr.Key, "b": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solveOnce := func(contentType string, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+		req.Header.Set("Content-Type", contentType)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("solve: code=%d body=%q", rec.Code, rec.Body.String())
+		}
+	}
+	// heapBytes measures average heap bytes allocated per request. Workers:1
+	// keeps all compute on one pool goroutine; TotalAlloc is process-global
+	// either way, and 100 iterations average out background noise.
+	heapBytes := func(contentType string, body []byte) uint64 {
+		const iters = 100
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		for i := 0; i < iters; i++ {
+			solveOnce(contentType, body)
+		}
+		runtime.ReadMemStats(&after)
+		return (after.TotalAlloc - before.TotalAlloc) / iters
+	}
+	jsonAllocs := testing.AllocsPerRun(50, func() { solveOnce("application/json", jsonBody) })
+	binAllocs := testing.AllocsPerRun(50, func() { solveOnce(wirefmt.ContentType, binBody) })
+	jsonBytes := heapBytes("application/json", jsonBody)
+	binBytes := heapBytes(wirefmt.ContentType, binBody)
+	t.Logf("per request: json=%.0f allocs / %d B, binary=%.0f allocs / %d B", jsonAllocs, jsonBytes, binAllocs, binBytes)
+	// Both encodings share the solve compute, so binary's object count can
+	// never exceed JSON's; JSON's per-float decode/print cost shows up as
+	// heap bytes, where the pooled zero-copy path must win by a wide margin.
+	if binAllocs > jsonAllocs {
+		t.Fatalf("binary solve allocates %.0f objects/request vs %.0f for JSON; the pooled path has regressed", binAllocs, jsonAllocs)
+	}
+	const ceiling = 150
+	if binAllocs > ceiling {
+		t.Fatalf("binary cache-hit solve allocates %.0f objects/request, above the %d gate", binAllocs, ceiling)
+	}
+	// The shared solve compute allocates the same on both paths, so the
+	// json-binary gap isolates the wire layer: JSON pays several KiB per
+	// request to parse and print the floats at this shape, the pooled
+	// zero-copy frame path pays nearly nothing. Require the full wire-sized
+	// margin so a regression that re-introduces per-request body buffers or
+	// per-element encode work trips the gate.
+	if binBytes+3000 >= jsonBytes {
+		t.Fatalf("binary cache-hit solve allocates %d heap bytes/request vs %d for JSON; the zero-copy path has regressed", binBytes, jsonBytes)
+	}
+}

@@ -1,12 +1,13 @@
 package serve
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tcqr"
 	"tcqr/internal/faultinject"
+	"tcqr/internal/metrics"
 )
 
 // CacheKey derives the content-addressed cache key for factoring a under
@@ -42,6 +43,11 @@ type Entry struct {
 	F      *tcqr.Factorization
 	Config tcqr.Config
 	bytes  int64
+
+	// lastUsed is the cache's logical clock value at the entry's most
+	// recent touch; eviction removes the minimum. Updated with a plain
+	// atomic store on the lock-free hit path.
+	lastUsed atomic.Int64
 }
 
 // sizeBytes estimates the resident size of the entry (A at 8 bytes/element,
@@ -81,15 +87,29 @@ type CacheStats struct {
 // singleflight deduplication: concurrent GetOrFactor calls for the same key
 // share one Factorize call. Errors are never cached — a failed
 // factorization is retried by the next request.
+//
+// The hit path is lock-free: entries live in a sync.Map, recency is an
+// atomic per-entry timestamp from a global logical clock, and the hit
+// counter is striped across cache lines — so concurrent solves against
+// cached factorizations (the serving fast path) never serialize on a cache
+// mutex. The mutex guards only the cold paths: singleflight bookkeeping,
+// insertion, and exact-LRU eviction (a min-timestamp scan, O(capacity) on
+// the rare insert past capacity).
 type FactorCache struct {
 	maxEntries int
 	backend    Backend
 
+	entries sync.Map     // key string -> *Entry
+	clock   atomic.Int64 // logical time for LRU ordering
+	hits    metrics.Striped
+
 	mu       sync.Mutex
-	ll       *list.List // front = most recently used; values are *Entry
-	byKey    map[string]*list.Element
+	count    int
+	bytes    int64
+	misses   int64
+	evicted  int64
+	shared   int64
 	inflight map[string]*flight
-	stats    CacheStats
 }
 
 // flight is one in-progress factorization that followers wait on.
@@ -108,24 +128,26 @@ func NewFactorCache(maxEntries int, be Backend) *FactorCache {
 	return &FactorCache{
 		maxEntries: maxEntries,
 		backend:    be,
-		ll:         list.New(),
-		byKey:      make(map[string]*list.Element),
 		inflight:   make(map[string]*flight),
 	}
 }
 
+// touch marks e as most recently used.
+func (c *FactorCache) touch(e *Entry) {
+	e.lastUsed.Store(c.clock.Add(1))
+}
+
 // Get returns the cached entry for key, if present, promoting it to most
-// recently used.
+// recently used. Lock-free.
 func (c *FactorCache) Get(key string) (*Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
+	v, ok := c.entries.Load(key)
 	if !ok {
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	c.stats.Hits++
-	return el.Value.(*Entry), true
+	e := v.(*Entry)
+	c.touch(e)
+	c.hits.Inc()
+	return e, true
 }
 
 // GetOrFactor returns the entry for key, factoring a under cfg on a miss.
@@ -133,22 +155,28 @@ func (c *FactorCache) Get(key string) (*Entry, bool) {
 // (SourceMiss), the rest wait for its result (SourceShared). The caller
 // must pass the same (a, cfg) it derived key from.
 func (c *FactorCache) GetOrFactor(key string, a *tcqr.Matrix, cfg tcqr.Config) (*Entry, Source, error) {
+	if e, ok := c.Get(key); ok {
+		return e, SourceHit, nil
+	}
 	c.mu.Lock()
-	if el, ok := c.byKey[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
+	// Re-check under the lock: a leader may have inserted between the
+	// lock-free probe and here.
+	if v, ok := c.entries.Load(key); ok {
 		c.mu.Unlock()
-		return el.Value.(*Entry), SourceHit, nil
+		e := v.(*Entry)
+		c.touch(e)
+		c.hits.Inc()
+		return e, SourceHit, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
-		c.stats.SingleflightShared++
+		c.shared++
 		c.mu.Unlock()
 		<-fl.done
 		return fl.entry, SourceShared, fl.err
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
-	c.stats.Misses++
+	c.misses++
 	c.mu.Unlock()
 
 	// Leader path: factor outside the lock (this is the expensive call the
@@ -189,21 +217,33 @@ func (c *FactorCache) GetOrFactor(key string, a *tcqr.Matrix, cfg tcqr.Config) (
 
 // insertLocked adds an entry and evicts past capacity. c.mu must be held.
 func (c *FactorCache) insertLocked(key string, e *Entry) {
-	if el, ok := c.byKey[key]; ok {
+	if v, ok := c.entries.Load(key); ok {
 		// A racing leader for the same key already inserted; keep the
 		// existing entry current rather than duplicating.
-		c.ll.MoveToFront(el)
+		c.touch(v.(*Entry))
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(e)
-	c.stats.Bytes += e.bytes
-	for c.ll.Len() > c.maxEntries {
-		back := c.ll.Back()
-		old := back.Value.(*Entry)
-		c.ll.Remove(back)
-		delete(c.byKey, old.Key)
-		c.stats.Bytes -= old.bytes
-		c.stats.Evictions++
+	c.touch(e)
+	c.entries.Store(key, e)
+	c.count++
+	c.bytes += e.bytes
+	for c.count > c.maxEntries {
+		var victim *Entry
+		min := int64(1<<63 - 1)
+		c.entries.Range(func(_, v any) bool {
+			e := v.(*Entry)
+			if t := e.lastUsed.Load(); t < min {
+				min, victim = t, e
+			}
+			return true
+		})
+		if victim == nil {
+			return
+		}
+		c.entries.Delete(victim.Key)
+		c.count--
+		c.bytes -= victim.bytes
+		c.evicted++
 	}
 }
 
@@ -212,16 +252,24 @@ func (c *FactorCache) insertLocked(key string, e *Entry) {
 func (c *FactorCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.ll.Init()
-	c.byKey = make(map[string]*list.Element)
-	c.stats.Bytes = 0
+	c.entries.Range(func(k, _ any) bool {
+		c.entries.Delete(k)
+		return true
+	})
+	c.count = 0
+	c.bytes = 0
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *FactorCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = c.ll.Len()
-	return s
+	return CacheStats{
+		Entries:            c.count,
+		Bytes:              c.bytes,
+		Hits:               c.hits.Load(),
+		Misses:             c.misses,
+		Evictions:          c.evicted,
+		SingleflightShared: c.shared,
+	}
 }

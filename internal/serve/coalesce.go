@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcqr"
 	"tcqr/internal/accuracy"
 	"tcqr/internal/faultinject"
+	"tcqr/internal/metrics"
 )
 
 // CoalescerStats is a snapshot of the coalescer counters.
@@ -52,9 +54,23 @@ type batch struct {
 	entry   *Entry
 	opts    tcqr.SolveOptions
 	fp      string
+	shard   *coalesceShard
 	waiters []*solveWaiter
 	timer   *time.Timer
 	flushed bool
+}
+
+// coalesceShards is the shard count of the pending-batch map: a power of
+// two sized so that at the target concurrency (64 clients across 8 cores)
+// unrelated fingerprints rarely contend on one shard lock.
+const coalesceShards = 16
+
+// coalesceShard is one slice of the pending map with its own lock, padded
+// so neighboring shard locks do not share a cache line.
+type coalesceShard struct {
+	mu      sync.Mutex
+	pending map[string]*batch
+	_       [40]byte
 }
 
 // Coalescer batches solve requests that arrive within Window of each other
@@ -64,6 +80,12 @@ type batch struct {
 // shape the factorization is fastest at. A batch flushes when its window
 // timer fires or when it reaches MaxBatch, whichever is first. Window <= 0
 // disables coalescing (every request solves solo, still through the pool).
+//
+// The pending map is sharded by fingerprint and the counters are striped or
+// atomic, so concurrent submissions against different factorizations never
+// serialize on a global lock — requests for the same fingerprint contend
+// only on their own shard, which is exactly the pair that must rendezvous
+// to batch.
 type Coalescer struct {
 	window   time.Duration
 	maxBatch int
@@ -76,9 +98,13 @@ type Coalescer struct {
 	// synchronized.
 	onFlush func(size int)
 
-	mu      sync.Mutex
-	pending map[string]*batch
-	stats   CoalescerStats
+	shards [coalesceShards]coalesceShard
+
+	batches     metrics.Striped
+	batchedReqs metrics.Striped
+	multiCalls  metrics.Striped
+	singleCalls metrics.Striped
+	maxSeen     atomic.Int64
 }
 
 // NewCoalescer builds a coalescer. run executes batch flushes (one call per
@@ -90,19 +116,31 @@ func NewCoalescer(window time.Duration, maxBatch int, be Backend, run func(fn fu
 	if run == nil {
 		run = func(fn func()) error { fn(); return nil }
 	}
-	return &Coalescer{
+	c := &Coalescer{
 		window:   window,
 		maxBatch: maxBatch,
 		backend:  be,
 		run:      run,
-		pending:  make(map[string]*batch),
 	}
+	for i := range c.shards {
+		c.shards[i].pending = make(map[string]*batch)
+	}
+	return c
 }
 
 // solveFingerprint keys batch compatibility: requests may share a multi-RHS
 // call only when the refinement would be configured identically.
 func solveFingerprint(key string, opts tcqr.SolveOptions) string {
 	return fmt.Sprintf("%s|m%d-t%g-i%d-h%d", key, int(opts.Method), opts.Tol, opts.MaxIterations, int(opts.OnHazard))
+}
+
+// shardFor maps a fingerprint to its shard (FNV-1a over the string).
+func (c *Coalescer) shardFor(fp string) *coalesceShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(fp); i++ {
+		h = (h ^ uint32(fp[i])) * 16777619
+	}
+	return &c.shards[h&(coalesceShards-1)]
 }
 
 // Submit parks a solve for entry until its batch flushes and returns this
@@ -115,17 +153,18 @@ func (c *Coalescer) Submit(ctx context.Context, entry *Entry, opts tcqr.SolveOpt
 		bt := &batch{entry: entry, opts: opts, waiters: []*solveWaiter{w}, flushed: true}
 		c.execute(bt)
 	} else {
-		c.mu.Lock()
 		fp := solveFingerprint(entry.Key, opts)
-		bt := c.pending[fp]
+		sh := c.shardFor(fp)
+		sh.mu.Lock()
+		bt := sh.pending[fp]
 		if bt == nil {
-			bt = &batch{entry: entry, opts: opts, fp: fp}
+			bt = &batch{entry: entry, opts: opts, fp: fp, shard: sh}
 			bt.timer = time.AfterFunc(c.window, func() { c.flush(bt) })
-			c.pending[fp] = bt
+			sh.pending[fp] = bt
 		}
 		bt.waiters = append(bt.waiters, w)
 		full := len(bt.waiters) >= c.maxBatch
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		if full {
 			c.flush(bt)
 		}
@@ -139,20 +178,21 @@ func (c *Coalescer) Submit(ctx context.Context, entry *Entry, opts tcqr.SolveOpt
 	}
 }
 
-// flush detaches the batch from the pending map (idempotently — the window
-// timer and the batch-full path can race) and executes it.
+// flush detaches the batch from its shard's pending map (idempotently — the
+// window timer and the batch-full path can race) and executes it.
 func (c *Coalescer) flush(bt *batch) {
-	c.mu.Lock()
+	sh := bt.shard
+	sh.mu.Lock()
 	if bt.flushed {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	bt.flushed = true
-	delete(c.pending, bt.fp)
+	delete(sh.pending, bt.fp)
 	if bt.timer != nil {
 		bt.timer.Stop()
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	go c.execute(bt)
 }
 
@@ -164,15 +204,16 @@ func (c *Coalescer) execute(bt *batch) {
 	if c.onFlush != nil {
 		c.onFlush(k)
 	}
-	c.mu.Lock()
-	c.stats.Batches++
+	c.batches.Inc()
 	if k > 1 {
-		c.stats.BatchedRequests += int64(k)
+		c.batchedReqs.Add(int64(k))
 	}
-	if int64(k) > c.stats.MaxBatch {
-		c.stats.MaxBatch = int64(k)
+	for {
+		cur := c.maxSeen.Load()
+		if int64(k) <= cur || c.maxSeen.CompareAndSwap(cur, int64(k)) {
+			break
+		}
 	}
-	c.mu.Unlock()
 
 	err := c.run(func() {
 		// Failpoint: a delay here simulates a slow flush (every waiter in
@@ -187,9 +228,7 @@ func (c *Coalescer) execute(bt *batch) {
 		if k == 1 {
 			w := bt.waiters[0]
 			res, serr := c.backend.SolveWithFactor(bt.entry.F, bt.entry.A, w.b, bt.opts)
-			c.mu.Lock()
-			c.stats.SingleSolveCalls++
-			c.mu.Unlock()
+			c.singleCalls.Inc()
 			out := solveOutcome{batched: 1, queueWait: start.Sub(w.at), solveTime: time.Since(start), err: serr}
 			if serr == nil {
 				out.x = res.X
@@ -207,9 +246,7 @@ func (c *Coalescer) execute(bt *batch) {
 			copy(rhs.Col(j), w.b)
 		}
 		res, serr := c.backend.SolveMultiWithFactor(bt.entry.F, bt.entry.A, rhs, bt.opts)
-		c.mu.Lock()
-		c.stats.MultiSolveCalls++
-		c.mu.Unlock()
+		c.multiCalls.Inc()
 		solveTime := time.Since(start)
 		for j, w := range bt.waiters {
 			out := solveOutcome{batched: k, queueWait: start.Sub(w.at), solveTime: solveTime, err: serr}
@@ -241,21 +278,28 @@ func (c *Coalescer) execute(bt *batch) {
 
 // Stats returns a snapshot of the coalescer counters.
 func (c *Coalescer) Stats() CoalescerStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return CoalescerStats{
+		Batches:          c.batches.Load(),
+		BatchedRequests:  c.batchedReqs.Load(),
+		MultiSolveCalls:  c.multiCalls.Load(),
+		SingleSolveCalls: c.singleCalls.Load(),
+		MaxBatch:         c.maxSeen.Load(),
+	}
 }
 
 // PendingFlush flushes every pending batch immediately (graceful drain:
 // parked requests must complete, not hang for a window that may never be
 // serviced).
 func (c *Coalescer) PendingFlush() {
-	c.mu.Lock()
-	bts := make([]*batch, 0, len(c.pending))
-	for _, bt := range c.pending {
-		bts = append(bts, bt)
+	var bts []*batch
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, bt := range sh.pending {
+			bts = append(bts, bt)
+		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	for _, bt := range bts {
 		c.flush(bt)
 	}

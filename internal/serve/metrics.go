@@ -28,6 +28,17 @@ type serverMetrics struct {
 	responses *metrics.CounterVec // by HTTP status
 	errors    *metrics.CounterVec // by wire error code
 
+	wireRequests  *metrics.CounterVec // by endpoint and encoding
+	wireResponses *metrics.CounterVec // by encoding
+
+	// hot holds per-endpoint pre-resolved counters for the request fast
+	// path: CounterVec.With takes a read lock per call, which is measurable
+	// contention at the 64-client target, so admit() resolves the series
+	// once at construction and bumps plain atomic counters per request.
+	hot               map[string]hotCounters
+	hotWireRespJSON   *metrics.Counter
+	hotWireRespBinary *metrics.Counter
+
 	stageSeconds *metrics.HistogramVec // queue/factorize/solve/encode
 	batchSize    *metrics.Histogram    // coalesced batch sizes
 
@@ -45,6 +56,13 @@ type serverMetrics struct {
 
 	unobserve      func() // detaches the engine GEMM observer
 	unobserveFault func() // detaches the fault-injection observer
+}
+
+// hotCounters is one endpoint's pre-resolved fast-path counter series.
+type hotCounters struct {
+	requests   *metrics.Counter // tcqrd_requests_total{endpoint}
+	wireJSON   *metrics.Counter // tcqrd_wire_requests_total{endpoint,json}
+	wireBinary *metrics.Counter // tcqrd_wire_requests_total{endpoint,binary}
 }
 
 // newServerMetrics registers the daemon's families in reg and wires the
@@ -82,7 +100,21 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 			"Requests whose transient failure survived every retry, by endpoint.", "endpoint"),
 		retryBackoff: reg.Histogram("tcqrd_retry_backoff_seconds",
 			"Backoff slept before each retry of a transient failure.", metrics.LatencyBuckets),
+		wireRequests: reg.CounterVec("tcqrd_wire_requests_total",
+			"Requests received, by API endpoint and wire encoding.", "endpoint", "encoding"),
+		wireResponses: reg.CounterVec("tcqrd_wire_responses_total",
+			"Successful responses written, by wire encoding.", "encoding"),
 	}
+	m.hot = make(map[string]hotCounters, 3)
+	for _, ep := range []string{"factorize", "solve", "lowrank"} {
+		m.hot[ep] = hotCounters{
+			requests:   m.requests.With(ep),
+			wireJSON:   m.wireRequests.With(ep, encJSON),
+			wireBinary: m.wireRequests.With(ep, encBinary),
+		}
+	}
+	m.hotWireRespJSON = m.wireResponses.With(encJSON)
+	m.hotWireRespBinary = m.wireResponses.With(encBinary)
 
 	reg.GaugeFunc("tcqrd_uptime_seconds",
 		"Seconds since the server started.",

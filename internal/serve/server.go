@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 	"tcqr/internal/faultinject"
 	"tcqr/internal/hazard"
 	"tcqr/internal/metrics"
+	"tcqr/internal/wirefmt"
 )
 
 // Options configures a Server. Zero values select sensible production
@@ -201,6 +203,16 @@ type reqScope struct {
 	rep      *hazard.Report
 	start    time.Time
 
+	// binReq/frameResp record the negotiated encodings (see binwire.go);
+	// bodyBuf is the pooled frame buffer backing a binary request, released
+	// by releaseBody unless retainBody was set (a deadline-abandoned solve
+	// batch may still read the zero-copy right-hand side view).
+	binReq     bool
+	frameResp  bool
+	bodyBuf    []byte
+	retainBody bool
+	respCT     string // response Content-Type; empty selects application/json
+
 	key         string
 	rows, cols  int
 	batched     int
@@ -209,8 +221,17 @@ type reqScope struct {
 	repCounted  bool
 }
 
+// releaseBody returns the pooled request buffer, unless a still-running
+// batch may alias it. Call only after the response is fully written.
+func (rc *reqScope) releaseBody() {
+	if rc.bodyBuf != nil && !rc.retainBody {
+		wirefmt.PutBuffer(rc.bodyBuf)
+		rc.bodyBuf = nil
+	}
+}
+
 // admit is the common front door of the compute endpoints: method check,
-// drain check, request accounting, body cap.
+// drain check, encoding negotiation, request accounting, body cap.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) (*reqScope, bool) {
 	rc := &reqScope{
 		s:        s,
@@ -219,7 +240,21 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) 
 		rep:      &hazard.Report{},
 		start:    time.Now(),
 	}
-	s.metrics.requests.With(endpoint).Inc()
+	rc.binReq = isFrameRequest(r)
+	rc.frameResp = wantsFrameResponse(r, rc.binReq)
+	// Hot counters are pre-resolved per endpoint/encoding at construction:
+	// the CounterVec lookup takes a read lock per call, which is measurable
+	// contention at the 64-client coalesced throughput target.
+	if hot, ok := s.metrics.hot[endpoint]; ok {
+		hot.requests.Inc()
+		if rc.binReq {
+			hot.wireBinary.Inc()
+		} else {
+			hot.wireJSON.Inc()
+		}
+	} else {
+		s.metrics.requests.With(endpoint).Inc()
+	}
 	if r.Method != http.MethodPost {
 		rc.fail(w, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
 			msg: fmt.Sprintf("%s requires POST", r.URL.Path)})
@@ -357,7 +392,23 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req factorizeRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
+	if rc.binReq {
+		// The matrix is copied out of the frame during decode (it outlives
+		// the request in the cache), so the pooled buffer can be released as
+		// soon as decoding ends.
+		body, aerr := readFrameBody(r)
+		if aerr != nil {
+			rc.fail(w, aerr)
+			return
+		}
+		preq, aerr := decodeFactorizeFrame(body, nil)
+		wirefmt.PutBuffer(body)
+		if aerr != nil {
+			rc.fail(w, aerr)
+			return
+		}
+		req = *preq
+	} else if err := decodeJSON(r.Body, &req); err != nil {
 		rc.fail(w, classifyError(err))
 		return
 	}
@@ -405,7 +456,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req solveRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
+	if rc.binReq {
+		// The right-hand side is served as a zero-copy view into the pooled
+		// frame buffer: no per-request copy of b on the cache-hit fast path.
+		// The buffer is released after the response unless the solve was
+		// abandoned on deadline (the detached batch still reads the view).
+		body, aerr := readFrameBody(r)
+		if aerr != nil {
+			rc.fail(w, aerr)
+			return
+		}
+		rc.bodyBuf = body
+		defer rc.releaseBody()
+		preq, aerr := decodeSolveFrame(body, nil)
+		if aerr != nil {
+			rc.fail(w, aerr)
+			return
+		}
+		req = *preq
+	} else if err := decodeJSON(r.Body, &req); err != nil {
 		rc.fail(w, classifyError(err))
 		return
 	}
@@ -476,6 +545,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var out solveOutcome
 	serr := s.retryDo(ctx, rc, "solve", func(actx context.Context) error {
 		out = s.coal.Submit(actx, entry, opts, req.B)
+		if errors.Is(out.err, ErrDeadline) {
+			// The request abandoned its batch, but the batch still runs and
+			// will read every waiter's b — including our zero-copy view into
+			// the pooled frame buffer. Leak the buffer to the collector
+			// rather than recycling memory a flusher is about to read. This
+			// sticks even if a later retry attempt succeeds: the abandoned
+			// batch from the timed-out attempt may still be in flight.
+			rc.retainBody = true
+		}
 		return out.err
 	})
 	if serr != nil {
@@ -503,7 +581,20 @@ func (s *Server) handleLowRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req lowRankRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
+	if rc.binReq {
+		body, aerr := readFrameBody(r)
+		if aerr != nil {
+			rc.fail(w, aerr)
+			return
+		}
+		preq, aerr := decodeLowRankFrame(body, nil)
+		wirefmt.PutBuffer(body)
+		if aerr != nil {
+			rc.fail(w, aerr)
+			return
+		}
+		req = *preq
+	} else if err := decodeJSON(r.Body, &req); err != nil {
 		rc.fail(w, classifyError(err))
 		return
 	}
@@ -665,26 +756,67 @@ func (rc *reqScope) noteHazards(hs []tcqr.Hazard) []WireHazard {
 	return ws
 }
 
-// ok encodes v (timed as the encode stage) and finishes the response.
+// ok encodes v (timed as the encode stage) in the negotiated encoding and
+// finishes the response.
 func (rc *reqScope) ok(w http.ResponseWriter, v any) {
-	var buf bytes.Buffer
 	t0 := time.Now()
 	// Failpoint: an injected encode failure takes the same 500 path as a
 	// real serialization error. It is not retried — the compute already
 	// succeeded, and replaying it for an encode fault would double-count
-	// work — but it does feed the degradation breaker.
+	// work — but it does feed the degradation breaker. Both encodings pass
+	// through it.
 	if err := faultinject.Fire(siteWireEncode); err != nil {
 		rc.fail(w, classifyError(err))
 		return
 	}
+	if rc.frameResp {
+		rc.okFrame(w, v, t0)
+		return
+	}
+	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(v); err != nil {
 		rc.fail(w, &apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()})
 		return
 	}
 	rc.rep.RecordTiming("encode", time.Since(t0))
+	rc.s.metrics.hotWireRespJSON.Inc()
 	rc.s.brk.recordSuccess()
 	rc.finish(w, http.StatusOK, buf.Bytes())
+}
+
+// okFrame writes v as a binary frame into a pooled buffer: JSON metadata
+// section plus zero-parse float sections for the bulk payloads.
+func (rc *reqScope) okFrame(w http.ResponseWriter, v any, t0 time.Time) {
+	meta, bulk, err := frameSections(v)
+	if err != nil {
+		rc.fail(w, &apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()})
+		return
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		rc.fail(w, &apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()})
+		return
+	}
+	secs := append([]wirefmt.Section{wirefmt.JSONSection(metaJSON)}, bulk...)
+	n, err := wirefmt.FrameLen(secs...)
+	if err != nil {
+		rc.fail(w, &apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()})
+		return
+	}
+	buf := wirefmt.GetBuffer(n)
+	out, err := wirefmt.AppendFrame(buf, secs...)
+	if err != nil {
+		wirefmt.PutBuffer(buf)
+		rc.fail(w, &apiError{status: http.StatusInternalServerError, code: "internal", msg: err.Error()})
+		return
+	}
+	rc.rep.RecordTiming("encode", time.Since(t0))
+	rc.s.metrics.hotWireRespBinary.Inc()
+	rc.s.brk.recordSuccess()
+	rc.respCT = wirefmt.ContentType
+	rc.finish(w, http.StatusOK, out)
+	wirefmt.PutBuffer(out)
 }
 
 // fail encodes the uniform error envelope for e and finishes the response.
@@ -726,7 +858,11 @@ func (rc *reqScope) finish(w http.ResponseWriter, status int, body []byte) {
 	timings := rc.rep.Timings()
 	rc.s.metrics.observeStages(timings)
 	rc.s.metrics.responses.With(strconv.Itoa(status)).Inc()
-	w.Header().Set("Content-Type", "application/json")
+	ct := rc.respCT
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
 	st := serverTimingHeader(timings)
 	if st != "" {
 		w.Header().Set("Server-Timing", st)

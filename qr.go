@@ -3,6 +3,7 @@ package tcqr
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"tcqr/internal/accuracy"
 	"tcqr/internal/hazard"
@@ -29,6 +30,11 @@ type Factorization struct {
 	// factorization and, under HazardFallback, every recovery taken (panel
 	// escalations, engine retries). Empty for a clean run.
 	Hazards []Hazard
+
+	// view memoizes the internal solver view (see inner): the view itself
+	// caches derived data — notably R widened to float64 — that must persist
+	// across solves reusing this factorization.
+	view atomic.Pointer[rgs.Result]
 }
 
 // Factorize computes the RGSQRF factorization of a (m×n, m >= n) on the
@@ -184,9 +190,17 @@ func (f *Factorization) OrthogonalityError() float64 {
 }
 
 // inner reconstructs the internal factorization view used to reuse a public
-// Factorization with the internal solvers.
+// Factorization with the internal solvers. The view is built once and
+// cached: it carries the memoized float64 widening of R, so repeated solves
+// against the same factorization (the serving cache-hit path) skip the n×n
+// conversion. Q and R must not be mutated after the first solve.
 func (f *Factorization) inner() *rgs.Result {
-	return &rgs.Result{Q: f.Q, R: f.R, ColumnScales: f.ColumnScales, Reorthogonalized: f.Reorthogonalized}
+	if r := f.view.Load(); r != nil {
+		return r
+	}
+	r := &rgs.Result{Q: f.Q, R: f.R, ColumnScales: f.ColumnScales, Reorthogonalized: f.Reorthogonalized}
+	f.view.CompareAndSwap(nil, r)
+	return f.view.Load()
 }
 
 // compile-time checks that both engines satisfy the internal interface the

@@ -22,7 +22,7 @@ echo "== go test -race =="
 go test -race ./...
 
 # Each fuzz package holds exactly one target, so -fuzz=. is unambiguous.
-for pkg in ./internal/f16 ./internal/bf16 ./internal/blas ./internal/serve; do
+for pkg in ./internal/f16 ./internal/bf16 ./internal/blas ./internal/wirefmt ./internal/serve; do
 	echo "== fuzz smoke $pkg =="
 	go test -run '^$' -fuzz . -fuzztime 10s "$pkg"
 done

@@ -84,6 +84,31 @@ for family in tcqrd_stage_duration_seconds_count tcqrd_hazards_total tcqrd_engin
 		exit 1
 	fi
 done
+# metric_label_above family label [file]: succeeds when any sample of the
+# family carrying the label substring is > 0. The smoke client drove binary
+# frames through /v1/solve, so the wire counters must have binary samples.
+metric_label_above() {
+	awk -v name="$1" -v lab="$2" '
+		index($1, name "{") == 1 && index($1, lab) > 0 { if ($2 + 0 > 0) found = 1 }
+		END { exit !found }
+	' "${3:-$workdir/metrics.txt}"
+}
+for enc in json binary; do
+	if metric_label_above tcqrd_wire_requests_total "encoding=\"$enc\""; then
+		echo "ok   tcqrd_wire_requests_total{encoding=\"$enc\"} > 0"
+	else
+		echo "FAIL tcqrd_wire_requests_total has no non-zero encoding=\"$enc\" sample:" >&2
+		grep "^tcqrd_wire_requests_total" "$workdir/metrics.txt" >&2 || echo "(family absent)" >&2
+		exit 1
+	fi
+done
+if metric_label_above tcqrd_wire_responses_total 'encoding="binary"'; then
+	echo "ok   tcqrd_wire_responses_total{encoding=\"binary\"} > 0"
+else
+	echo "FAIL tcqrd_wire_responses_total has no non-zero binary sample:" >&2
+	grep "^tcqrd_wire_responses_total" "$workdir/metrics.txt" >&2 || echo "(family absent)" >&2
+	exit 1
+fi
 
 echo "== graceful drain =="
 kill -TERM "$daemon_pid"
