@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: build check check-race check-deep lint fuzz chaos bench bench-json \
-	serve serve-smoke bench-serve-json clean
+	serve serve-smoke bench-serve-json bench-tsqr clean
 
 build:
 	$(GO) build ./...
@@ -29,21 +29,25 @@ check-race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Short native-fuzz smoke of the format round trips and the packed GEMM
-# golden property. Each package holds exactly one fuzz target.
+# Short native-fuzz smoke of the format round trips, the packed GEMM golden
+# property, the TSQR-vs-serial equivalence, and the serving decode paths.
+# internal/serve holds two targets, so those runs name their target; the
+# single-target packages keep the unambiguous -fuzz=. form.
 fuzz:
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/f16
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/bf16
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/blas
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/wirefmt
-	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzTSQRBlockVsSerial$$' -fuzztime 10s ./internal/tsqr
+	$(GO) test -run '^$$' -fuzz '^FuzzRetryPolicy$$' -fuzztime 10s ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzStreamFrameDecode$$' -fuzztime 10s ./internal/serve
 
 # Chaos/soak battery under the race detector: 64 concurrent clients against
 # a seeded fault schedule (panics, delays, decode errors at every failpoint
 # layer), plus the metamorphic no-silent-garbage property over the
 # adversarial matrix battery. See DESIGN.md §11.
 chaos:
-	$(GO) test -race -run 'TestChaosBattery|TestMetamorphicNoSilentGarbage' -v ./internal/serve
+	$(GO) test -race -run 'TestChaosBattery|TestMetamorphicNoSilentGarbage|TestStreamChaosSoak' -v ./internal/serve
 
 # Deep verification: race gate, fuzz smoke, and the daemon end-to-end smoke
 # (what scripts/check.sh runs). Tier-1 `check` stays fast; this one takes
@@ -75,6 +79,16 @@ bench-serve-json:
 	$(GO) run ./cmd/tcqr-bench -out BENCH_6.json -bench 'Serve' -procs 1,4,8 \
 		-notes "procs above num_cpu oversubscribe a single core; compare scaling against num_cpu, not the -cpu label" \
 		./internal/serve
+
+# TSQR benchmark report (BENCH_7.json): parallel row-blocked factorization
+# vs the Workers=1 identical-bits schedule vs the serial RGS baseline,
+# swept across GOMAXPROCS 1/4/8. On a single-core box every proc count
+# shares one core, so the parallel path cannot beat serial there; the gate
+# is zero serial regression, not a speedup number.
+bench-tsqr:
+	$(GO) run ./cmd/tcqr-bench -out BENCH_7.json -bench 'TSQR' -procs 1,4,8 \
+		-notes "procs above num_cpu oversubscribe a single core; on such boxes parallel TSQR cannot beat the serial baseline and the gate is zero serial regression plus bit-identical factors" \
+		./internal/tsqr
 
 clean:
 	$(GO) clean ./...

@@ -24,6 +24,8 @@
 //	      [-log-level info] [-debug-addr host:port]
 //	      [-retry-attempts 3] [-stage-timeout 0]
 //	      [-degrade-threshold 5] [-degrade-cooldown 10s]
+//	      [-stream-ttl 2m] [-max-stream-sessions 16]
+//	      [-tsqr-min-rows 2048] [-tsqr-workers N] [-tsqr-block-rows 512]
 //	      [-fault-spec schedule]
 //
 // -log-level selects the structured (slog) logging threshold: debug, info,
@@ -84,6 +86,12 @@ func main() {
 		smoke        = flag.String("smoke", "", "run as smoke-test client against this base URL and exit")
 		smokeFault   = flag.String("smoke-fault", "", "run as fault-mode smoke client against this base URL and exit (expects a daemon armed by scripts/serve_smoke.sh)")
 
+		streamTTL      = flag.Duration("stream-ttl", 0, "idle deadline of a chunked-upload session before it is reaped (0 = default 2m)")
+		streamSessions = flag.Int("max-stream-sessions", 0, "max concurrently open chunked-upload sessions (0 = default 16)")
+		tsqrMinRows    = flag.Int("tsqr-min-rows", 0, "min rows for routing a factorization through the parallel TSQR pipeline (0 = default 2048, negative disables)")
+		tsqrWorkers    = flag.Int("tsqr-workers", 0, "concurrent TSQR block factorizations (0 = GOMAXPROCS; scheduling only, never changes bits)")
+		tsqrBlockRows  = flag.Int("tsqr-block-rows", 0, "TSQR canonical row-block height (0 = library default; part of the numerical identity)")
+
 		faultSpec     = flag.String("fault-spec", "", "arm the deterministic failpoint registry with this schedule (DESIGN.md §11 grammar; testing only)")
 		retryAttempts = flag.Int("retry-attempts", 0, "max attempts for transient internal failures (0 = default 3, 1 disables retry)")
 		stageTimeout  = flag.Duration("stage-timeout", 0, "per-attempt compute stage timeout (0 disables)")
@@ -115,17 +123,24 @@ func main() {
 	}
 
 	srv := serve.New(serve.Options{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		CacheEntries:     *cacheEntries,
-		Window:           *window,
-		MaxBatch:         *maxBatch,
-		DefaultDeadline:  *deadline,
-		Logger:           logger,
-		Retry:            serve.RetryPolicy{MaxAttempts: *retryAttempts},
-		StageTimeout:     *stageTimeout,
-		DegradeThreshold: *degradeAfter,
-		DegradeCooldown:  *degradeCool,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheEntries:      *cacheEntries,
+		Window:            *window,
+		MaxBatch:          *maxBatch,
+		DefaultDeadline:   *deadline,
+		Logger:            logger,
+		Retry:             serve.RetryPolicy{MaxAttempts: *retryAttempts},
+		StageTimeout:      *stageTimeout,
+		DegradeThreshold:  *degradeAfter,
+		DegradeCooldown:   *degradeCool,
+		StreamTTL:         *streamTTL,
+		MaxStreamSessions: *streamSessions,
+		Backend: serve.LibraryBackend{
+			TSQRMinRows:   *tsqrMinRows,
+			TSQRWorkers:   *tsqrWorkers,
+			TSQRBlockRows: *tsqrBlockRows,
+		},
 	})
 
 	ln, err := net.Listen("tcp", *addr)

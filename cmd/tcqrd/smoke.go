@@ -198,6 +198,74 @@ func runSmoke(base string) int {
 	s.check(err == nil && code == 400 && er.Error.Code == "bad_input",
 		"wide matrix returns 400 bad_input", "code=%d error.code=%q err=%v", code, er.Error.Code, err)
 
+	// Chunked upload (DESIGN.md §13): stream a tall-skinny matrix as three
+	// binary row-block frames, commit, and verify the key is exactly what a
+	// one-shot upload of the same matrix gets — then solve against it. The
+	// shape clears the default TSQR routing threshold, so this also drives
+	// the parallel factorization pipeline end to end.
+	tm, tn := 2048, 16
+	tall := smokeMatrix(tm, tn, 1)
+	tallData := tall["data"].([]float64)
+	var br struct {
+		Session string `json:"session"`
+		TTLMS   int64  `json:"ttl_ms"`
+	}
+	code, err = s.post("/v1/factorize/stream/begin", map[string]any{"cols": tn}, &br)
+	s.check(err == nil && code == 200 && br.Session != "" && br.TTLMS > 0,
+		"stream begin mints a session", "code=%d session=%q ttl_ms=%d err=%v", code, br.Session, br.TTLMS, err)
+	row := 0
+	for ci, h := range []int{1024, 512, 512} {
+		blk := make([]float64, 0, h*tn)
+		for j := 0; j < tn; j++ {
+			blk = append(blk, tallData[j*tm+row:j*tm+row+h]...)
+		}
+		row += h
+		meta, _ := json.Marshal(map[string]any{"session": br.Session})
+		chunk, cerr := wirefmt.AppendFrame(nil, wirefmt.JSONSection(meta), wirefmt.MatrixSection(h, tn, blk))
+		s.check(cerr == nil, fmt.Sprintf("chunk %d encodes as a frame", ci), "err=%v", cerr)
+		abody, _, acode, aerr := s.postRaw("/v1/factorize/stream/append", wirefmt.ContentType, "application/json", chunk)
+		var ar struct {
+			Rows   int `json:"rows"`
+			Blocks int `json:"blocks"`
+		}
+		uerr := json.Unmarshal(abody, &ar)
+		s.check(aerr == nil && acode == 200 && uerr == nil && ar.Rows == row && ar.Blocks == ci+1,
+			fmt.Sprintf("binary append %d accepted", ci),
+			"code=%d rows=%d blocks=%d err=%v unmarshal=%v", acode, ar.Rows, ar.Blocks, aerr, uerr)
+	}
+	var cr struct {
+		Key    string `json:"key"`
+		Rows   int    `json:"rows"`
+		Cached bool   `json:"cached"`
+	}
+	code, err = s.post("/v1/factorize/stream/commit", map[string]any{"session": br.Session}, &cr)
+	s.check(err == nil && code == 200 && cr.Key != "" && cr.Rows == tm && !cr.Cached,
+		"stream commit factorizes the assembled matrix",
+		"code=%d key=%q rows=%d cached=%v err=%v", code, cr.Key, cr.Rows, cr.Cached, err)
+	var tfr struct {
+		Key    string `json:"key"`
+		Cached bool   `json:"cached"`
+	}
+	code, err = s.post("/v1/factorize", map[string]any{"matrix": tall}, &tfr)
+	s.check(err == nil && code == 200 && tfr.Cached && tfr.Key == cr.Key,
+		"one-shot upload of the streamed matrix is a cache hit on the same key",
+		"code=%d key=%q streamed=%q cached=%v err=%v", code, tfr.Key, cr.Key, tfr.Cached, err)
+	xTall := make([]float64, tn)
+	for j := range xTall {
+		xTall[j] = float64(j%3) + 1
+	}
+	var tsr struct {
+		X []float64 `json:"x"`
+	}
+	code, err = s.post("/v1/solve", map[string]any{"key": cr.Key, "b": matVec(tall, xTall)}, &tsr)
+	s.check(err == nil && code == 200 && maxAbsDiff(tsr.X, xTall) < 1e-5,
+		"solve against the streamed factorization is accurate",
+		"code=%d max |x-x*| = %g err=%v", code, maxAbsDiff(tsr.X, xTall), err)
+	// A committed session is consumed: the id must no longer resolve.
+	code, err = s.post("/v1/factorize/stream/commit", map[string]any{"session": br.Session}, &er)
+	s.check(err == nil && code == 404 && er.Error.Code == "unknown_stream",
+		"committed session is consumed", "code=%d error.code=%q err=%v", code, er.Error.Code, err)
+
 	// Introspection: /statz must reflect the traffic above.
 	var statz struct {
 		Cache struct {
@@ -232,6 +300,13 @@ func runSmoke(base string) int {
 		"tcqrd_engine_gemm_calls_total",
 		"tcqrd_wire_requests_total",
 		"tcqrd_wire_responses_total",
+		"tcqrd_tsqr_factorize_total",
+		"tcqrd_tsqr_stage_seconds_bucket",
+		"tcqrd_tsqr_blocks_bucket",
+		"tcqrd_stream_sessions",
+		"tcqrd_stream_begun_total",
+		"tcqrd_stream_committed_total",
+		"tcqrd_stream_appends_total",
 	} {
 		s.check(strings.Contains(text, family),
 			fmt.Sprintf("metrics exposes %s", family), "family missing from exposition")
@@ -248,6 +323,15 @@ func runSmoke(base string) int {
 		"metrics counted binary-encoded requests", "no non-zero encoding=binary sample")
 	s.check(metricLabelAbove(text, "tcqrd_wire_responses_total", `encoding="binary"`, 0),
 		"metrics counted binary-encoded responses", "no non-zero encoding=binary sample")
+	s.check(metricAbove(text, "tcqrd_tsqr_factorize_total", 0),
+		"metrics counted TSQR factorizations", "tcqrd_tsqr_factorize_total is zero — routing never fired")
+	s.check(metricLabelAbove(text, "tcqrd_tsqr_stage_seconds_count", `stage="block_factor"`, 0),
+		"metrics timed TSQR block factorization", "no block_factor stage observation")
+	s.check(metricAbove(text, "tcqrd_stream_begun_total", 0) &&
+		metricAbove(text, "tcqrd_stream_committed_total", 0) &&
+		metricAbove(text, "tcqrd_stream_appends_total", 2),
+		"metrics counted the chunked upload lifecycle",
+		"stream begun/committed/appends counters do not reflect the upload")
 
 	if s.failed {
 		fmt.Fprintln(os.Stderr, "SMOKE FAILED")

@@ -228,6 +228,12 @@ func reorthogonalize(res *Result, opts *Options) error {
 	return nil
 }
 
+// ScaleColumns applies the Section 3.5 power-of-two column scaling to w in
+// place and returns the applied scales — exported for pipelines (TSQR) that
+// run the safeguard outside Factor. Unscale R afterwards exactly as Factor
+// does: divide column j of R by scales[j].
+func ScaleColumns(w *dense.M32) []float32 { return scaleColumns(w) }
+
 // scaleColumns scales every column of w by a power of two so that its
 // largest magnitude lands in [1, 2) — comfortably inside the binary16 range
 // regardless of the later orthogonal transformations (which preserve column

@@ -42,12 +42,51 @@ type Backend interface {
 	LowRank(a *tcqr.Matrix32, rank int, cfg tcqr.Config) (*tcqr.LowRankApprox, error)
 }
 
+// DefaultTSQRMinRows is the row count at which LibraryBackend starts routing
+// cold factorizations through the parallel Direct TSQR pipeline. Below it the
+// serial call is cheap enough that block scheduling overhead dominates.
+const DefaultTSQRMinRows = 2048
+
 // LibraryBackend routes every call straight to package tcqr; it is the
-// production backend.
-type LibraryBackend struct{}
+// production backend. The zero value behaves like the pre-TSQR backend with
+// default routing: tall-skinny factorizations (at least DefaultTSQRMinRows
+// rows and a 4:1 aspect ratio) take the parallel Direct TSQR pipeline,
+// everything else the serial path.
+type LibraryBackend struct {
+	// TSQRMinRows is the minimum row count for TSQR routing (0 =
+	// DefaultTSQRMinRows; negative disables TSQR entirely).
+	TSQRMinRows int
+	// TSQRWorkers bounds concurrent block factorizations (<= 0 = GOMAXPROCS).
+	// Scheduling only — never changes result bits.
+	TSQRWorkers int
+	// TSQRBlockRows is the canonical TSQR partition height (0 = the library
+	// default). Part of the numerical identity of routed results.
+	TSQRBlockRows int
+}
+
+// routeTSQR reports whether a rows×cols factorization takes the parallel
+// pipeline. The predicate is a pure function of shape and configuration, so a
+// given matrix always factors through the same path — the content-addressed
+// cache key stays an honest identity for the resulting factorization.
+func (b LibraryBackend) routeTSQR(rows, cols int) bool {
+	if b.TSQRMinRows < 0 {
+		return false
+	}
+	min := b.TSQRMinRows
+	if min == 0 {
+		min = DefaultTSQRMinRows
+	}
+	return rows >= min && rows >= 4*cols
+}
 
 // Factorize implements Backend.
-func (LibraryBackend) Factorize(a *tcqr.Matrix32, cfg tcqr.Config) (*tcqr.Factorization, error) {
+func (b LibraryBackend) Factorize(a *tcqr.Matrix32, cfg tcqr.Config) (*tcqr.Factorization, error) {
+	if a != nil && b.routeTSQR(a.Rows, a.Cols) {
+		return tcqr.FactorizeTall(a, tcqr.TallOptions{
+			BlockRows: b.TSQRBlockRows,
+			Workers:   b.TSQRWorkers,
+		}, cfg)
+	}
 	return tcqr.Factorize(a, cfg)
 }
 

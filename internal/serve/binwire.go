@@ -130,6 +130,26 @@ func decodeFactorizeFrame(body []byte, scratch []wirefmt.Section) (*factorizeReq
 	return &req, nil
 }
 
+// decodeStreamAppendFrame maps a stream-append frame — [JSON meta, row block]
+// — onto the JSON request vocabulary. The row block is copied out of the
+// frame buffer (sessions outlive the pooled request body), so the returned
+// request does not alias body.
+func decodeStreamAppendFrame(body []byte, scratch []wirefmt.Section) (*streamAppendRequest, *apiError) {
+	var req streamAppendRequest
+	secs, aerr := decodeFrame(body, scratch, &req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if req.Block != nil {
+		return nil, errBadInput("append frame metadata must not carry a block field; send a matrix section")
+	}
+	if len(secs) != 2 || secs[1].Tag != wirefmt.TagMatrix {
+		return nil, errBadInput("append frame needs exactly [JSON meta, row block] sections")
+	}
+	req.Block = sectionMatrix(&secs[1])
+	return &req, nil
+}
+
 // decodeSolveFrame maps a solve frame — [JSON meta, b] for solve-by-key or
 // [JSON meta, matrix A, b] for solve-by-matrix — onto the JSON request
 // vocabulary. The right-hand side aliases body zero-copy (on aligned
@@ -200,7 +220,16 @@ type binLowRankMeta struct {
 // sections.
 func frameSections(v any) (meta any, bulk []wirefmt.Section, err error) {
 	switch resp := v.(type) {
+	// The stream control responses carry no bulk payload: their binary frame
+	// is just the JSON metadata section, so binary-preferring clients keep a
+	// single content type across the whole begin/append/commit conversation.
 	case factorizeResponse:
+		return resp, nil, nil
+	case streamBeginResponse:
+		return resp, nil, nil
+	case streamAppendResponse:
+		return resp, nil, nil
+	case streamAbortResponse:
 		return resp, nil, nil
 	case solveResponse:
 		return binSolveMeta{

@@ -504,8 +504,14 @@ func TestBinaryCacheHitSolveAllocs(t *testing.T) {
 	// request to parse and print the floats at this shape, the pooled
 	// zero-copy frame path pays nearly nothing. Require the full wire-sized
 	// margin so a regression that re-introduces per-request body buffers or
-	// per-element encode work trips the gate.
-	if binBytes+3000 >= jsonBytes {
+	// per-element encode work trips the gate. Race builds skip this one
+	// assertion (not the alloc-count gates above): the race runtime
+	// deliberately drops a quarter of sync.Pool.Puts, so the pooled frame
+	// buffers this margin measures are randomly re-allocated and the gap
+	// narrows to the threshold ± scheduler noise.
+	if raceEnabled {
+		t.Logf("race build: skipping pooled-byte margin (race mode drops 1/4 of Pool.Puts)")
+	} else if binBytes+3000 >= jsonBytes {
 		t.Fatalf("binary cache-hit solve allocates %d heap bytes/request vs %d for JSON; the zero-copy path has regressed", binBytes, jsonBytes)
 	}
 }

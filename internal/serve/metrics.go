@@ -42,6 +42,23 @@ type serverMetrics struct {
 	stageSeconds *metrics.HistogramVec // queue/factorize/solve/encode
 	batchSize    *metrics.Histogram    // coalesced batch sizes
 
+	// TSQR pipeline instrumentation: per-stage wall time of every parallel
+	// factorization actually performed (cache misses only), plus its leaf
+	// block count — the shape signal that says whether routing thresholds
+	// match real traffic.
+	tsqrStageSeconds *metrics.HistogramVec // block_factor/tree_reduce/q_recover
+	tsqrFactorize    *metrics.Counter
+	tsqrBlocks       *metrics.Histogram
+
+	// Chunked-upload session lifecycle counters. begun = committed + aborted
+	// + reaped + currently-open is the leak invariant the hardening and chaos
+	// tests check.
+	streamBegun     *metrics.Counter
+	streamCommitted *metrics.Counter
+	streamAborted   *metrics.Counter
+	streamReaped    *metrics.Counter
+	streamAppends   *metrics.Counter
+
 	hazards    *metrics.CounterVec // by hazard kind
 	recoveries *metrics.CounterVec // by fallback-ladder action
 	panels     *metrics.CounterVec // by requested panel algorithm
@@ -104,9 +121,26 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 			"Requests received, by API endpoint and wire encoding.", "endpoint", "encoding"),
 		wireResponses: reg.CounterVec("tcqrd_wire_responses_total",
 			"Successful responses written, by wire encoding.", "encoding"),
+		tsqrStageSeconds: reg.HistogramVec("tcqrd_tsqr_stage_seconds",
+			"Parallel TSQR pipeline stage wall time per factorization.", metrics.LatencyBuckets, "stage"),
+		tsqrFactorize: reg.Counter("tcqrd_tsqr_factorize_total",
+			"Factorizations computed through the parallel TSQR pipeline."),
+		tsqrBlocks: reg.Histogram("tcqrd_tsqr_blocks",
+			"Leaf row-block count of each TSQR factorization.", metrics.SizeBuckets),
+		streamBegun: reg.Counter("tcqrd_stream_begun_total",
+			"Chunked-upload sessions opened."),
+		streamCommitted: reg.Counter("tcqrd_stream_committed_total",
+			"Chunked-upload sessions consumed by a commit (successful or not)."),
+		streamAborted: reg.Counter("tcqrd_stream_aborted_total",
+			"Chunked-upload sessions aborted by the client."),
+		streamReaped: reg.Counter("tcqrd_stream_reaped_total",
+			"Chunked-upload sessions reaped on expiry or drain."),
+		streamAppends: reg.Counter("tcqrd_stream_appends_total",
+			"Row blocks accepted into chunked-upload sessions."),
 	}
-	m.hot = make(map[string]hotCounters, 3)
-	for _, ep := range []string{"factorize", "solve", "lowrank"} {
+	m.hot = make(map[string]hotCounters, 7)
+	for _, ep := range []string{"factorize", "solve", "lowrank",
+		"stream_begin", "stream_append", "stream_commit", "stream_abort"} {
 		m.hot[ep] = hotCounters{
 			requests:   m.requests.With(ep),
 			wireJSON:   m.wireRequests.With(ep, encJSON),
@@ -141,6 +175,10 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	reg.CounterFunc("tcqrd_degraded_rejected_total",
 		"Cold compute requests rejected with 503 while degraded.",
 		func() int64 { return s.brk.rejected.Load() })
+
+	reg.GaugeFunc("tcqrd_stream_sessions",
+		"Chunked-upload sessions currently open.",
+		func() float64 { return float64(s.streams.len()) })
 
 	reg.GaugeFunc("tcqrd_pool_queue_depth",
 		"Tasks waiting in the admission queue.",
@@ -234,6 +272,22 @@ func (m *serverMetrics) observeStages(timings []hazard.Timing) {
 	for stage, d := range sums {
 		m.stageSeconds.With(stage).ObserveDuration(d)
 	}
+}
+
+// observeTSQR folds one parallel factorization's stage timings into the
+// tcqrd_tsqr_* families: the block-factor stage is the sum of per-block wall
+// times (total compute spent in leaves, comparable across worker counts),
+// tree_reduce and q_recover are single wall measurements.
+func (m *serverMetrics) observeTSQR(info *tcqr.TSQRInfo) {
+	m.tsqrFactorize.Inc()
+	m.tsqrBlocks.Observe(float64(info.Blocks))
+	var blockSum time.Duration
+	for _, d := range info.BlockFactor {
+		blockSum += d
+	}
+	m.tsqrStageSeconds.With("block_factor").ObserveDuration(blockSum)
+	m.tsqrStageSeconds.With("tree_reduce").ObserveDuration(info.Reduce)
+	m.tsqrStageSeconds.With("q_recover").ObserveDuration(info.Recover)
 }
 
 // noteHazard counts one wire hazard, normalizing the kind to the bounded

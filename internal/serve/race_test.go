@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in. Tests that
+// measure sync.Pool reuse consult it: race mode deliberately drops a quarter
+// of Pool.Puts (to shake out lifetime bugs), so byte-level pooling
+// assertions are meaningful only in the normal build.
+const raceEnabled = true

@@ -101,12 +101,13 @@ type solveReply struct {
 }
 
 type factorizeReply struct {
-	Key     string       `json:"key"`
-	Rows    int          `json:"rows"`
-	Cols    int          `json:"cols"`
-	Cached  bool         `json:"cached"`
-	Shared  bool         `json:"shared"`
-	Hazards []WireHazard `json:"hazards"`
+	Key              string       `json:"key"`
+	Rows             int          `json:"rows"`
+	Cols             int          `json:"cols"`
+	Cached           bool         `json:"cached"`
+	Shared           bool         `json:"shared"`
+	Reorthogonalized bool         `json:"reorthogonalized"`
+	Hazards          []WireHazard `json:"hazards"`
 }
 
 // countingBackend wraps the real library and counts (and optionally gates)

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,6 +62,13 @@ type Options struct {
 	// deadline, so one wedged attempt can be retried while the request still
 	// has budget (0 = disabled).
 	StageTimeout time.Duration
+	// StreamTTL is the idle deadline of a chunked-upload session: a session
+	// with no append or commit for this long is reaped, and its buffered row
+	// blocks released (0 = 2m).
+	StreamTTL time.Duration
+	// MaxStreamSessions caps concurrently open chunked-upload sessions;
+	// begins past the cap are rejected with 429 (0 = 16).
+	MaxStreamSessions int
 	// Backend routes compute; nil = LibraryBackend. Tests install counting
 	// or delaying backends here.
 	Backend Backend
@@ -84,11 +92,15 @@ type Server struct {
 	cache    *FactorCache
 	coal     *Coalescer
 	pool     *Pool
+	streams  *streamRegistry
 	start    time.Time
 	draining atomic.Bool
 	brk      *breaker
 	metrics  *serverMetrics
 	log      *slog.Logger
+
+	reaperStop chan struct{}
+	closeOnce  sync.Once
 }
 
 // New builds a Server from opts, filling in defaults for zero fields.
@@ -120,6 +132,12 @@ func New(opts Options) *Server {
 	if opts.DegradeCooldown <= 0 {
 		opts.DegradeCooldown = 10 * time.Second
 	}
+	if opts.StreamTTL <= 0 {
+		opts.StreamTTL = 2 * time.Minute
+	}
+	if opts.MaxStreamSessions <= 0 {
+		opts.MaxStreamSessions = 16
+	}
 	opts.Retry = opts.Retry.withDefaults()
 	if opts.Backend == nil {
 		opts.Backend = LibraryBackend{}
@@ -128,11 +146,13 @@ func New(opts Options) *Server {
 		opts.Registry = metrics.NewRegistry()
 	}
 	s := &Server{
-		opts:    opts,
-		backend: opts.Backend,
-		pool:    NewPool(opts.Workers, opts.QueueDepth),
-		start:   time.Now(),
-		log:     opts.Logger,
+		opts:       opts,
+		backend:    opts.Backend,
+		pool:       NewPool(opts.Workers, opts.QueueDepth),
+		streams:    newStreamRegistry(opts.StreamTTL, opts.MaxStreamSessions),
+		start:      time.Now(),
+		log:        opts.Logger,
+		reaperStop: make(chan struct{}),
 	}
 	s.brk = &breaker{cooldown: opts.DegradeCooldown}
 	if opts.DegradeThreshold > 0 {
@@ -145,6 +165,8 @@ func New(opts Options) *Server {
 	})
 	s.metrics = newServerMetrics(opts.Registry, s)
 	s.coal.onFlush = func(size int) { s.metrics.batchSize.Observe(float64(size)) }
+	s.streams.reaped = func(n int) { s.metrics.streamReaped.Add(int64(n)) }
+	go s.streamReaper(s.reaperStop)
 	return s
 }
 
@@ -160,16 +182,23 @@ func (s *Server) CoalescerStats() CoalescerStats { return s.coal.Stats() }
 // renders).
 func (s *Server) Metrics() *metrics.Registry { return s.metrics.reg }
 
-// Close detaches the server's engine-GEMM observer. Call when retiring a
-// Server whose process keeps running (tests, embedders); idempotent.
-func (s *Server) Close() { s.metrics.close() }
+// Close detaches the server's engine-GEMM observer and stops the stream
+// session reaper. Call when retiring a Server whose process keeps running
+// (tests, embedders); idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.reaperStop) })
+	s.metrics.close()
+}
 
 // BeginDrain flips the server to draining: /healthz turns 503, new compute
-// requests are rejected, and every parked coalesced batch is flushed so
-// in-flight requests complete promptly. Idempotent.
+// requests are rejected, every parked coalesced batch is flushed so
+// in-flight requests complete promptly, and every open chunked-upload
+// session is reaped (a begin-without-commit client gets unknown_stream and
+// must restart against the replacement instance). Idempotent.
 func (s *Server) BeginDrain() {
 	s.draining.Store(true)
 	s.coal.PendingFlush()
+	s.streams.reapAll()
 }
 
 // Draining reports whether BeginDrain has been called.
@@ -179,11 +208,16 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // ctx expires. Call after the HTTP server has stopped accepting requests.
 func (s *Server) AwaitIdle(ctx context.Context) error { return s.pool.AwaitIdle(ctx) }
 
-// Handler returns the HTTP API: POST /v1/factorize, /v1/solve, /v1/lowrank;
-// GET /healthz, /statz, /metrics.
+// Handler returns the HTTP API: POST /v1/factorize, /v1/factorize/stream/
+// {begin,append,commit,abort}, /v1/solve, /v1/lowrank; GET /healthz, /statz,
+// /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/factorize", s.handleFactorize)
+	mux.HandleFunc("/v1/factorize/stream/begin", s.handleStreamBegin)
+	mux.HandleFunc("/v1/factorize/stream/append", s.handleStreamAppend)
+	mux.HandleFunc("/v1/factorize/stream/commit", s.handleStreamCommit)
+	mux.HandleFunc("/v1/factorize/stream/abort", s.handleStreamAbort)
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/v1/lowrank", s.handleLowRank)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -382,6 +416,12 @@ func (s *Server) factorEntry(ctx context.Context, rc *reqScope, key string, a *t
 	})
 	if err != nil {
 		return nil, 0, err
+	}
+	// A miss that ran through the parallel TSQR pipeline carries per-stage
+	// timings; fold them into the tcqrd_tsqr_* families exactly once (hits
+	// and shared waiters reuse a factorization someone else already counted).
+	if src == SourceMiss && entry.F != nil && entry.F.TSQR != nil {
+		s.metrics.observeTSQR(entry.F.TSQR)
 	}
 	return entry, src, nil
 }

@@ -4,8 +4,9 @@ package serve
 // internal/faultinject and DESIGN.md §11 for the naming scheme and spec
 // grammar). Each is a single atomic nil-check unless a fault schedule is
 // armed. Sites outside this package: gram.ladder.rung (forces a panel-rung
-// breakdown, driving the escalation ladder) and tcsim.gemm (delays or
-// corrupts an engine GEMM result).
+// breakdown, driving the escalation ladder), tcsim.gemm (delays or corrupts
+// an engine GEMM result), and tsqr.block.factor / tsqr.tree.reduce (fail one
+// leaf factorization or one reduction node of the parallel TSQR pipeline).
 const (
 	// sitePoolEnqueue fires in Pool.Do before a task enters the queue;
 	// error faults surface as 500s from the submitting request.
@@ -26,4 +27,8 @@ const (
 	// siteWireEncode fires before response encoding; error faults surface
 	// as 500s after compute succeeded.
 	siteWireEncode = "serve.wire.encode"
+	// siteStreamAppend fires in the chunked-upload append handler after the
+	// session is resolved but before the row block is accepted; error faults
+	// surface as 500s and leave the session intact for a client retry.
+	siteStreamAppend = "serve.stream.append"
 )

@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"tcqr/internal/wirefmt"
+)
+
+// --- stream test plumbing --------------------------------------------------
+
+// rowChunks splits column-major data for an m×n matrix into column-major row
+// blocks of the given heights (which must sum to m) — the client-side view of
+// a chunked upload.
+func rowChunks(t testing.TB, m, n int, data []float64, heights ...int) []map[string]any {
+	t.Helper()
+	sum := 0
+	for _, h := range heights {
+		sum += h
+	}
+	if sum != m {
+		t.Fatalf("chunk heights sum to %d, matrix has %d rows", sum, m)
+	}
+	out := make([]map[string]any, 0, len(heights))
+	row := 0
+	for _, h := range heights {
+		blk := make([]float64, 0, h*n)
+		for j := 0; j < n; j++ {
+			blk = append(blk, data[j*m+row:j*m+row+h]...)
+		}
+		out = append(out, wireMat(h, n, blk))
+		row += h
+	}
+	return out
+}
+
+type streamBeginReply struct {
+	Session string `json:"session"`
+	TTLMS   int64  `json:"ttl_ms"`
+}
+
+type streamAppendReply struct {
+	Session string `json:"session"`
+	Rows    int    `json:"rows"`
+	Blocks  int    `json:"blocks"`
+}
+
+// streamUpload drives a full begin/append.../commit conversation over JSON
+// and returns the commit's factorize reply.
+func streamUpload(t *testing.T, h http.Handler, cfg map[string]any, n int, chunks []map[string]any) factorizeReply {
+	t.Helper()
+	begin := map[string]any{"cols": n}
+	if cfg != nil {
+		begin["config"] = cfg
+	}
+	var br streamBeginReply
+	if code, _ := post(t, h, "/v1/factorize/stream/begin", begin, &br); code != 200 {
+		t.Fatalf("begin status %d", code)
+	}
+	if br.Session == "" || br.TTLMS <= 0 {
+		t.Fatalf("begin reply %+v, want a session id and positive ttl", br)
+	}
+	for i, blk := range chunks {
+		var ar streamAppendReply
+		code, _ := post(t, h, "/v1/factorize/stream/append",
+			map[string]any{"session": br.Session, "block": blk}, &ar)
+		if code != 200 {
+			t.Fatalf("append %d status %d", i, code)
+		}
+		if ar.Blocks != i+1 {
+			t.Fatalf("append %d acknowledged %d blocks", i, ar.Blocks)
+		}
+	}
+	var fr factorizeReply
+	if code, _ := post(t, h, "/v1/factorize/stream/commit", map[string]any{"session": br.Session}, &fr); code != 200 {
+		t.Fatalf("commit status %d", code)
+	}
+	return fr
+}
+
+// --- golden equivalence ----------------------------------------------------
+
+// TestStreamCommitMatchesOneShot is the chunked-upload golden test: a matrix
+// streamed in three row blocks commits to the exact content-hash key a
+// one-shot upload of the same matrix gets, the one-shot then hits the cache,
+// and solve-by-key works against the streamed factorization.
+func TestStreamCommitMatchesOneShot(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	h := s.Handler()
+	const m, n = 30, 4
+	data := testMatrix(61, m, n, 1)
+
+	fr := streamUpload(t, h, nil, n, rowChunks(t, m, n, data, 13, 9, 8))
+	if fr.Key == "" || fr.Rows != m || fr.Cols != n || fr.Cached {
+		t.Fatalf("stream commit reply %+v, want cold %dx%d factorization", fr, m, n)
+	}
+
+	var one factorizeReply
+	if code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, &one); code != 200 {
+		t.Fatalf("one-shot factorize status %d", code)
+	}
+	if one.Key != fr.Key {
+		t.Fatalf("one-shot key %q != streamed key %q; the chunked upload is not content-equivalent", one.Key, fr.Key)
+	}
+	if !one.Cached {
+		t.Fatal("one-shot upload of the streamed matrix missed the cache")
+	}
+
+	x := make([]float64, n)
+	for j := range x {
+		x[j] = float64(j + 1)
+	}
+	var sr solveReply
+	code, _ := post(t, h, "/v1/solve", map[string]any{"key": fr.Key, "b": matVecData(m, n, data, x)}, &sr)
+	if code != 200 {
+		t.Fatalf("solve by streamed key: status %d", code)
+	}
+	if d := maxDiff(sr.X, x); d > 1e-6 {
+		t.Errorf("solve by streamed key: max error %g", d)
+	}
+	if s.metrics.streamBegun.Value() != 1 || s.metrics.streamCommitted.Value() != 1 ||
+		s.metrics.streamAppends.Value() != 3 {
+		t.Errorf("stream counters begun=%d committed=%d appends=%d, want 1/1/3",
+			s.metrics.streamBegun.Value(), s.metrics.streamCommitted.Value(), s.metrics.streamAppends.Value())
+	}
+	if got := s.streams.len(); got != 0 {
+		t.Errorf("%d sessions still open after commit", got)
+	}
+}
+
+// TestStreamConfigRidesTheKey pins that the config fixed at begin reaches the
+// cache key: the same bytes streamed under a different config factor twice.
+func TestStreamConfigRidesTheKey(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	h := s.Handler()
+	const m, n = 24, 3
+	data := testMatrix(62, m, n, 1)
+	chunks := rowChunks(t, m, n, data, 12, 12)
+
+	def := streamUpload(t, h, nil, n, chunks)
+	reo := streamUpload(t, h, map[string]any{"reorthogonalize": true}, n, chunks)
+	if def.Key == reo.Key {
+		t.Fatalf("distinct configs share key %q", def.Key)
+	}
+	if !reo.Reorthogonalized {
+		t.Error("reorthogonalize config did not reach the factorization")
+	}
+}
+
+// TestStreamBinaryAppend sends the row blocks as binary frames over the
+// internal/wirefmt protocol and checks content-equivalence with a JSON
+// one-shot upload — the two encodings and two upload shapes are one service.
+func TestStreamBinaryAppend(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	h := s.Handler()
+	const m, n = 20, 4
+	data := testMatrix(63, m, n, 1)
+
+	var br streamBeginReply
+	if code, _ := post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": n}, &br); code != 200 {
+		t.Fatalf("begin status %d", code)
+	}
+	row := 0
+	for _, hRows := range []int{8, 7, 5} {
+		blk := make([]float64, 0, hRows*n)
+		for j := 0; j < n; j++ {
+			blk = append(blk, data[j*m+row:j*m+row+hRows]...)
+		}
+		row += hRows
+		body := frameBody(t, map[string]any{"session": br.Session},
+			wirefmt.MatrixSection(hRows, n, blk))
+		rec := postFrame(t, h, "/v1/factorize/stream/append", body, "application/json")
+		if rec.Code != 200 {
+			t.Fatalf("binary append status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	var fr factorizeReply
+	if code, _ := post(t, h, "/v1/factorize/stream/commit", map[string]any{"session": br.Session}, &fr); code != 200 {
+		t.Fatalf("commit status %d", code)
+	}
+	var one factorizeReply
+	if code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, &one); code != 200 {
+		t.Fatalf("one-shot status %d", code)
+	}
+	if one.Key != fr.Key || !one.Cached {
+		t.Fatalf("binary-streamed key %q (one-shot %q, cached %v); want identical key and a cache hit",
+			fr.Key, one.Key, one.Cached)
+	}
+}
+
+// TestStreamValidation covers the refusal matrix of the stream endpoints.
+func TestStreamValidation(t *testing.T) {
+	s := New(Options{Workers: 1, MaxElements: 64})
+	defer s.Close()
+	h := s.Handler()
+
+	checkErr := func(code int, hdr http.Header, wantStatus int, got *envelope, wantCode string) {
+		t.Helper()
+		_ = hdr
+		if code != wantStatus || got.Error.Code != wantCode {
+			t.Errorf("status %d code %q, want %d %q (%s)", code, got.Error.Code, wantStatus, wantCode, got.Error.Message)
+		}
+	}
+
+	var env envelope
+	code, hdr := post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": 0}, &env)
+	checkErr(code, hdr, 400, &env, "bad_input")
+
+	code, hdr = post(t, h, "/v1/factorize/stream/append",
+		map[string]any{"session": "nope", "block": wireMat(2, 2, []float64{1, 2, 3, 4})}, &env)
+	checkErr(code, hdr, 404, &env, "unknown_stream")
+
+	code, hdr = post(t, h, "/v1/factorize/stream/commit", map[string]any{"session": "nope"}, &env)
+	checkErr(code, hdr, 404, &env, "unknown_stream")
+
+	code, hdr = post(t, h, "/v1/factorize/stream/append", map[string]any{"block": wireMat(1, 1, []float64{1})}, &env)
+	checkErr(code, hdr, 400, &env, "bad_input")
+
+	var br streamBeginReply
+	if code, _ := post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": 2}, &br); code != 200 {
+		t.Fatalf("begin status %d", code)
+	}
+
+	// Wrong block width.
+	code, hdr = post(t, h, "/v1/factorize/stream/append",
+		map[string]any{"session": br.Session, "block": wireMat(2, 3, make([]float64, 6))}, &env)
+	checkErr(code, hdr, 400, &env, "bad_input")
+
+	// Element cap: 64 elements / 2 cols = 32 rows max.
+	code, hdr = post(t, h, "/v1/factorize/stream/append",
+		map[string]any{"session": br.Session, "block": wireMat(40, 2, make([]float64, 80))}, &env)
+	checkErr(code, hdr, 413, &env, "too_large")
+
+	// Committing an empty session is a client error, and consumes the session.
+	code, hdr = post(t, h, "/v1/factorize/stream/commit", map[string]any{"session": br.Session}, &env)
+	checkErr(code, hdr, 400, &env, "bad_input")
+	code, hdr = post(t, h, "/v1/factorize/stream/append",
+		map[string]any{"session": br.Session, "block": wireMat(1, 2, []float64{1, 2})}, &env)
+	checkErr(code, hdr, 404, &env, "unknown_stream")
+
+	// Abort removes the session; a second abort does not resolve it.
+	if code, _ = post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": 2}, &br); code != 200 {
+		t.Fatalf("begin status %d", code)
+	}
+	if code, _ = post(t, h, "/v1/factorize/stream/abort", map[string]any{"session": br.Session}, nil); code != 200 {
+		t.Fatalf("abort status %d", code)
+	}
+	code, hdr = post(t, h, "/v1/factorize/stream/abort", map[string]any{"session": br.Session}, &env)
+	checkErr(code, hdr, 404, &env, "unknown_stream")
+	if s.metrics.streamAborted.Value() != 1 {
+		t.Errorf("aborted counter = %d, want 1", s.metrics.streamAborted.Value())
+	}
+}
+
+// TestStreamSessionCap pins the open-session bound: begins past
+// MaxStreamSessions get 429 until a session is released.
+func TestStreamSessionCap(t *testing.T) {
+	s := New(Options{Workers: 1, MaxStreamSessions: 2})
+	defer s.Close()
+	h := s.Handler()
+
+	var first streamBeginReply
+	for i := 0; i < 2; i++ {
+		var br streamBeginReply
+		if code, _ := post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": 1}, &br); code != 200 {
+			t.Fatalf("begin %d status %d", i, code)
+		}
+		if i == 0 {
+			first = br
+		}
+	}
+	var env envelope
+	code, hdr := post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": 1}, &env)
+	if code != 429 || env.Error.Code != "overloaded" {
+		t.Fatalf("begin past cap: status %d code %q, want 429 overloaded", code, env.Error.Code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if code, _ := post(t, h, "/v1/factorize/stream/abort", map[string]any{"session": first.Session}, nil); code != 200 {
+		t.Fatalf("abort status %d", code)
+	}
+	if code, _ := post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": 1}, nil); code != 200 {
+		t.Fatalf("begin after abort: status %d, want 200", code)
+	}
+}
+
+// TestStreamTSQRRouting closes the loop on the tentpole: a tall-skinny matrix
+// streamed through chunked upload routes through the parallel TSQR pipeline
+// on commit, and the tcqrd_tsqr_* families record its block/stage shape.
+func TestStreamTSQRRouting(t *testing.T) {
+	s := New(Options{
+		Workers: 2,
+		Backend: LibraryBackend{TSQRMinRows: 32, TSQRBlockRows: 16},
+	})
+	defer s.Close()
+	h := s.Handler()
+	const m, n = 96, 8
+	data := testMatrix(64, m, n, 1)
+
+	fr := streamUpload(t, h, nil, n, rowChunks(t, m, n, data, 32, 32, 32))
+	if fr.Rows != m || fr.Cached {
+		t.Fatalf("commit reply %+v, want cold %dx%d factorization", fr, m, n)
+	}
+	if got := s.metrics.tsqrFactorize.Value(); got != 1 {
+		t.Fatalf("tcqrd_tsqr_factorize_total = %d, want 1 (routing predicate missed a %dx%d matrix)", got, m, n)
+	}
+	// 96 rows / 16 block rows = 6 leaves.
+	if c := s.metrics.tsqrBlocks.Count(); c != 1 {
+		t.Fatalf("tsqr blocks histogram count = %d", c)
+	}
+	if max := s.metrics.tsqrBlocks.Max(); max != 6 {
+		t.Errorf("tsqr blocks = %g, want 6", max)
+	}
+	for _, stage := range []string{"block_factor", "tree_reduce", "q_recover"} {
+		if s.metrics.tsqrStageSeconds.With(stage).Count() != 1 {
+			t.Errorf("tcqrd_tsqr_stage_seconds{stage=%q} has no observation", stage)
+		}
+	}
+
+	// The cache hit on re-upload does not double-count the pipeline.
+	var one factorizeReply
+	if code, _ := post(t, h, "/v1/factorize", map[string]any{"matrix": wireMat(m, n, data)}, &one); code != 200 {
+		t.Fatalf("one-shot status %d", code)
+	}
+	if !one.Cached || one.Key != fr.Key {
+		t.Fatalf("one-shot after streamed TSQR commit: cached=%v key match=%v", one.Cached, one.Key == fr.Key)
+	}
+	if got := s.metrics.tsqrFactorize.Value(); got != 1 {
+		t.Errorf("cache hit bumped tcqrd_tsqr_factorize_total to %d", got)
+	}
+
+	// TSQR factorizations back solves like any other.
+	x := make([]float64, n)
+	for j := range x {
+		x[j] = 1 + float64(j)/2
+	}
+	var sr solveReply
+	if code, _ := post(t, h, "/v1/solve", map[string]any{"key": fr.Key, "b": matVecData(m, n, data, x)}, &sr); code != 200 {
+		t.Fatalf("solve by TSQR key: status %d", code)
+	}
+	if d := maxDiff(sr.X, x); d > 1e-5 {
+		t.Errorf("solve against TSQR factorization: max error %g", d)
+	}
+}
+
+// TestTSQRRoutingPredicate pins the backend routing boundary directly.
+func TestTSQRRoutingPredicate(t *testing.T) {
+	cases := []struct {
+		b          LibraryBackend
+		rows, cols int
+		want       bool
+	}{
+		{LibraryBackend{}, DefaultTSQRMinRows, 8, true},
+		{LibraryBackend{}, DefaultTSQRMinRows - 1, 8, false},
+		{LibraryBackend{}, DefaultTSQRMinRows, DefaultTSQRMinRows / 4, true},
+		{LibraryBackend{}, DefaultTSQRMinRows, DefaultTSQRMinRows/4 + 1, false}, // not tall-skinny enough
+		{LibraryBackend{TSQRMinRows: 32}, 32, 8, true},
+		{LibraryBackend{TSQRMinRows: 32}, 31, 7, false},
+		{LibraryBackend{TSQRMinRows: -1}, 1 << 20, 4, false}, // disabled
+	}
+	for _, tc := range cases {
+		if got := tc.b.routeTSQR(tc.rows, tc.cols); got != tc.want {
+			t.Errorf("routeTSQR(%d, %d) with min %d = %v, want %v",
+				tc.rows, tc.cols, tc.b.TSQRMinRows, got, tc.want)
+		}
+	}
+}
+
+// TestStreamReaperLifecycle checks the background sweep end to end with a
+// tiny TTL: an abandoned begin-without-commit session disappears on its own,
+// its counters account for it, and no session survives Close.
+func TestStreamReaperLifecycle(t *testing.T) {
+	s := New(Options{Workers: 1, StreamTTL: 30 * time.Millisecond})
+	defer s.Close()
+	h := s.Handler()
+
+	var br streamBeginReply
+	if code, _ := post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": 2}, &br); code != 200 {
+		t.Fatalf("begin status %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.streams.len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session not reaped %s after a %s TTL", time.Since(deadline.Add(-5*time.Second)), s.opts.StreamTTL)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.metrics.streamReaped.Value(); got != 1 {
+		t.Errorf("reaped counter = %d, want 1", got)
+	}
+	var env envelope
+	code, _ := post(t, h, "/v1/factorize/stream/commit", map[string]any{"session": br.Session}, &env)
+	if code != 404 || env.Error.Code != "unknown_stream" {
+		t.Errorf("commit after reap: status %d code %q, want 404 unknown_stream", code, env.Error.Code)
+	}
+}
+
+// FuzzStreamFrameDecode throws raw bytes at the binary append decoder: it
+// must never panic, every accepted frame must carry a structurally valid row
+// block (the shape invariants the session registry relies on), and every
+// rejection must be a client-class apiError — a hostile chunk can never take
+// the 500 path, trip the degradation breaker, or corrupt a session.
+func FuzzStreamFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a frame"))
+	valid, _ := wirefmt.AppendFrame(nil,
+		wirefmt.JSONSection([]byte(`{"session":"abc"}`)),
+		wirefmt.MatrixSection(2, 3, []float64{1, 2, 3, 4, 5, 6}))
+	f.Add(valid)
+	noBlock, _ := wirefmt.AppendFrame(nil, wirefmt.JSONSection([]byte(`{"session":"abc"}`)))
+	f.Add(noBlock)
+	inMeta, _ := wirefmt.AppendFrame(nil,
+		wirefmt.JSONSection([]byte(`{"session":"abc","block":{"rows":1,"cols":1,"data":[1]}}`)),
+		wirefmt.MatrixSection(1, 1, []float64{1}))
+	f.Add(inMeta)
+	vecNotMat, _ := wirefmt.AppendFrame(nil,
+		wirefmt.JSONSection([]byte(`{"session":"abc"}`)),
+		wirefmt.VectorSection([]float64{1, 2}))
+	f.Add(vecNotMat)
+	if len(valid) > 8 {
+		f.Add(valid[:len(valid)-3]) // truncated bulk section
+		f.Add(valid[:9])            // truncated header
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, aerr := decodeStreamAppendFrame(body, nil)
+		if aerr != nil {
+			if aerr.status < 400 || aerr.status >= 500 {
+				t.Fatalf("decode rejection carries server-class status %d (%s)", aerr.status, aerr.msg)
+			}
+			return
+		}
+		if req.Block == nil {
+			t.Fatal("accepted frame without a row block")
+		}
+		// matrix() is the gate the append handler applies before the registry
+		// sees the block: an accepted frame either passes it or is rejected
+		// with a client error, never a panic.
+		if blk, err := req.Block.matrix(); err == nil {
+			if blk.Rows <= 0 || blk.Cols <= 0 || len(req.Block.Data) != blk.Rows*blk.Cols {
+				t.Fatalf("validated block has inconsistent shape %dx%d with %d elements",
+					blk.Rows, blk.Cols, len(req.Block.Data))
+			}
+		}
+	})
+}

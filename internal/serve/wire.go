@@ -239,6 +239,56 @@ type solveResponse struct {
 	Hazards    []WireHazard `json:"hazards,omitempty"`
 }
 
+// streamBeginRequest opens a chunked-upload session (POST
+// /v1/factorize/stream/begin): the column count and factorization config are
+// fixed up front so every appended row block can be validated against them
+// and the commit needs no further negotiation.
+type streamBeginRequest struct {
+	Cols   int        `json:"cols"`
+	Config WireConfig `json:"config"`
+}
+
+// streamBeginResponse returns the minted session id and its idle TTL: the
+// session is reaped if no append or commit arrives within ttl_ms.
+type streamBeginResponse struct {
+	Session string `json:"session"`
+	TTLMS   int64  `json:"ttl_ms"`
+}
+
+// streamAppendRequest adds one row block (POST /v1/factorize/stream/append).
+// Over JSON the block rides in the body; over the binary protocol it is a
+// matrix section and the metadata carries only the session id.
+type streamAppendRequest struct {
+	Session string      `json:"session"`
+	Block   *WireMatrix `json:"block,omitempty"`
+}
+
+// streamAppendResponse acknowledges one accepted block with the session's
+// accumulated shape.
+type streamAppendResponse struct {
+	Session string `json:"session"`
+	Rows    int    `json:"rows"`
+	Blocks  int    `json:"blocks"`
+}
+
+// streamCommitRequest finalizes a session (POST /v1/factorize/stream/commit):
+// the assembled matrix is factored through the standard pipeline and the
+// response is the same factorizeResponse a one-shot upload would get.
+type streamCommitRequest struct {
+	Session    string `json:"session"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// streamAbortRequest discards a session (POST /v1/factorize/stream/abort).
+type streamAbortRequest struct {
+	Session string `json:"session"`
+}
+
+type streamAbortResponse struct {
+	Session string `json:"session"`
+	Aborted bool   `json:"aborted"`
+}
+
 // lowRankRequest is the body of POST /v1/lowrank.
 type lowRankRequest struct {
 	Matrix     *WireMatrix `json:"matrix"`
@@ -264,8 +314,8 @@ type errorBody struct {
 
 type errorDetail struct {
 	// Code is a stable machine-readable class: bad_input, unknown_key,
-	// numerical_hazard, overloaded, draining, deadline, method_not_allowed,
-	// not_found, internal.
+	// unknown_stream, numerical_hazard, overloaded, draining, deadline,
+	// too_large, method_not_allowed, not_found, internal.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	// Hazards carries the typed events recorded before the request failed

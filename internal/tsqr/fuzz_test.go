@@ -1,0 +1,66 @@
+package tsqr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/accuracy"
+	"tcqr/internal/dense"
+	"tcqr/internal/hazard"
+	"tcqr/internal/matgen"
+	"tcqr/internal/rgs"
+)
+
+// FuzzTSQRBlockVsSerial drives random tall shapes and block sizes through
+// the TSQR pipeline against the serial RGSQRF reference: whatever the
+// partition, either both paths fail with a typed hazard or the TSQR
+// factors reconstruct A, are orthogonal, and the sign-canonicalized R
+// agrees with the serial R to factorization accuracy.
+func FuzzTSQRBlockVsSerial(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(8), uint16(32))
+	f.Add(int64(2), uint16(500), uint8(31), uint16(64))
+	f.Add(int64(3), uint16(64), uint8(64), uint16(1))
+	f.Add(int64(4), uint16(300), uint8(1), uint16(4096))
+	f.Fuzz(func(t *testing.T, seed int64, mRaw uint16, nRaw uint8, rbRaw uint16) {
+		n := int(nRaw)%32 + 1
+		m := n + int(mRaw)%512
+		rb := int(rbRaw)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := dense.ToF32(matgen.Normal(rng, m, n))
+
+		res, err := Factor(a, Options{BlockRows: rb, Workers: 2})
+		serial, serr := rgs.Factor(a, rgs.Options{DisableScaling: true})
+		if err != nil || serr != nil {
+			// Random normal matrices are full rank almost surely, but a
+			// degenerate draw may break a Gram-Schmidt panel on one path's
+			// partition and not the other's. Any failure must be typed.
+			if err != nil && !errors.Is(err, hazard.ErrBreakdown) {
+				t.Fatalf("untyped TSQR failure: %v", err)
+			}
+			if serr != nil && !errors.Is(serr, hazard.ErrBreakdown) {
+				t.Fatalf("untyped serial failure: %v", serr)
+			}
+			t.Skip("typed breakdown")
+		}
+		if res.Blocks < 1 || res.Blocks > m {
+			t.Fatalf("implausible block count %d for %d rows", res.Blocks, m)
+		}
+		if be := accuracy.BackwardError(a, res.Q, res.R); be > tol {
+			t.Errorf("m=%d n=%d rb=%d: backward error %g > %g", m, n, rb, be, tol)
+		}
+		if oe := accuracy.OrthoError(res.Q); oe > tol {
+			t.Errorf("m=%d n=%d rb=%d: orthogonality error %g > %g", m, n, rb, oe, tol)
+		}
+		if !accuracy.UpperTriangular(res.R) {
+			t.Errorf("m=%d n=%d rb=%d: R not upper triangular", m, n, rb)
+		}
+		normA := frob(a)
+		if normA == 0 {
+			return
+		}
+		if d := frobDiff(res.R, serial.R) / normA; d > tol {
+			t.Errorf("m=%d n=%d rb=%d: ‖R_tsqr − R_serial‖/‖A‖ = %g > %g", m, n, rb, d, tol)
+		}
+	})
+}

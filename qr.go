@@ -30,6 +30,10 @@ type Factorization struct {
 	// factorization and, under HazardFallback, every recovery taken (panel
 	// escalations, engine retries). Empty for a clean run.
 	Hazards []Hazard
+	// TSQR reports the block/tree shape and per-stage timings when the
+	// factorization ran through the parallel Direct TSQR pipeline
+	// (FactorizeTall); nil for serial factorizations.
+	TSQR *TSQRInfo
 
 	// view memoizes the internal solver view (see inner): the view itself
 	// caches derived data — notably R widened to float64 — that must persist

@@ -21,10 +21,17 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
-# Each fuzz package holds exactly one target, so -fuzz=. is unambiguous.
-for pkg in ./internal/f16 ./internal/bf16 ./internal/blas ./internal/wirefmt ./internal/serve; do
+# internal/serve holds two fuzz targets, so each run names its target; the
+# single-target packages keep the unambiguous -fuzz=. form.
+for pkg in ./internal/f16 ./internal/bf16 ./internal/blas ./internal/wirefmt; do
 	echo "== fuzz smoke $pkg =="
 	go test -run '^$' -fuzz . -fuzztime 10s "$pkg"
+done
+echo "== fuzz smoke ./internal/tsqr =="
+go test -run '^$' -fuzz '^FuzzTSQRBlockVsSerial$' -fuzztime 10s ./internal/tsqr
+for target in FuzzRetryPolicy FuzzStreamFrameDecode; do
+	echo "== fuzz smoke ./internal/serve ($target) =="
+	go test -run '^$' -fuzz "^$target\$" -fuzztime 10s ./internal/serve
 done
 
 echo "== serve smoke =="

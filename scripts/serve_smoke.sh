@@ -109,6 +109,38 @@ else
 	grep "^tcqrd_wire_responses_total" "$workdir/metrics.txt" >&2 || echo "(family absent)" >&2
 	exit 1
 fi
+# The smoke client streamed a 2048x16 matrix in three binary chunks and
+# committed it, which routes through the parallel TSQR pipeline (2048 rows
+# clears the default -tsqr-min-rows threshold). Both the chunked-upload
+# session counters and the TSQR stage instrumentation must show that traffic.
+for family in tcqrd_stream_begun_total tcqrd_stream_committed_total \
+	tcqrd_stream_appends_total tcqrd_tsqr_factorize_total; do
+	if metric_above "$family"; then
+		echo "ok   $family > 0"
+	else
+		echo "FAIL $family has no non-zero sample:" >&2
+		grep "^$family" "$workdir/metrics.txt" >&2 || echo "(family absent)" >&2
+		exit 1
+	fi
+done
+for stage in block_factor tree_reduce q_recover; do
+	if metric_label_above tcqrd_tsqr_stage_seconds_count "stage=\"$stage\""; then
+		echo "ok   tcqrd_tsqr_stage_seconds_count{stage=\"$stage\"} > 0"
+	else
+		echo "FAIL tcqrd_tsqr_stage_seconds has no non-zero stage=\"$stage\" sample:" >&2
+		grep "^tcqrd_tsqr_stage_seconds_count" "$workdir/metrics.txt" >&2 || echo "(family absent)" >&2
+		exit 1
+	fi
+done
+# All smoke sessions were committed or proven consumed; none may linger.
+if awk '$1 == "tcqrd_stream_sessions" && $2 + 0 == 0 { zero = 1 } END { exit !zero }' \
+	"$workdir/metrics.txt"; then
+	echo "ok   tcqrd_stream_sessions == 0"
+else
+	echo "FAIL tcqrd_stream_sessions nonzero or absent:" >&2
+	grep "^tcqrd_stream_sessions" "$workdir/metrics.txt" >&2 || echo "(family absent)" >&2
+	exit 1
+fi
 
 echo "== graceful drain =="
 kill -TERM "$daemon_pid"

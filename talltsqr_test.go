@@ -1,0 +1,219 @@
+package tcqr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tcqr/internal/faultinject"
+	"tcqr/internal/matgen"
+)
+
+// tallBattery runs FactorizeTall with a 64-row canonical partition so every
+// 256×64 battery matrix exercises real block parallelism (4 blocks, 2
+// reduction levels).
+var tallBattery = TallOptions{BlockRows: 64, Workers: 4}
+
+// TestTallAdversarialBattery holds the TSQR pipeline to exactly the "no
+// silent garbage" property and bounds of the serial adversarial battery
+// (TestAdversarialBattery): same generators, both hazard policies, typed
+// error or finite factors with backward error <= 5e-3.
+func TestTallAdversarialBattery(t *testing.T) {
+	const m, n = 256, 64
+	rng := rand.New(rand.NewSource(22))
+	cases := []struct {
+		name string
+		a    *Matrix
+	}{
+		{"rank-deficient", matgen.RankDeficient(rng, m, n, n/2)},
+		{"zero-columns", matgen.WithZeroColumns(rng, m, n, 0, n/2, n-1)},
+		{"cond-1e8", matgen.WithCond(rng, m, n, 1e8, matgen.Geometric)},
+		{"denormal-scaled", matgen.DenormalScaled(rng, m, n)},
+		{"single-huge-entry", matgen.SingleHugeEntry(rng, m, n)},
+		{"badly-scaled", matgen.BadlyScaled(rng, m, n, 7)},
+	}
+	for _, tc := range cases {
+		for _, pol := range []HazardPolicy{HazardFail, HazardFallback} {
+			t.Run(tc.name+"/"+pol.String(), func(t *testing.T) {
+				a := ToFloat32(tc.a)
+				f, err := FactorizeTall(a, tallBattery, Config{Cutoff: 32, OnHazard: pol})
+				if err != nil {
+					if !isTypedHazard(err) {
+						t.Fatalf("untyped error: %v", err)
+					}
+					return // a typed refusal satisfies the property
+				}
+				assertFinite(t, f.Q.Data, "Q")
+				assertFinite(t, f.R.Data, "R")
+				if be := f.BackwardError(a); !(be <= 5e-3) {
+					t.Errorf("backward error %g, want <= 5e-3", be)
+				}
+				if f.TSQR == nil || f.TSQR.Blocks != 4 {
+					t.Errorf("TSQR info = %+v, want 4 blocks", f.TSQR)
+				}
+			})
+		}
+	}
+}
+
+// TestTallHazardParity pins that hazard-ladder recoveries surface
+// identically through the TSQR path on the engine-independent breakdown
+// scenario (exact zero columns break every Gram-Schmidt panel in every
+// partition): same typed error under HazardFail, same recovery shape under
+// HazardFallback. Engine-overflow hazards are deliberately out of scope —
+// the TSQR pipeline is all-FP32, so fp16 saturation cannot occur on it by
+// construction (see DESIGN.md §13).
+func TestTallHazardParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := ToFloat32(matgen.WithZeroColumns(rng, 256, 64, 10))
+
+	_, serialErr := Factorize(a, Config{Cutoff: 32})
+	_, tallErr := FactorizeTall(a, tallBattery, Config{Cutoff: 32})
+	if !errors.Is(serialErr, ErrBreakdown) || !errors.Is(tallErr, ErrBreakdown) {
+		t.Fatalf("HazardFail parity broken: serial=%v tall=%v, want ErrBreakdown from both", serialErr, tallErr)
+	}
+
+	serial, err := Factorize(a, Config{Cutoff: 32, OnHazard: HazardFallback})
+	if err != nil {
+		t.Fatalf("serial ladder did not recover: %v", err)
+	}
+	tall, err := FactorizeTall(a, tallBattery, Config{Cutoff: 32, OnHazard: HazardFallback})
+	if err != nil {
+		t.Fatalf("TSQR ladder did not recover: %v", err)
+	}
+	for _, f := range []*Factorization{serial, tall} {
+		found := false
+		for _, h := range f.Hazards {
+			if h.Kind == HazardBreakdown && h.Action != "" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("recovery not recorded as a breakdown escalation: %+v", f.Hazards)
+		}
+	}
+	assertFinite(t, tall.Q.Data, "Q")
+	assertFinite(t, tall.R.Data, "R")
+	if be := tall.BackwardError(a); be > 5e-3 {
+		t.Errorf("recovered backward error %g, want <= 5e-3", be)
+	}
+}
+
+// TestTallScalingRetryRung covers the one engine-ladder rung that exists on
+// the all-FP32 TSQR path: retry with column scaling re-enabled. Unlike the
+// fp16 serial path, the FP32 pipeline (with overflow-safe Nrm2 norms)
+// cannot saturate on any input whose true R is float32-representable, so
+// the rung is exercised deterministically with an injected one-shot block
+// failure, and the genuinely unrepresentable-R case is pinned to a typed
+// error under both policies — never silent Inf.
+func TestTallScalingRetryRung(t *testing.T) {
+	defer faultinject.Disarm()
+	rng := rand.New(rand.NewSource(29))
+	a := ToFloat32(matgen.Normal(rng, 256, 32))
+	cfg := Config{Cutoff: 32, DisableColumnScaling: true, OnHazard: HazardFallback}
+	if err := faultinject.Arm("seed=1;tsqr.block.factor=error@once=1"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := FactorizeTall(a, tallBattery, cfg)
+	faultinject.Disarm()
+	if err != nil {
+		t.Fatalf("scaling retry did not recover: %v", err)
+	}
+	if f.ColumnScales == nil {
+		t.Error("retry should have re-enabled column scaling")
+	}
+	retried := false
+	for _, h := range f.Hazards {
+		if h.Action == "retry with column scaling" {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Errorf("scaling retry not recorded: %+v", f.Hazards)
+	}
+	if be := f.BackwardError(a); be > 5e-3 {
+		t.Errorf("recovered backward error %g", be)
+	}
+
+	// Unrepresentable R: column norms ~4e38 exceed the float32 max, so no
+	// algorithm (and no retry) can express R. Both policies must refuse
+	// with a typed hazard rather than emit saturated factors.
+	big := matgen.Normal(rng, 256, 32)
+	for j := 0; j < 32; j++ {
+		col := big.Col(j)
+		for i := range col {
+			col[i] *= 2.5e37
+		}
+	}
+	ab := ToFloat32(big)
+	if _, err := FactorizeTall(ab, tallBattery, Config{Cutoff: 32, DisableColumnScaling: true}); !isTypedHazard(err) {
+		t.Errorf("HazardFail unrepresentable R: got %v, want typed hazard", err)
+	}
+	if _, err := FactorizeTall(ab, tallBattery, cfg); !isTypedHazard(err) {
+		t.Errorf("HazardFallback unrepresentable R: got %v, want typed hazard", err)
+	}
+}
+
+// TestTallInputValidation mirrors the serial entry-point contract.
+func TestTallInputValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, pol := range []HazardPolicy{HazardFail, HazardFallback} {
+		cfg := Config{OnHazard: pol}
+		if _, err := FactorizeTall(ToFloat32(matgen.WithNaN(rng, 64, 16, 3, 5)), TallOptions{}, cfg); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("policy %v: NaN input: %v", pol, err)
+		}
+		if _, err := FactorizeTall(ToFloat32(matgen.WithInf(rng, 64, 16, 0, 0)), TallOptions{}, cfg); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("policy %v: Inf input: %v", pol, err)
+		}
+	}
+	if _, err := FactorizeTall(nil, TallOptions{}, Config{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("nil matrix: %v", err)
+	}
+	if _, err := FactorizeTall(NewMatrix32(0, 4), TallOptions{}, Config{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("zero rows: %v", err)
+	}
+	if _, err := FactorizeTall(NewMatrix32(3, 5), TallOptions{}, Config{}); !errors.Is(err, ErrShape) {
+		t.Errorf("wide matrix: %v", err)
+	}
+}
+
+// TestTallFactorizationBacksSolves proves a TSQR factorization is a drop-in
+// Factorization for the serving layer: solve-with-factor (the cache-hit and
+// stream-commit-then-solve path) reaches the same optimality as a serial
+// factor, and the all-FP32 pipeline reports zero EngineStats by design.
+func TestTallFactorizationBacksSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	a64 := matgen.Normal(rng, 512, 48)
+	p := matgen.NewLLSProblem(rng, a64, 0.1)
+
+	f, err := FactorizeTall(ToFloat32(a64), TallOptions{BlockRows: 128}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.EngineStats != (EngineStats{}) {
+		t.Errorf("TSQR path reported engine stats %+v; the pipeline is all-FP32", f.EngineStats)
+	}
+	if f.TSQR == nil || f.TSQR.Blocks != 4 || len(f.TSQR.BlockFactor) != 4 {
+		t.Fatalf("TSQR info = %+v, want 4 timed blocks", f.TSQR)
+	}
+	sol, err := SolveLeastSquaresWithFactor(f, p.A, p.B, SolveOptions{})
+	if err != nil {
+		t.Fatalf("solve with TSQR factor: %v", err)
+	}
+	if !sol.Converged {
+		t.Errorf("refinement did not converge (optimality %g)", sol.Optimality)
+	}
+	assertFinite(t, sol.X, "X")
+
+	// Reorthogonalized TSQR pass: the twice-is-enough contract holds.
+	f2, err := FactorizeTall(ToFloat32(a64), TallOptions{BlockRows: 128}, Config{ReOrthogonalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Reorthogonalized {
+		t.Error("Reorthogonalized flag not set")
+	}
+	if oe := f2.OrthogonalityError(); oe > 5e-5 {
+		t.Errorf("reorthogonalized ‖I−QᵀQ‖ = %g, want working precision", oe)
+	}
+}

@@ -146,6 +146,20 @@ func (c Config) options(rep *hazard.Report) (rgs.Options, statser) {
 		t := &tcsim.TensorCore{TrackSpecials: true}
 		engine, st = t, t
 	}
+	return rgs.Options{
+		Engine:          engine,
+		Panel:           c.panelFor(rep),
+		Cutoff:          c.Cutoff,
+		DisableScaling:  c.DisableColumnScaling,
+		ReOrthogonalize: c.ReOrthogonalize,
+	}, st
+}
+
+// panelFor materializes the panel factorizer for c, wrapped in the gram
+// escalation ladder (reporting to rep) under HazardFallback. Shared by the
+// serial RGSQRF path (options) and the parallel TSQR path (FactorizeTall),
+// so both select panels identically.
+func (c Config) panelFor(rep *hazard.Report) gram.Panel {
 	var panel gram.Panel
 	switch c.Panel {
 	case PanelHouseholder:
@@ -168,13 +182,7 @@ func (c Config) options(rep *hazard.Report) (rgs.Options, statser) {
 	if c.OnHazard == HazardFallback {
 		panel = gram.NewLadder(panel, rep)
 	}
-	return rgs.Options{
-		Engine:          engine,
-		Panel:           panel,
-		Cutoff:          c.Cutoff,
-		DisableScaling:  c.DisableColumnScaling,
-		ReOrthogonalize: c.ReOrthogonalize,
-	}, st
+	return panel
 }
 
 // EngineStats reports the work the simulated neural engine performed during
