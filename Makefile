@@ -2,8 +2,8 @@
 
 GO ?= go
 
-.PHONY: build check check-race check-deep lint fuzz chaos bench bench-json \
-	serve serve-smoke bench-serve-json bench-tsqr clean
+.PHONY: build check check-race check-deep lint fuzz chaos cluster-soak \
+	bench bench-json serve serve-smoke bench-serve-json bench-tsqr clean
 
 build:
 	$(GO) build ./...
@@ -49,10 +49,18 @@ fuzz:
 chaos:
 	$(GO) test -race -run 'TestChaosBattery|TestMetamorphicNoSilentGarbage|TestStreamChaosSoak' -v ./internal/serve
 
-# Deep verification: race gate, fuzz smoke, and the daemon end-to-end smoke
-# (what scripts/check.sh runs). Tier-1 `check` stays fast; this one takes
-# ~a minute.
-check-deep: check-race fuzz serve-smoke
+# Cluster-tier soak under the race detector: a seeded (deterministic)
+# 3-node in-process cluster with every cluster.* failpoint armed, one node
+# killed mid-wave. Asserts zero lost responses, every key resolvable via a
+# survivor, flat warm-solve p99, and the forwarding accounting invariant.
+# See DESIGN.md §14.
+cluster-soak:
+	$(GO) test -race -run 'TestClusterChaosSoak' -v ./internal/serve
+
+# Deep verification: race gate, fuzz smoke, cluster soak, and the daemon
+# end-to-end smoke (what scripts/check.sh runs). Tier-1 `check` stays fast;
+# this one takes ~a minute.
+check-deep: check-race fuzz cluster-soak serve-smoke
 
 # Run the factorization-serving daemon on its default port.
 serve:

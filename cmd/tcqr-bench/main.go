@@ -50,15 +50,19 @@ type Result struct {
 
 // Report is the whole JSON document.
 type Report struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOMAXPROCS  int      `json:"gomaxprocs"`
-	NumCPU      int      `json:"num_cpu"`
-	CPU         string   `json:"cpu,omitempty"`
-	Notes       string   `json:"notes,omitempty"`
-	Bench       string   `json:"bench_regex"`
-	Packages    []string `json:"packages"`
-	Results     []Result `json:"results"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	CPU         string `json:"cpu,omitempty"`
+	Notes       string `json:"notes,omitempty"`
+	// Warning flags a sweep whose numbers are suspect — currently set when
+	// -procs asks for more procs than the machine has cores, which measures
+	// scheduler thrash, not scaling.
+	Warning  string   `json:"warning,omitempty"`
+	Bench    string   `json:"bench_regex"`
+	Packages []string `json:"packages"`
+	Results  []Result `json:"results"`
 }
 
 // defaultPackages covers the kernel layer, the simulated engines, and the
@@ -89,8 +93,12 @@ func main() {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
 		Notes:       *notes,
+		Warning:     procsWarning(procList, runtime.NumCPU()),
 		Bench:       *bench,
 		Packages:    pkgs,
+	}
+	if rep.Warning != "" {
+		fmt.Fprintf(os.Stderr, "tcqr-bench: warning: %s\n", rep.Warning)
 	}
 	for _, pkg := range pkgs {
 		results, cpu, err := runPackage(pkg, *bench, *count, procList, *benchtime)
@@ -135,6 +143,24 @@ func parseProcsList(s string) ([]int, error) {
 		list = append(list, n)
 	}
 	return list, nil
+}
+
+// procsWarning renders the oversubscription caveat recorded in the report
+// header: a -procs entry beyond the physical core count makes the sweep
+// measure contention rather than scaling, and readers of BENCH_*.json have
+// no other way to tell.
+func procsWarning(procs []int, numCPU int) string {
+	max := 0
+	for _, p := range procs {
+		if p > max {
+			max = p
+		}
+	}
+	if max <= numCPU {
+		return ""
+	}
+	return fmt.Sprintf("-procs sweep reaches %d but the machine has only %d CPUs; "+
+		"results above %d procs measure oversubscription, not scaling", max, numCPU, numCPU)
 }
 
 // runPackage shells out to `go test -bench` for one package and parses its

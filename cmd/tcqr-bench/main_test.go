@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	r, ok := parseBenchLine("BenchmarkGemmNN256-4  \t1455\t  806146 ns/op\t41623.26 MB/s\t       0 B/op\t       0 allocs/op", 16)
@@ -106,6 +109,34 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 	} {
 		if _, ok := parseBenchLine(line, 1); ok {
 			t.Errorf("line %q should be rejected", line)
+		}
+	}
+}
+
+func TestProcsWarning(t *testing.T) {
+	cases := []struct {
+		procs []int
+		cpus  int
+		want  bool
+	}{
+		{nil, 8, false},
+		{[]int{1, 4, 8}, 8, false},
+		{[]int{1, 4, 16}, 8, true},
+		{[]int{32}, 4, true},
+		{[]int{4}, 4, false},
+	}
+	for _, c := range cases {
+		got := procsWarning(c.procs, c.cpus)
+		if (got != "") != c.want {
+			t.Errorf("procsWarning(%v, %d) = %q, want warning=%v", c.procs, c.cpus, got, c.want)
+		}
+	}
+	// The warning must name both the requested and available counts so a
+	// reader of BENCH_*.json can judge the sweep without the machine at hand.
+	w := procsWarning([]int{16}, 8)
+	for _, sub := range []string{"16", "8"} {
+		if !strings.Contains(w, sub) {
+			t.Errorf("warning %q does not mention %s", w, sub)
 		}
 	}
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"runtime"
+
+	"tcqr/internal/metrics"
+)
+
+// version identifies the build in the -version flag and the tcqrd_build_info
+// metric. "dev" for plain `go build`; releases stamp it with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/tcqrd
+var version = "dev"
+
+// registerBuildInfo publishes the conventional build-info gauge: a constant 1
+// whose labels carry the interesting values, so dashboards can join any other
+// tcqrd_* series against the version that produced it.
+func registerBuildInfo(reg *metrics.Registry) {
+	reg.GaugeVec("tcqrd_build_info",
+		"Build metadata; constant 1 with version labels.",
+		"version", "go_version").
+		With(version, runtime.Version()).Set(1)
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"tcqr/internal/metrics"
+)
+
+// TestRegisterBuildInfo pins the build-info gauge contract: a constant-1
+// sample carrying the stamped version and the Go toolchain as labels, in the
+// standard <name>_info shape scrapers join against.
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := metrics.NewRegistry()
+	registerBuildInfo(reg)
+
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	text := sb.String()
+	if !strings.Contains(text, "# TYPE tcqrd_build_info gauge") {
+		t.Errorf("exposition lacks the gauge TYPE line:\n%s", text)
+	}
+	want := fmt.Sprintf("tcqrd_build_info{version=%q,go_version=%q} 1", version, runtime.Version())
+	if !strings.Contains(text, want) {
+		t.Errorf("exposition lacks %q:\n%s", want, text)
+	}
+}

@@ -26,7 +26,16 @@
 //	      [-degrade-threshold 5] [-degrade-cooldown 10s]
 //	      [-stream-ttl 2m] [-max-stream-sessions 16]
 //	      [-tsqr-min-rows 2048] [-tsqr-workers N] [-tsqr-block-rows 512]
-//	      [-fault-spec schedule]
+//	      [-node-id a] [-peers a=h:p,b=h:p,...] [-replicas 2]
+//	      [-probe-interval 1s] [-fault-spec schedule]
+//
+// -peers turns the daemon into one member of a tcqrd cluster (DESIGN.md §14):
+// keys are sharded over a consistent-hash ring, keyed requests are forwarded
+// to their owner nodes over the binary wire protocol, fresh factorizations
+// fan out to -replicas owners, and node loss is absorbed by replica reads
+// plus hinted handoff. -node-id names this node's entry in the member list;
+// -probe-interval paces the peer health probes that fold degraded/down peers
+// out of routing. README.md has a 3-node localhost quickstart.
 //
 // -log-level selects the structured (slog) logging threshold: debug, info,
 // warn, error, or off (per-request records log at info, client errors at
@@ -50,6 +59,10 @@
 // the specific schedule scripts/serve_smoke.sh passes: it asserts injected
 // 500s, the flip into degraded mode, Retry-After on degraded 503s,
 // cache-only serving, and the fault/degraded metric families.
+// -smoke-cluster needs no daemon at all: it boots three in-process nodes on
+// ephemeral ports, drives keyed traffic through them, kills one mid-wave,
+// and exits non-zero unless every response survives and the forwarding
+// accounting invariant holds on the survivors.
 package main
 
 import (
@@ -66,7 +79,9 @@ import (
 	"syscall"
 	"time"
 
+	"tcqr/internal/cluster"
 	"tcqr/internal/faultinject"
+	"tcqr/internal/metrics"
 	"tcqr/internal/serve"
 )
 
@@ -92,6 +107,14 @@ func main() {
 		tsqrWorkers    = flag.Int("tsqr-workers", 0, "concurrent TSQR block factorizations (0 = GOMAXPROCS; scheduling only, never changes bits)")
 		tsqrBlockRows  = flag.Int("tsqr-block-rows", 0, "TSQR canonical row-block height (0 = library default; part of the numerical identity)")
 
+		nodeID        = flag.String("node-id", "", "this node's cluster member id (required with -peers)")
+		peers         = flag.String("peers", "", "static cluster membership as id=host:port,... including this node (empty = single-node)")
+		replicas      = flag.Int("replicas", 0, "replica owners per key (0 = default 2; clamped to member count)")
+		probeInterval = flag.Duration("probe-interval", 0, "peer health-probe period; also paces handoff delivery (0 = default 1s)")
+
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
+		smokeCluster = flag.Bool("smoke-cluster", false, "run an in-process 3-node cluster smoke (kill one node mid-traffic, assert zero lost responses) and exit")
+
 		faultSpec     = flag.String("fault-spec", "", "arm the deterministic failpoint registry with this schedule (DESIGN.md §11 grammar; testing only)")
 		retryAttempts = flag.Int("retry-attempts", 0, "max attempts for transient internal failures (0 = default 3, 1 disables retry)")
 		stageTimeout  = flag.Duration("stage-timeout", 0, "per-attempt compute stage timeout (0 disables)")
@@ -100,11 +123,18 @@ func main() {
 	)
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Printf("tcqrd %s %s\n", version, runtime.Version())
+		return
+	}
 	if *smoke != "" {
 		os.Exit(runSmoke(*smoke))
 	}
 	if *smokeFault != "" {
 		os.Exit(runFaultSmoke(*smokeFault))
+	}
+	if *smokeCluster {
+		os.Exit(runClusterSmoke())
 	}
 
 	logger, err := buildLogger(*logLevel)
@@ -122,6 +152,36 @@ func main() {
 		warn(logger, "fault injection armed", "sites", faultinject.Sites())
 	}
 
+	// One shared registry: the serve tier's tcqrd_* families, the cluster
+	// tier's tcqrd_cluster_* families, and the build-info gauge all land on
+	// the same /metrics page.
+	reg := metrics.NewRegistry()
+	registerBuildInfo(reg)
+
+	var node *cluster.Node
+	if *peers != "" {
+		members, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fatal(logger, "bad -peers", "err", err)
+		}
+		if *nodeID == "" {
+			fatal(logger, "-peers requires -node-id")
+		}
+		node, err = cluster.New(cluster.Config{
+			SelfID:        *nodeID,
+			Members:       members,
+			Replicas:      *replicas,
+			ProbeInterval: *probeInterval,
+			Registry:      reg,
+			Logger:        logger,
+		})
+		if err != nil {
+			fatal(logger, "cluster setup failed", "err", err)
+		}
+		info(logger, "cluster enabled", "node_id", *nodeID,
+			"members", len(members), "replicas", node.Replicas())
+	}
+
 	srv := serve.New(serve.Options{
 		Workers:           *workers,
 		QueueDepth:        *queue,
@@ -136,6 +196,8 @@ func main() {
 		DegradeCooldown:   *degradeCool,
 		StreamTTL:         *streamTTL,
 		MaxStreamSessions: *streamSessions,
+		Registry:          reg,
+		Cluster:           node,
 		Backend: serve.LibraryBackend{
 			TSQRMinRows:   *tsqrMinRows,
 			TSQRWorkers:   *tsqrWorkers,
@@ -200,6 +262,14 @@ func main() {
 	if err := srv.AwaitIdle(dctx); err != nil {
 		warn(logger, "drain incomplete", "err", err)
 		os.Exit(1)
+	}
+	if node != nil {
+		// Last chance to re-home queued hints before the process goes away:
+		// deliver what the owners will accept, then stop the loops.
+		if left := node.DrainHandoff(dctx); left > 0 {
+			warn(logger, "handoff drain incomplete", "undelivered", left)
+		}
+		node.Close()
 	}
 	info(logger, "drained cleanly")
 }

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testMembers(n int) []Member {
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{ID: fmt.Sprintf("n%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+	}
+	return out
+}
+
+func TestParsePeers(t *testing.T) {
+	got, err := ParsePeers(" a=127.0.0.1:1 , b=127.0.0.1:2 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{{ID: "a", Addr: "127.0.0.1:1"}, {ID: "b", Addr: "127.0.0.1:2"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParsePeers = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "  ", "a", "=addr", "a=", "a=1,a=2", ","} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRingOwnersDeterministic(t *testing.T) {
+	members := testMembers(5)
+	r1 := newRing(members, 64)
+	// Same ids in a different declaration order must give identical owners —
+	// every node computes the same routing from its own copy of the flag.
+	shuffled := []Member{members[3], members[0], members[4], members[2], members[1]}
+	r2 := newRing(shuffled, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("m%016x-e000-p0-c0-r00-h0", i*7919)
+		o1, o2 := r1.owners(key, 2), r2.owners(key, 2)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("key %q: owners differ across declaration order: %v vs %v", key, o1, o2)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndClamped(t *testing.T) {
+	r := newRing(testMembers(3), 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("key %q: %d owners, want 2", key, len(owners))
+		}
+		if owners[0].ID == owners[1].ID {
+			t.Fatalf("key %q: duplicate owner %q", key, owners[0].ID)
+		}
+	}
+	// Replica count past the membership clamps.
+	if got := r.owners("k", 99); len(got) != 3 {
+		t.Fatalf("clamped owners = %d, want 3", len(got))
+	}
+	if got := r.owners("k", 0); got != nil {
+		t.Fatalf("owners(k, 0) = %v, want nil", got)
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	members := testMembers(4)
+	r := newRing(members, 64)
+	counts := make(map[string]int)
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.owners(fmt.Sprintf("m%016x", i*2654435761), 1)[0].ID]++
+	}
+	// With 64 vnodes per member the primary-owner share should be within a
+	// loose factor of fair (the bound is generous on purpose — this guards
+	// against a broken hash, not imperfect balance).
+	fair := keys / len(members)
+	for id, c := range counts {
+		if c < fair/3 || c > fair*3 {
+			t.Errorf("member %s owns %d of %d keys (fair %d): distribution broken", id, c, keys, fair)
+		}
+	}
+	if len(counts) != len(members) {
+		t.Errorf("only %d of %d members own keys: %v", len(counts), len(members), counts)
+	}
+}
+
+func TestRingStability(t *testing.T) {
+	// Removing one member must not re-home keys whose owner survives: the
+	// point of consistent hashing. Compare primary owners between a 4-ring
+	// and the 3-ring with n3 removed.
+	m4 := testMembers(4)
+	r4 := newRing(m4, 64)
+	r3 := newRing(m4[:3], 64)
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("stable-%d", i)
+		o4 := r4.owners(key, 1)[0]
+		o3 := r3.owners(key, 1)[0]
+		if o4.ID == "n3" {
+			continue // its keys must move somewhere
+		}
+		if o3.ID != o4.ID {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys with surviving owners re-homed after removing one member", moved)
+	}
+}

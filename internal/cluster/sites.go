@@ -1,0 +1,19 @@
+package cluster
+
+// Failpoint site names for the cluster tier (internal/faultinject; naming
+// scheme in DESIGN.md §11). Exported because internal/serve fires SiteRoute
+// when making routing decisions; the rest fire inside this package.
+const (
+	// SiteRoute fires before a peer forward is attempted; error faults fail
+	// that attempt, driving try-next-candidate and local fallback.
+	SiteRoute = "cluster.route"
+	// SiteReplicate fires before a replica fan-out delivery; error faults
+	// divert the frame to the handoff queue.
+	SiteReplicate = "cluster.replicate"
+	// SiteProbe fires before each peer health probe; error faults read as a
+	// failed probe and mark the peer down until a later probe revives it.
+	SiteProbe = "cluster.probe"
+	// SiteHandoff fires before each hint delivery; error faults re-queue the
+	// hint against its retry budget.
+	SiteHandoff = "cluster.handoff"
+)

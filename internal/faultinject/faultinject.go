@@ -16,7 +16,10 @@
 //
 //	serve.pool.enqueue     serve.pool.dequeue    serve.cache.factorize
 //	serve.coalesce.flush   serve.wire.decode     serve.wire.encode
-//	gram.ladder.rung       tcsim.gemm
+//	serve.stream.append    gram.ladder.rung      tcsim.gemm
+//	tsqr.block.factor      tsqr.tree.reduce
+//	cluster.route          cluster.replicate     cluster.probe
+//	cluster.handoff
 //
 // The package deliberately depends on nothing in the repository (std only),
 // so any layer — hazard ladder, engine simulator, serving pool — can thread

@@ -45,7 +45,11 @@ func (r *Registry) WriteText(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %d\n", f.name, f.cfn())
 		case kindGauge:
 			fmt.Fprintf(bw, "# TYPE %s gauge\n", f.name)
-			fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.gfn()))
+			if f.gfn != nil {
+				fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.gfn()))
+			} else {
+				writeGaugeVec(bw, f.name, f.gvec)
+			}
 		case kindHistogram:
 			fmt.Fprintf(bw, "# TYPE %s histogram\n", f.name)
 			if f.hist != nil {
@@ -80,6 +84,21 @@ func writeCounterVec(w io.Writer, name string, v *CounterVec) {
 		return out
 	}()) {
 		fmt.Fprintf(w, "%s{%s} %d\n", name, s.labelString, s.value)
+	}
+}
+
+func writeGaugeVec(w io.Writer, name string, v *GaugeVec) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.series))
+	vals := make(map[string]float64, len(v.series))
+	for k, g := range v.series {
+		keys = append(keys, k)
+		vals[k] = g.Value()
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, labelString(v.labels, strings.Split(k, "\x1f")), formatFloat(vals[k]))
 	}
 }
 

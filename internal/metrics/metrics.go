@@ -72,7 +72,8 @@ type family struct {
 	counter *Counter       // kindCounter, unlabeled
 	cvec    *CounterVec    // kindCounter, labeled
 	cfn     func() int64   // kindCounterFunc
-	gfn     func() float64 // kindGauge
+	gfn     func() float64 // kindGauge, sampled
+	gvec    *GaugeVec      // kindGauge, labeled settable
 	hist    *Histogram     // kindHistogram, unlabeled
 	hvec    *HistogramVec  // kindHistogram, labeled
 }
@@ -130,6 +131,15 @@ func (r *Registry) CounterFunc(name, help string, fn func() int64) {
 // cache bytes, uptime).
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.add(&family{name: name, help: help, kind: kindGauge, gfn: fn})
+}
+
+// GaugeVec registers and returns a labeled settable gauge family (peer health
+// state, build info). Series cardinality is capped at DefaultMaxSeries;
+// further label combinations share the OverflowLabel series.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := newGaugeVec(name, labels)
+	r.add(&family{name: name, help: help, kind: kindGauge, gvec: v})
+	return v
 }
 
 // Histogram registers and returns an unlabeled fixed-bucket histogram.
@@ -249,6 +259,94 @@ func (v *CounterVec) Snapshot() map[string]int64 {
 // Len reports the number of distinct series (the cardinality tests assert
 // this stays bounded under hostile input).
 func (v *CounterVec) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.series)
+}
+
+// --- gauge -----------------------------------------------------------------
+
+// Gauge is a settable instantaneous value. All methods are safe for
+// concurrent use.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeVec is a labeled settable gauge family with bounded cardinality,
+// mirroring CounterVec's series discipline.
+type GaugeVec struct {
+	name      string
+	labels    []string
+	maxSeries int
+
+	mu     sync.RWMutex
+	series map[string]*Gauge
+}
+
+func newGaugeVec(name string, labels []string) *GaugeVec {
+	checkLabels(name, labels)
+	return &GaugeVec{
+		name:      name,
+		labels:    labels,
+		maxSeries: DefaultMaxSeries,
+		series:    make(map[string]*Gauge),
+	}
+}
+
+// With returns the gauge for the given label values (one per label name, in
+// order), creating it on first use. Past the cardinality bound every new
+// combination maps to the shared OverflowLabel series.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x1f")
+	v.mu.RLock()
+	g := v.series[key]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g := v.series[key]; g != nil {
+		return g
+	}
+	if len(v.series) >= v.maxSeries {
+		vals := make([]string, len(v.labels))
+		for i := range vals {
+			vals[i] = OverflowLabel
+		}
+		key = strings.Join(vals, "\x1f")
+		if g := v.series[key]; g != nil {
+			return g
+		}
+	}
+	g = &Gauge{}
+	v.series[key] = g
+	return g
+}
+
+// Snapshot returns the current value of every series, keyed by the label
+// values joined with ",". The returned map is a private copy.
+func (v *GaugeVec) Snapshot() map[string]float64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]float64, len(v.series))
+	for key, g := range v.series {
+		out[strings.ReplaceAll(key, "\x1f", ",")] = g.Value()
+	}
+	return out
+}
+
+// Len reports the number of distinct series.
+func (v *GaugeVec) Len() int {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	return len(v.series)

@@ -112,8 +112,32 @@ func sectionMatrix(s *wirefmt.Section) *WireMatrix {
 	}
 }
 
-// decodeFactorizeFrame maps a factorize frame — [JSON meta, matrix A] — onto
-// the JSON request vocabulary. The returned request does not alias body.
+// splitForward pops a trailing TagForward section (peer-forwarded requests
+// append one — see cluster.go) so the per-endpoint shape checks below see
+// the client-facing layout either way.
+func splitForward(secs []wirefmt.Section) ([]wirefmt.Section, *wirefmt.Section) {
+	if n := len(secs); n > 1 && secs[n-1].Tag == wirefmt.TagForward {
+		return secs[:n-1], &secs[n-1]
+	}
+	return secs, nil
+}
+
+// foldForwardDeadline tightens the request deadline to the forward section's
+// remaining budget: a forwarded request must not outlive the coordinator
+// that is waiting on it.
+func foldForwardDeadline(fwd *wirefmt.Section, deadlineMS int64) int64 {
+	if fwd == nil || fwd.A == 0 {
+		return deadlineMS
+	}
+	if deadlineMS == 0 || int64(fwd.A) < deadlineMS {
+		return int64(fwd.A)
+	}
+	return deadlineMS
+}
+
+// decodeFactorizeFrame maps a factorize frame — [JSON meta, matrix A] plus
+// an optional trailing forward section — onto the JSON request vocabulary.
+// The returned request does not alias body.
 func decodeFactorizeFrame(body []byte, scratch []wirefmt.Section) (*factorizeRequest, *apiError) {
 	var req factorizeRequest
 	secs, aerr := decodeFrame(body, scratch, &req)
@@ -123,10 +147,12 @@ func decodeFactorizeFrame(body []byte, scratch []wirefmt.Section) (*factorizeReq
 	if req.Matrix != nil {
 		return nil, errBadInput("factorize frame metadata must not carry a matrix field; send a matrix section")
 	}
+	secs, fwd := splitForward(secs)
 	if len(secs) != 2 || secs[1].Tag != wirefmt.TagMatrix {
 		return nil, errBadInput("factorize frame needs exactly [JSON meta, matrix] sections")
 	}
 	req.Matrix = sectionMatrix(&secs[1])
+	req.DeadlineMS = foldForwardDeadline(fwd, req.DeadlineMS)
 	return &req, nil
 }
 
@@ -151,10 +177,10 @@ func decodeStreamAppendFrame(body []byte, scratch []wirefmt.Section) (*streamApp
 }
 
 // decodeSolveFrame maps a solve frame — [JSON meta, b] for solve-by-key or
-// [JSON meta, matrix A, b] for solve-by-matrix — onto the JSON request
-// vocabulary. The right-hand side aliases body zero-copy (on aligned
-// little-endian hosts): the caller must keep body alive until the solve
-// can no longer reference b.
+// [JSON meta, matrix A, b] for solve-by-matrix, plus an optional trailing
+// forward section — onto the JSON request vocabulary. The right-hand side
+// aliases body zero-copy (on aligned little-endian hosts): the caller must
+// keep body alive until the solve can no longer reference b.
 func decodeSolveFrame(body []byte, scratch []wirefmt.Section) (*solveRequest, *apiError) {
 	var req solveRequest
 	secs, aerr := decodeFrame(body, scratch, &req)
@@ -164,6 +190,7 @@ func decodeSolveFrame(body []byte, scratch []wirefmt.Section) (*solveRequest, *a
 	if req.Matrix != nil || len(req.B) != 0 {
 		return nil, errBadInput("solve frame metadata must not carry matrix or b fields; send binary sections")
 	}
+	secs, fwd := splitForward(secs)
 	switch {
 	case len(secs) == 2 && secs[1].Tag == wirefmt.TagVector:
 		req.B = secs[1].Float64s()
@@ -173,6 +200,7 @@ func decodeSolveFrame(body []byte, scratch []wirefmt.Section) (*solveRequest, *a
 	default:
 		return nil, errBadInput("solve frame needs [JSON meta, b] or [JSON meta, matrix, b] sections")
 	}
+	req.DeadlineMS = foldForwardDeadline(fwd, req.DeadlineMS)
 	return &req, nil
 }
 

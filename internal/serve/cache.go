@@ -150,6 +150,14 @@ func (c *FactorCache) Get(key string) (*Entry, bool) {
 	return e, true
 }
 
+// Peek reports whether key is resident without promoting it or counting a
+// hit. The cluster router uses it: a routing decision must not read as cache
+// traffic.
+func (c *FactorCache) Peek(key string) bool {
+	_, ok := c.entries.Load(key)
+	return ok
+}
+
 // GetOrFactor returns the entry for key, factoring a under cfg on a miss.
 // Concurrent misses for the same key are deduplicated: one caller factors
 // (SourceMiss), the rest wait for its result (SourceShared). The caller

@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"time"
+
+	"tcqr"
+	"tcqr/internal/cluster"
+	"tcqr/internal/wirefmt"
+)
+
+// This file is the serve side of the cluster tier (DESIGN.md §14): the
+// route-or-serve-local decision for keyed requests, peer-forward frame
+// building, response relay, and the replica fan-out after a local miss.
+// internal/cluster deals in opaque frames and peer state; this file owns the
+// request vocabulary, so the split keeps the import direction one-way.
+//
+// Decision order for a keyed request on a cluster-enabled node:
+//
+//  1. forwarded_in — the loop-guard header is present: a peer already routed
+//     this request here; serve locally, never re-forward.
+//  2. local_hit — the key is resident in the local cache. Content-hashed
+//     entries are immutable, so a local copy is always as good as the
+//     owner's.
+//  3. local_owner — this node is in the key's owner set AND can serve the
+//     request locally. A by-key solve that misses the local cache cannot —
+//     the local answer is a guaranteed 404 — so an owner-miss on a by-key
+//     solve routes like a non-owner instead (decision 4): another owner may
+//     hold the replica this node never received.
+//  4. forward — try the key's owners in preference order; relay the first
+//     usable answer (served_remote), or serve locally after the candidates
+//     are exhausted (served_local_fallback).
+//
+// Every request that reaches decision 4 terminates exactly once in
+// served_remote or served_local_fallback — the accounting invariant the
+// chaos soak asserts.
+
+// maybeForwardFactorize routes a factorize-shaped request (one-shot
+// /v1/factorize). It returns true when the response has been written (a
+// relayed peer answer); false means the caller serves locally.
+func (s *Server) maybeForwardFactorize(w http.ResponseWriter, rc *reqScope, ctx context.Context, req *factorizeRequest, a *tcqr.Matrix, key string) bool {
+	cands, forward := s.clusterRoute(rc, key, true, false)
+	if !forward {
+		return false
+	}
+	frame, err := encodeFactorizeForward(s.cluster, ctx, req, a, len(cands))
+	if err != nil {
+		s.cluster.NoteServedLocalFallback()
+		return false
+	}
+	handled := s.forwardToCandidates(w, rc, ctx, cands, nil, "/v1/factorize", frame, false)
+	wirefmt.PutBuffer(frame)
+	return handled
+}
+
+// maybeForwardSolve routes a solve request (by key or by matrix; a is nil
+// for solve-by-key). Same contract as maybeForwardFactorize.
+func (s *Server) maybeForwardSolve(w http.ResponseWriter, rc *reqScope, ctx context.Context, req *solveRequest, a *tcqr.Matrix, key string) bool {
+	// Solves are cache-tier work: degraded peers keep serving them (a
+	// degraded owner that misses answers 503, which reads as try-next).
+	cands, forward := s.clusterRoute(rc, key, false, req.Key != "")
+	if !forward {
+		return false
+	}
+	frame, err := encodeSolveForward(s.cluster, ctx, req, a, len(cands))
+	if err != nil {
+		s.cluster.NoteServedLocalFallback()
+		return false
+	}
+	// A by-key request this node cannot serve locally gets a last-resort
+	// reserve: every peer, owner or not, regardless of probed state. Falling
+	// through to the local 404 is a guaranteed failure, so a down-marked
+	// owner (the mark may be a transient probe glitch) or a non-owner
+	// coordinator that computed the entry as a local fallback is worth one
+	// more attempt each.
+	var reserve []cluster.Member
+	if req.Key != "" && !s.cache.Peek(key) {
+		reserve = s.cluster.Peers()
+	}
+	handled := s.forwardToCandidates(w, rc, ctx, cands, reserve, "/v1/solve", frame, req.Key != "")
+	wirefmt.PutBuffer(frame)
+	return handled
+}
+
+// clusterRoute makes the routing decision for key. forward=false means serve
+// locally (the decision has been counted); forward=true hands back the
+// candidate owners to try, in preference order, already filtered by peer
+// state (cold factorize work skips degraded peers; everything skips down
+// ones). An empty candidate list with forward=true still counts as a routed
+// request — the caller falls through to served_local_fallback.
+//
+// keyOnly marks a by-key solve: the request cannot be served from its own
+// payload, so owning the key without holding the entry (the cache Peek above
+// already missed) is no reason to stay local — the node routes to the other
+// owners like any non-owner would.
+func (s *Server) clusterRoute(rc *reqScope, key string, cold, keyOnly bool) ([]cluster.Member, bool) {
+	n := s.cluster
+	if n == nil {
+		return nil, false
+	}
+	if rc.forwarded {
+		n.NoteRoute(cluster.DecisionForwardedIn)
+		return nil, false
+	}
+	if s.cache.Peek(key) {
+		n.NoteRoute(cluster.DecisionLocalHit)
+		return nil, false
+	}
+	owners := n.Owners(key)
+	if !keyOnly {
+		for _, m := range owners {
+			if n.IsSelf(m) {
+				n.NoteRoute(cluster.DecisionLocalOwner)
+				return nil, false
+			}
+		}
+	}
+	n.NoteRoute(cluster.DecisionForward)
+	cands := make([]cluster.Member, 0, len(owners))
+	for _, m := range owners {
+		if !n.IsSelf(m) && n.Usable(m, cold) {
+			cands = append(cands, m)
+		}
+	}
+	return cands, true
+}
+
+// forwardToCandidates tries each candidate in order and relays the first
+// usable answer; when the first pass fails it makes one pass over reserve
+// (the last-resort owner list — empty except for by-key solves the local
+// cache cannot answer). Returns false after exhausting both, with the
+// fallback counted: the caller serves locally. Every call terminates exactly
+// once in served_remote or served_local_fallback.
+func (s *Server) forwardToCandidates(w http.ResponseWriter, rc *reqScope, ctx context.Context, cands, reserve []cluster.Member, path string, frame []byte, keyOnly bool) bool {
+	if s.tryCandidates(w, rc, ctx, cands, path, frame, keyOnly) {
+		return true
+	}
+	if len(reserve) > 0 && s.tryCandidates(w, rc, ctx, reserve, path, frame, keyOnly) {
+		return true
+	}
+	s.cluster.NoteServedLocalFallback()
+	return false
+}
+
+// tryCandidates attempts each candidate once and relays the first usable
+// answer. Transport errors (the peer is marked down inside Forward), 5xx,
+// and 429 try the next candidate; for solve-by-key a 404 does too — a
+// replica missing the entry is not authoritative while another owner might
+// hold it.
+func (s *Server) tryCandidates(w http.ResponseWriter, rc *reqScope, ctx context.Context, cands []cluster.Member, path string, frame []byte, keyOnly bool) bool {
+	for _, m := range cands {
+		if ctx.Err() != nil {
+			break
+		}
+		t0 := time.Now()
+		res, err := s.cluster.Forward(ctx, m, path, frame, rc.frameResp)
+		rc.rep.RecordTiming("forward", time.Since(t0))
+		if err != nil {
+			continue
+		}
+		if res.Status >= 500 || res.Status == http.StatusTooManyRequests {
+			continue
+		}
+		if keyOnly && res.Status == http.StatusNotFound {
+			continue
+		}
+		s.cluster.NoteServedRemote()
+		rc.relay(w, res, m.ID)
+		return true
+	}
+	return false
+}
+
+// relay writes a peer's buffered response through the request's normal
+// finish path (stage timings, response counters, structured log). Error
+// accounting stays with the node that served the request; the coordinator
+// only counts the response status.
+func (rc *reqScope) relay(w http.ResponseWriter, res *cluster.ForwardResult, peerID string) {
+	if res.ContentType != "" {
+		rc.respCT = res.ContentType
+	}
+	if res.RetryAfter != "" {
+		w.Header().Set("Retry-After", res.RetryAfter)
+	}
+	w.Header().Set(cluster.ServedByHeader, peerID)
+	rc.finish(w, res.Status, res.Body)
+}
+
+// clusterReplicate fans a freshly computed factorization out to the key's
+// other owners (N-way replica fan-out; the computing node already holds the
+// entry, so read-your-writes is local). Deliveries are asynchronous and fall
+// back to hinted handoff when an owner is down or the send fails, so a
+// momentarily lost owner converges once it returns. Call only after a
+// SourceMiss — hits and shared waiters reuse an entry someone else already
+// fanned out.
+func (s *Server) clusterReplicate(key string, a *tcqr.Matrix, wcfg WireConfig) {
+	n := s.cluster
+	if n == nil {
+		return
+	}
+	var frame []byte
+	for _, m := range n.Owners(key) {
+		if n.IsSelf(m) {
+			continue
+		}
+		if frame == nil {
+			var err error
+			// Replica deliveries are factorize frames: replication is
+			// deterministic recompute on the replica (bit-identical factors —
+			// the determinism contract), not factor shipping.
+			frame, err = encodeFactorizeForward(n, context.Background(),
+				&factorizeRequest{Config: wcfg}, a, 1)
+			if err != nil {
+				return
+			}
+		}
+		n.Replicate(m, "/v1/factorize", frame)
+	}
+	// The frame is not pooled here: Replicate and the handoff queue retain
+	// copies asynchronously, so recycling the encode buffer under them would
+	// hand a torn frame to a peer.
+}
+
+// encodeFactorizeForward builds the peer-forward frame for a
+// factorize-shaped request: [JSON meta, matrix, forward].
+func encodeFactorizeForward(n *cluster.Node, ctx context.Context, req *factorizeRequest, a *tcqr.Matrix, attempts int) ([]byte, error) {
+	meta, err := json.Marshal(factorizeRequest{Config: req.Config, DeadlineMS: req.DeadlineMS})
+	if err != nil {
+		return nil, err
+	}
+	secs := []wirefmt.Section{
+		wirefmt.JSONSection(meta),
+		wirefmt.MatrixSection(a.Rows, a.Cols, colMajorData(a)),
+		forwardSection(n, ctx, attempts),
+	}
+	return encodeForwardFrame(secs)
+}
+
+// colMajorData returns a's elements as a tight column-major slice (uploaded
+// matrices are tight already; a strided view gets a copy).
+func colMajorData(a *tcqr.Matrix) []float64 {
+	if a.Stride == a.Rows && len(a.Data) == a.Rows*a.Cols {
+		return a.Data
+	}
+	out := make([]float64, a.Rows*a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		copy(out[j*a.Rows:(j+1)*a.Rows], a.Data[j*a.Stride:j*a.Stride+a.Rows])
+	}
+	return out
+}
+
+// encodeSolveForward builds the peer-forward frame for a solve request:
+// [JSON meta, b, forward] by key, [JSON meta, matrix, b, forward] by matrix.
+func encodeSolveForward(n *cluster.Node, ctx context.Context, req *solveRequest, a *tcqr.Matrix, attempts int) ([]byte, error) {
+	meta, err := json.Marshal(solveRequest{
+		Key:        req.Key,
+		Config:     req.Config,
+		Options:    req.Options,
+		DeadlineMS: req.DeadlineMS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	secs := make([]wirefmt.Section, 0, 4)
+	secs = append(secs, wirefmt.JSONSection(meta))
+	if a != nil {
+		secs = append(secs, wirefmt.MatrixSection(a.Rows, a.Cols, colMajorData(a)))
+	}
+	secs = append(secs, wirefmt.VectorSection(req.B), forwardSection(n, ctx, attempts))
+	return encodeForwardFrame(secs)
+}
+
+func encodeForwardFrame(secs []wirefmt.Section) ([]byte, error) {
+	sz, err := wirefmt.FrameLen(secs...)
+	if err != nil {
+		return nil, err
+	}
+	out, err := wirefmt.AppendFrame(wirefmt.GetBuffer(sz), secs...)
+	if err != nil {
+		wirefmt.PutBuffer(out)
+		return nil, err
+	}
+	return out, nil
+}
+
+// forwardSection stamps the remaining deadline budget and attempt count into
+// a TagForward section (the receiver folds the deadline into its own).
+func forwardSection(n *cluster.Node, ctx context.Context, attempts int) wirefmt.Section {
+	var deadlineMS uint32
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		if ms > math.MaxUint32 {
+			ms = math.MaxUint32
+		}
+		deadlineMS = uint32(ms)
+	}
+	if attempts < 0 {
+		attempts = 0
+	}
+	if attempts > wirefmt.MaxForwardAttempts {
+		attempts = wirefmt.MaxForwardAttempts
+	}
+	return wirefmt.ForwardSection(deadlineMS, uint8(attempts), n.SelfID())
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tcqr"
+	"tcqr/internal/cluster"
 	"tcqr/internal/faultinject"
 	"tcqr/internal/hazard"
 	"tcqr/internal/metrics"
@@ -76,6 +77,11 @@ type Options struct {
 	// registry, reachable via Metrics). Pass a shared registry to mount
 	// additional families beside the server's own.
 	Registry *metrics.Registry
+	// Cluster attaches this server to a tcqrd cluster node (nil = single-node
+	// serving, no routing). Keyed requests route to their owners over binary
+	// frames; see internal/cluster and DESIGN.md §14. Pass the same Registry
+	// to both so the tcqrd_cluster_* families render beside the server's own.
+	Cluster *cluster.Node
 	// Logger receives one structured record per request (nil = request
 	// logging disabled). Lifecycle logging stays with the caller; this
 	// logger only sees request-scoped records.
@@ -93,6 +99,7 @@ type Server struct {
 	coal     *Coalescer
 	pool     *Pool
 	streams  *streamRegistry
+	cluster  *cluster.Node
 	start    time.Time
 	draining atomic.Bool
 	brk      *breaker
@@ -150,6 +157,7 @@ func New(opts Options) *Server {
 		backend:    opts.Backend,
 		pool:       NewPool(opts.Workers, opts.QueueDepth),
 		streams:    newStreamRegistry(opts.StreamTTL, opts.MaxStreamSessions),
+		cluster:    opts.Cluster,
 		start:      time.Now(),
 		log:        opts.Logger,
 		reaperStop: make(chan struct{}),
@@ -194,11 +202,18 @@ func (s *Server) Close() {
 // requests are rejected, every parked coalesced batch is flushed so
 // in-flight requests complete promptly, and every open chunked-upload
 // session is reaped (a begin-without-commit client gets unknown_stream and
-// must restart against the replacement instance). Idempotent.
+// must restart against the replacement instance). On a cluster node the
+// drain is cluster-aware: peers probing the 503 healthz mark this node down
+// and stop forwarding to it, and the node's queued handoff hints get an
+// immediate flush attempt (see also cluster.Node.DrainHandoff for a blocking
+// flush at shutdown). Idempotent.
 func (s *Server) BeginDrain() {
 	s.draining.Store(true)
 	s.coal.PendingFlush()
 	s.streams.reapAll()
+	if s.cluster != nil {
+		s.cluster.BeginLeave()
+	}
 }
 
 // Draining reports whether BeginDrain has been called.
@@ -247,6 +262,11 @@ type reqScope struct {
 	retainBody bool
 	respCT     string // response Content-Type; empty selects application/json
 
+	// forwarded marks a request that arrived with the cluster loop-guard
+	// header: a peer routed it here, so it is served locally, never
+	// re-forwarded.
+	forwarded bool
+
 	key         string
 	rows, cols  int
 	batched     int
@@ -276,6 +296,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string) 
 	}
 	rc.binReq = isFrameRequest(r)
 	rc.frameResp = wantsFrameResponse(r, rc.binReq)
+	rc.forwarded = r.Header.Get(cluster.ForwardHeader) != ""
 	// Hot counters are pre-resolved per endpoint/encoding at construction:
 	// the CounterVec lookup takes a read lock per call, which is measurable
 	// contention at the 64-client coalesced throughput target.
@@ -467,10 +488,16 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	key := CacheKey(a, cfg)
 	rc.key = key
+	if s.maybeForwardFactorize(w, rc, ctx, &req, a, key) {
+		return
+	}
 	entry, src, ferr := s.factorEntry(ctx, rc, key, a, cfg)
 	if ferr != nil {
 		rc.fail(w, classifyError(ferr))
 		return
+	}
+	if src == SourceMiss {
+		s.clusterReplicate(key, a, req.Config)
 	}
 	f := entry.F
 	rc.ok(w, factorizeResponse{
@@ -542,6 +569,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			rc.fail(w, errBadInput("config cannot accompany key: the cached factorization's config applies (re-send the matrix to factorize under a different config)"))
 			return
 		}
+		// Route before the local lookup: a non-owner without the entry
+		// forwards to the owners; exhausted candidates fall through to the
+		// local (404) answer as the served_local_fallback outcome.
+		if s.maybeForwardSolve(w, rc, ctx, &req, nil, req.Key) {
+			return
+		}
 		e, found := s.cache.Get(req.Key)
 		if !found {
 			rc.fail(w, &apiError{status: http.StatusNotFound, code: "unknown_key",
@@ -560,11 +593,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			rc.fail(w, classifyError(cerr))
 			return
 		}
+		key := CacheKey(a, cfg)
+		if s.maybeForwardSolve(w, rc, ctx, &req, a, key) {
+			return
+		}
 		var ferr error
-		entry, src, ferr = s.factorEntry(ctx, rc, CacheKey(a, cfg), a, cfg)
+		entry, src, ferr = s.factorEntry(ctx, rc, key, a, cfg)
 		if ferr != nil {
 			rc.fail(w, classifyError(ferr))
 			return
+		}
+		if src == SourceMiss {
+			// A solve that factored locally re-homes the entry to its owners
+			// (replica fan-out / hinted handoff), exactly like a factorize.
+			s.clusterReplicate(key, a, req.Config)
 		}
 	default:
 		rc.fail(w, errBadInput("missing key or matrix"))

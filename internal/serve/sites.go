@@ -5,8 +5,12 @@ package serve
 // grammar). Each is a single atomic nil-check unless a fault schedule is
 // armed. Sites outside this package: gram.ladder.rung (forces a panel-rung
 // breakdown, driving the escalation ladder), tcsim.gemm (delays or corrupts
-// an engine GEMM result), and tsqr.block.factor / tsqr.tree.reduce (fail one
-// leaf factorization or one reduction node of the parallel TSQR pipeline).
+// an engine GEMM result), tsqr.block.factor / tsqr.tree.reduce (fail one
+// leaf factorization or one reduction node of the parallel TSQR pipeline),
+// and the cluster tier's cluster.route / cluster.replicate / cluster.probe /
+// cluster.handoff (fail a peer forward, a replica fan-out delivery, a health
+// probe, or a handoff hint delivery — the schedule TestClusterChaosSoak
+// arms; see DESIGN.md §14).
 const (
 	// sitePoolEnqueue fires in Pool.Do before a task enters the queue;
 	// error faults surface as 500s from the submitting request.

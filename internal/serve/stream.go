@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"time"
@@ -47,6 +48,7 @@ import (
 type streamSession struct {
 	id      string
 	cfg     tcqr.Config
+	wcfg    WireConfig // the wire form of cfg, kept for cluster replication
 	cols    int
 	rows    int
 	blocks  [][]float64 // each column-major rows_i × cols
@@ -79,7 +81,7 @@ func (sr *streamRegistry) len() int {
 
 // begin creates a session, reaping expired ones first so abandoned uploads
 // can never crowd out live clients within the session cap.
-func (sr *streamRegistry) begin(cfg tcqr.Config, cols int, now time.Time) (*streamSession, *apiError) {
+func (sr *streamRegistry) begin(cfg tcqr.Config, wcfg WireConfig, cols int, now time.Time) (*streamSession, *apiError) {
 	reaped := 0
 	sr.mu.Lock()
 	for id, ss := range sr.sessions {
@@ -89,10 +91,25 @@ func (sr *streamRegistry) begin(cfg tcqr.Config, cols int, now time.Time) (*stre
 		}
 	}
 	if len(sr.sessions) >= sr.max {
+		// The Retry-After is derived, not the blanket default: the earliest
+		// session expiry is when a slot is guaranteed to free up if no client
+		// commits or aborts sooner (appends push it out again, but a later
+		// retry then meets the same computation).
+		retryAfter := 1
+		var earliest time.Time
+		for _, ss := range sr.sessions {
+			if earliest.IsZero() || ss.expires.Before(earliest) {
+				earliest = ss.expires
+			}
+		}
+		if secs := int(math.Ceil(earliest.Sub(now).Seconds())); secs > retryAfter {
+			retryAfter = secs
+		}
 		sr.mu.Unlock()
 		sr.noteReaped(reaped)
 		return nil, &apiError{status: http.StatusTooManyRequests, code: "overloaded",
-			msg: fmt.Sprintf("too many open upload sessions (cap %d); commit, abort or let one expire", sr.max)}
+			msg:        fmt.Sprintf("too many open upload sessions (cap %d); commit, abort or let one expire", sr.max),
+			retryAfter: retryAfter}
 	}
 	var idb [16]byte
 	if _, err := rand.Read(idb[:]); err != nil {
@@ -104,6 +121,7 @@ func (sr *streamRegistry) begin(cfg tcqr.Config, cols int, now time.Time) (*stre
 	ss := &streamSession{
 		id:      hex.EncodeToString(idb[:]),
 		cfg:     cfg,
+		wcfg:    wcfg,
 		cols:    cols,
 		expires: now.Add(sr.ttl),
 	}
@@ -234,7 +252,7 @@ func (s *Server) handleStreamBegin(w http.ResponseWriter, r *http.Request) {
 		rc.fail(w, classifyError(err))
 		return
 	}
-	ss, aerr := s.streams.begin(cfg, req.Cols, time.Now())
+	ss, aerr := s.streams.begin(cfg, req.Config, req.Cols, time.Now())
 	if aerr != nil {
 		rc.fail(w, aerr)
 		return
@@ -339,6 +357,12 @@ func (s *Server) handleStreamCommit(w http.ResponseWriter, r *http.Request) {
 	if ferr != nil {
 		rc.fail(w, classifyError(ferr))
 		return
+	}
+	if src == SourceMiss {
+		// A streamed factorization re-homes to the key's owners exactly like
+		// a one-shot one (the commit itself always runs locally — sessions
+		// are node-local state).
+		s.clusterReplicate(key, a, ss.wcfg)
 	}
 	f := entry.F
 	rc.ok(w, factorizeResponse{

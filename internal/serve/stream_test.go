@@ -2,6 +2,8 @@ package serve
 
 import (
 	"net/http"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -286,6 +288,41 @@ func TestStreamSessionCap(t *testing.T) {
 	}
 	if code, _ := post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": 1}, nil); code != 200 {
 		t.Fatalf("begin after abort: status %d, want 200", code)
+	}
+}
+
+// TestStreamBeginRetryAfterDerived is the contract test for the 429's
+// Retry-After: it must be derived from the earliest session expiry — when a
+// slot is guaranteed to free up — not the blanket 1-second default. With a
+// long TTL and a freshly filled cap, the hint must land strictly between the
+// default and the full TTL.
+func TestStreamBeginRetryAfterDerived(t *testing.T) {
+	const ttl = 30 * time.Second
+	s := New(Options{Workers: 1, MaxStreamSessions: 1, StreamTTL: ttl})
+	defer s.Close()
+	h := s.Handler()
+
+	if code, _ := post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": 1}, nil); code != 200 {
+		t.Fatalf("begin status %d", code)
+	}
+	var env envelope
+	code, hdr := post(t, h, "/v1/factorize/stream/begin", map[string]any{"cols": 1}, &env)
+	if code != 429 || env.Error.Code != "overloaded" {
+		t.Fatalf("begin past cap: status %d code %q, want 429 overloaded", code, env.Error.Code)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", hdr.Get("Retry-After"), err)
+	}
+	// The open session expires ~ttl from now; a meaningful hint points there.
+	// 1 would be the blanket default (not derived); anything past the TTL
+	// overshoots the guaranteed free slot.
+	if secs <= 1 || secs > int(ttl.Seconds()) {
+		t.Errorf("Retry-After = %ds, want derived value in (1, %.0f]", secs, ttl.Seconds())
+	}
+	// The error payload names the remedy, not just the condition.
+	if !strings.Contains(env.Error.Message, "commit") {
+		t.Errorf("429 message %q does not tell the client how to free a slot", env.Error.Message)
 	}
 }
 

@@ -1,0 +1,143 @@
+package wirefmt
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+func TestForwardSectionRoundTrip(t *testing.T) {
+	frame, err := AppendFrame(nil,
+		JSONSection([]byte(`{"key":"abc"}`)),
+		VectorSection([]float64{1, 2, 3}),
+		ForwardSection(2500, 3, "node-a"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := Decode(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 3 {
+		t.Fatalf("decoded %d sections, want 3", len(secs))
+	}
+	fwd := secs[2]
+	if fwd.Tag != TagForward {
+		t.Fatalf("trailing tag = %d, want TagForward", fwd.Tag)
+	}
+	if fwd.A != 2500 || fwd.B != 3 || string(fwd.Raw) != "node-a" {
+		t.Fatalf("forward section = {A:%d B:%d Raw:%q}, want {2500 3 node-a}", fwd.A, fwd.B, fwd.Raw)
+	}
+}
+
+func TestForwardSectionEmptyOrigin(t *testing.T) {
+	// A zero deadline, zero attempts, empty-origin section is legal: it still
+	// marks the request as forwarded.
+	frame, err := AppendFrame(nil, JSONSection(nil), ForwardSection(0, 0, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := Decode(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := secs[1]; got.Tag != TagForward || got.A != 0 || got.B != 0 || len(got.Raw) != 0 {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestForwardSectionEncodeValidation(t *testing.T) {
+	if _, err := AppendFrame(nil, Section{Tag: TagForward, B: MaxForwardAttempts + 1}); err == nil {
+		t.Error("attempt budget past MaxForwardAttempts must not encode")
+	}
+	long := strings.Repeat("x", MaxForwardOrigin+1)
+	if _, err := AppendFrame(nil, ForwardSection(0, 1, long)); err == nil {
+		t.Error("origin past MaxForwardOrigin must not encode")
+	}
+	if _, err := AppendFrame(nil, ForwardSection(0, 1, strings.Repeat("x", MaxForwardOrigin))); err != nil {
+		t.Errorf("origin at exactly MaxForwardOrigin must encode: %v", err)
+	}
+}
+
+func TestForwardSectionDecodeValidation(t *testing.T) {
+	// Corrupt a valid frame's forward-section attempt budget (section header
+	// dim b) past the cap and require a strict-format error.
+	frame, err := AppendFrame(nil, JSONSection(nil), ForwardSection(0, 1, "n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: 16B frame header, 16B JSON section header (+0 payload), then
+	// the forward section header; its b field is at offset +8.
+	off := 16 + 16 + 8
+	frame[off] = 0xFF
+	frame[off+1] = 0x01 // b = 511 > MaxForwardAttempts
+	if _, err := Decode(frame, nil); !errors.Is(err, ErrFormat) {
+		t.Fatalf("oversized attempt budget decoded: err=%v", err)
+	}
+}
+
+// TestFloat64sUnalignedFallback pins down the element-wise decode fallback:
+// a payload that is not 8-byte aligned must still produce bit-identical
+// floats to the zero-copy path, just via copying. Real frames are always
+// aligned (GetBuffer guarantees it); the fallback exists for callers that
+// hand Decode an arbitrary slice.
+func TestFloat64sUnalignedFallback(t *testing.T) {
+	vals := []float64{0, 1.5, -2.25, math.Pi, math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64, -math.MaxFloat64, math.Float64frombits(0x7FF8000000000001)}
+	frame, err := AppendFrame(nil, JSONSection(nil), VectorSection(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shift the whole frame by one byte so every payload lands misaligned.
+	shifted := make([]byte, len(frame)+1)
+	copy(shifted[1:], frame)
+	secs, err := Decode(shifted[1:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := FindSection(secs, TagVector)
+	if vec == nil {
+		t.Fatal("no vector section")
+	}
+	if uintptr(unsafe.Pointer(&vec.Raw[0]))%8 == 0 {
+		t.Fatal("test did not achieve a misaligned payload")
+	}
+	got := vec.Float64s()
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d floats, want %d", len(got), len(vals))
+	}
+	// Bit-identical, not approximately equal: the fallback must preserve
+	// NaN payloads, signed zeros, infinities and subnormals exactly.
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Errorf("element %d: bits %016x, want %016x",
+				i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+		}
+	}
+
+	// Control: the same frame decoded from its aligned origin yields the
+	// same bits through the zero-copy path.
+	aligned, err := Decode(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := FindSection(aligned, TagVector).Float64s()
+	for i := range vals {
+		if math.Float64bits(ctrl[i]) != math.Float64bits(got[i]) {
+			t.Errorf("aligned/unaligned mismatch at %d: %016x vs %016x",
+				i, math.Float64bits(ctrl[i]), math.Float64bits(got[i]))
+		}
+	}
+
+	// The fallback returns a copy — mutating it must not write through to
+	// the frame buffer (the zero-copy path aliases by contract; the fallback
+	// must not half-alias).
+	got[0] = 42
+	if reDecoded := vec.Float64s(); reDecoded[0] != vals[0] {
+		t.Errorf("fallback aliased the frame buffer: re-decode saw %v", reDecoded[0])
+	}
+}

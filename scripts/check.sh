@@ -34,6 +34,13 @@ for target in FuzzRetryPolicy FuzzStreamFrameDecode; do
 	go test -run '^$' -fuzz "^$target\$" -fuzztime 10s ./internal/serve
 done
 
+# The cluster chaos soak runs inside `go test -race ./...` above already;
+# this named pass makes its verdict visible on its own line (and keeps the
+# step when someone narrows the suite run above). Seeded fault schedule,
+# deterministic: see DESIGN.md §14 and `make cluster-soak`.
+echo "== cluster soak =="
+go test -race -run 'TestClusterChaosSoak' ./internal/serve
+
 echo "== serve smoke =="
 sh scripts/serve_smoke.sh
 
