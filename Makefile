@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: build check check-race check-deep lint fuzz chaos cluster-soak \
-	bench bench-json serve serve-smoke bench-serve-json bench-tsqr clean
+	bench bench-json serve serve-smoke bench-serve-json bench-tsqr \
+	bench-update clean
 
 build:
 	$(GO) build ./...
@@ -45,9 +46,12 @@ fuzz:
 # Chaos/soak battery under the race detector: 64 concurrent clients against
 # a seeded fault schedule (panics, delays, decode errors at every failpoint
 # layer), plus the metamorphic no-silent-garbage property over the
-# adversarial matrix battery. See DESIGN.md §11.
+# adversarial matrix battery, plus the spill-tier crash-consistency soak
+# (torn writes and load faults during a mixed factorize/update/solve storm,
+# then a restart that must quarantine exactly the torn files and rewarm the
+# rest). See DESIGN.md §11 and §15.
 chaos:
-	$(GO) test -race -run 'TestChaosBattery|TestMetamorphicNoSilentGarbage|TestStreamChaosSoak' -v ./internal/serve
+	$(GO) test -race -run 'TestChaosBattery|TestMetamorphicNoSilentGarbage|TestStreamChaosSoak|TestSpillChaosSoak' -v ./internal/serve
 
 # Cluster-tier soak under the race detector: a seeded (deterministic)
 # 3-node in-process cluster with every cluster.* failpoint armed, one node
@@ -87,6 +91,16 @@ bench-serve-json:
 	$(GO) run ./cmd/tcqr-bench -out BENCH_6.json -bench 'Serve' -procs 1,4,8 \
 		-notes "procs above num_cpu oversubscribe a single core; compare scaling against num_cpu, not the -cpu label" \
 		./internal/serve
+
+# Incremental-update benchmark report (BENCH_9.json): row-block QR append /
+# downdate against refactorizing the stacked matrix at 4096×256 (the ≥10×
+# gate holds at the 16-row block; the 64-row point records how the win decays
+# toward n/k for fatter appends), plus the restart-rewarm hit-solve path,
+# which must serve without a single cold factorization.
+bench-update:
+	$(GO) run ./cmd/tcqr-bench -out BENCH_9.json -bench 'UpdateVsRefactorize|RewarmedHitSolve' \
+		-notes "UpdateAppend vs Refactorize at the same post-append shape gates the >=10x claim at the 16-row block; RewarmedHitSolve serves from a spill-rewarmed cache with zero backend factorizations" \
+		. ./internal/serve
 
 # TSQR benchmark report (BENCH_7.json): parallel row-blocked factorization
 # vs the Workers=1 identical-bits schedule vs the serial RGS baseline,

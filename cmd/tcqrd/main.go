@@ -5,6 +5,9 @@
 //	POST /v1/solve      — least squares against a cached factorization;
 //	                      concurrent same-matrix solves coalesce into one
 //	                      multi-RHS call
+//	POST /v1/update     — append rows to (or downdate rows from) a cached
+//	                      factorization incrementally, publishing a new
+//	                      epoch key@N while in-flight solves keep theirs
 //	POST /v1/lowrank    — truncated QR-SVD low-rank approximation
 //	GET  /healthz       — liveness (503 while draining)
 //	GET  /statz         — cache / coalescer / pool / timing / hazard counters
@@ -19,6 +22,7 @@
 // Usage:
 //
 //	tcqrd [-addr :8723] [-workers N] [-queue 64] [-cache 32]
+//	      [-cache-max-bytes 0] [-cache-dir path] [-spill-max-bytes 0]
 //	      [-window 2ms] [-max-batch 32] [-deadline 30s]
 //	      [-drain-timeout 10s] [-addr-file path]
 //	      [-log-level info] [-debug-addr host:port]
@@ -36,6 +40,14 @@
 // plus hinted handoff. -node-id names this node's entry in the member list;
 // -probe-interval paces the peer health probes that fold degraded/down peers
 // out of routing. README.md has a 3-node localhost quickstart.
+//
+// -cache-dir turns on the write-behind persistence tier: every published
+// factorization (initial or updated epoch) spills to a checksummed file
+// under the directory, and a restarted daemon rewarms its cache from the
+// valid ones (torn files are quarantined) — by-key solves hit immediately
+// instead of stampeding cold factorizes. -spill-max-bytes bounds the
+// directory; -cache-max-bytes bounds resident memory alongside the -cache
+// entry cap.
 //
 // -log-level selects the structured (slog) logging threshold: debug, info,
 // warn, error, or off (per-request records log at info, client errors at
@@ -59,6 +71,10 @@
 // the specific schedule scripts/serve_smoke.sh passes: it asserts injected
 // 500s, the flip into degraded mode, Retry-After on degraded 503s,
 // cache-only serving, and the fault/degraded metric families.
+// -smoke-update drives the incremental-update path against a running daemon:
+// factorize, append rows through /v1/update, solve by the bare key (newest
+// epoch) and by the pinned epoch key, downdate, and check the update metric
+// families; point the daemon at a -cache-dir first to smoke restart rewarm.
 // -smoke-cluster needs no daemon at all: it boots three in-process nodes on
 // ephemeral ports, drives keyed traffic through them, kills one mid-wave,
 // and exits non-zero unless every response survives and the forwarding
@@ -91,6 +107,9 @@ func main() {
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "compute worker count")
 		queue        = flag.Int("queue", 64, "admission queue depth (excess requests get 429)")
 		cacheEntries = flag.Int("cache", 32, "factorization cache capacity (LRU entries)")
+		cacheBytes   = flag.Int64("cache-max-bytes", 0, "factorization cache byte budget on top of the entry cap (0 = entries only)")
+		cacheDir     = flag.String("cache-dir", "", "persist factorizations to this directory (write-behind spill; rewarm on restart; empty disables)")
+		spillBytes   = flag.Int64("spill-max-bytes", 0, "on-disk byte budget of -cache-dir, oldest files deleted first (0 = unbounded)")
 		window       = flag.Duration("window", 2*time.Millisecond, "solve coalescing window (0 disables)")
 		maxBatch     = flag.Int("max-batch", 32, "max solves coalesced into one multi-RHS call")
 		deadline     = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
@@ -100,6 +119,7 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 		smoke        = flag.String("smoke", "", "run as smoke-test client against this base URL and exit")
 		smokeFault   = flag.String("smoke-fault", "", "run as fault-mode smoke client against this base URL and exit (expects a daemon armed by scripts/serve_smoke.sh)")
+		smokeUpdate  = flag.String("smoke-update", "", "run as update/rewarm smoke client against this base URL and exit (factorize, update, epoch-pinned solves)")
 
 		streamTTL      = flag.Duration("stream-ttl", 0, "idle deadline of a chunked-upload session before it is reaped (0 = default 2m)")
 		streamSessions = flag.Int("max-stream-sessions", 0, "max concurrently open chunked-upload sessions (0 = default 16)")
@@ -132,6 +152,9 @@ func main() {
 	}
 	if *smokeFault != "" {
 		os.Exit(runFaultSmoke(*smokeFault))
+	}
+	if *smokeUpdate != "" {
+		os.Exit(runUpdateSmoke(*smokeUpdate))
 	}
 	if *smokeCluster {
 		os.Exit(runClusterSmoke())
@@ -186,6 +209,9 @@ func main() {
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		CacheEntries:      *cacheEntries,
+		CacheMaxBytes:     *cacheBytes,
+		CacheDir:          *cacheDir,
+		SpillMaxBytes:     *spillBytes,
 		Window:            *window,
 		MaxBatch:          *maxBatch,
 		DefaultDeadline:   *deadline,

@@ -205,13 +205,23 @@ func writeTile[T dense.Float](acc []T, mr int, alpha, beta T, c []T, ldc, rows, 
 		d := c[s*ldc : s*ldc+rows]
 		as := acc[s*mr : s*mr+rows]
 		switch {
+		case !first && alpha == 1:
+			for r, v := range as {
+				d[r] += v
+			}
 		case !first:
 			for r, v := range as {
 				d[r] += alpha * v
 			}
+		case beta == 0 && alpha == 1:
+			copy(d, as)
 		case beta == 0:
 			for r, v := range as {
 				d[r] = alpha * v
+			}
+		case beta == 1 && alpha == 1:
+			for r, v := range as {
+				d[r] += v
 			}
 		default:
 			for r, v := range as {

@@ -155,9 +155,7 @@ func packAPanel[T dense.Float](dst []T, a *dense.Matrix[T], tA Transpose, i0, p0
 			for l := 0; l < kb; l++ {
 				src := a.Col(p0 + l)
 				off := base + l*mr
-				for r := 0; r < rows; r++ {
-					dst[off+r] = src[r0+r]
-				}
+				copy(dst[off:off+rows], src[r0:r0+rows])
 				for r := rows; r < mr; r++ {
 					dst[off+r] = 0
 				}
@@ -217,9 +215,7 @@ func packBPanel[T dense.Float](dst []T, b *dense.Matrix[T], tB Transpose, p0, j0
 		for l := 0; l < kb; l++ {
 			src := b.Col(p0 + l)
 			off := base + l*nr
-			for s := 0; s < cols; s++ {
-				dst[off+s] = src[c0+s]
-			}
+			copy(dst[off:off+cols], src[c0:c0+cols])
 			for s := cols; s < nr; s++ {
 				dst[off+s] = 0
 			}

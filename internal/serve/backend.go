@@ -42,6 +42,19 @@ type Backend interface {
 	LowRank(a *tcqr.Matrix32, rank int, cfg tcqr.Config) (*tcqr.LowRankApprox, error)
 }
 
+// Updater is the optional backend capability behind /v1/update: incremental
+// append/downdate of a cached factorization. It is a separate interface —
+// not new Backend methods — so existing Backend fakes keep compiling; a
+// backend that does not implement it gets the library implementation
+// (LibraryBackend) for updates while keeping its own factorize/solve paths.
+type Updater interface {
+	// UpdateAppendRows appends a row block to a factorization
+	// (tcqr.UpdateAppendRows).
+	UpdateAppendRows(f *tcqr.Factorization, v *tcqr.Matrix32, cfg tcqr.Config) (*tcqr.Factorization, error)
+	// UpdateRemoveRows downdates the trailing k rows (tcqr.UpdateRemoveRows).
+	UpdateRemoveRows(f *tcqr.Factorization, k int, cfg tcqr.Config) (*tcqr.Factorization, error)
+}
+
 // DefaultTSQRMinRows is the row count at which LibraryBackend starts routing
 // cold factorizations through the parallel Direct TSQR pipeline. Below it the
 // serial call is cheap enough that block scheduling overhead dominates.
@@ -103,4 +116,14 @@ func (LibraryBackend) SolveMultiWithFactor(f *tcqr.Factorization, a *tcqr.Matrix
 // LowRank implements Backend.
 func (LibraryBackend) LowRank(a *tcqr.Matrix32, rank int, cfg tcqr.Config) (*tcqr.LowRankApprox, error) {
 	return tcqr.LowRank(a, rank, cfg)
+}
+
+// UpdateAppendRows implements Updater.
+func (LibraryBackend) UpdateAppendRows(f *tcqr.Factorization, v *tcqr.Matrix32, cfg tcqr.Config) (*tcqr.Factorization, error) {
+	return tcqr.UpdateAppendRows(f, v, cfg)
+}
+
+// UpdateRemoveRows implements Updater.
+func (LibraryBackend) UpdateRemoveRows(f *tcqr.Factorization, k int, cfg tcqr.Config) (*tcqr.Factorization, error) {
+	return tcqr.UpdateRemoveRows(f, k, cfg)
 }

@@ -204,6 +204,33 @@ func decodeSolveFrame(body []byte, scratch []wirefmt.Section) (*solveRequest, *a
 	return &req, nil
 }
 
+// decodeUpdateFrame maps an update frame — [JSON meta, append block] for an
+// append, [JSON meta] for a downdate, plus an optional trailing forward
+// section — onto the JSON request vocabulary. The append block is copied out
+// of the frame buffer (the updated entry outlives the pooled request body),
+// so the returned request does not alias body.
+func decodeUpdateFrame(body []byte, scratch []wirefmt.Section) (*updateRequest, *apiError) {
+	var req updateRequest
+	secs, aerr := decodeFrame(body, scratch, &req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if req.Append != nil {
+		return nil, errBadInput("update frame metadata must not carry an append field; send a matrix section")
+	}
+	secs, fwd := splitForward(secs)
+	switch {
+	case len(secs) == 1:
+		// Downdate: the metadata's remove_rows carries the whole request.
+	case len(secs) == 2 && secs[1].Tag == wirefmt.TagMatrix:
+		req.Append = sectionMatrix(&secs[1])
+	default:
+		return nil, errBadInput("update frame needs [JSON meta] or [JSON meta, append block] sections")
+	}
+	req.DeadlineMS = foldForwardDeadline(fwd, req.DeadlineMS)
+	return &req, nil
+}
+
 // decodeLowRankFrame maps a lowrank frame — [JSON meta, matrix A] — onto the
 // JSON request vocabulary. The returned request does not alias body.
 func decodeLowRankFrame(body []byte, scratch []wirefmt.Section) (*lowRankRequest, *apiError) {
@@ -258,6 +285,9 @@ func frameSections(v any) (meta any, bulk []wirefmt.Section, err error) {
 	case streamAppendResponse:
 		return resp, nil, nil
 	case streamAbortResponse:
+		return resp, nil, nil
+	// The update response is pure metadata (the factors stay server-side).
+	case updateResponse:
 		return resp, nil, nil
 	case solveResponse:
 		return binSolveMeta{

@@ -2,8 +2,8 @@ package serve
 
 import (
 	"fmt"
+	"strings"
 	"sync"
-	"sync/atomic"
 
 	"tcqr"
 	"tcqr/internal/faultinject"
@@ -34,20 +34,57 @@ func b2i(b bool) int {
 	return 0
 }
 
+// Epoch-versioned keys (/v1/update): a factorization enters the cache at
+// epoch 0 under its bare content-hash key; every applied update publishes a
+// new immutable entry under base@N. A bare base key always resolves to the
+// newest epoch; a versioned key pins exactly one epoch, so an in-flight
+// solve that resolved an entry keeps computing against it — and reports its
+// exact epoch key — no matter how many updates land meanwhile. CacheKey
+// output never contains '@', so the split below is unambiguous.
+
+// versionedKey renders the cache key of epoch e in base's series.
+func versionedKey(base string, epoch uint64) string {
+	if epoch == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s@%d", base, epoch)
+}
+
+// baseKey strips the epoch suffix; base keys pass through unchanged. The
+// cluster tier routes on it so every epoch of a series lands on the same
+// owners.
+func baseKey(key string) string {
+	if i := strings.LastIndexByte(key, '@'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
 // Entry is one cached factorization together with the float64 matrix it
 // factors: the refinement stage of every solve needs A at full precision,
-// so solve-by-key requests carry only the right-hand side.
+// so solve-by-key requests carry only the right-hand side. Entries are
+// immutable once published — an update never mutates an entry, it publishes
+// a new one under the next epoch key.
 type Entry struct {
-	Key    string
+	// Key is the entry's exact (epoch-versioned) cache key: the bare base
+	// key at epoch 0, base@N after N updates.
+	Key string
+	// Epoch counts the updates applied since the original factorization.
+	Epoch  uint64
 	A      *tcqr.Matrix
 	F      *tcqr.Factorization
 	Config tcqr.Config
 	bytes  int64
 
-	// lastUsed is the cache's logical clock value at the entry's most
-	// recent touch; eviction removes the minimum. Updated with a plain
-	// atomic store on the lock-free hit path.
-	lastUsed atomic.Int64
+	// Intrusive exact-LRU list links and the reference-counted lifecycle,
+	// all guarded by the cache mutex. refs counts outstanding acquisitions
+	// (Get, GetOrFactor, update pins, coalescer batches); an entry evicted
+	// or retired while referenced stays intact until its last holder
+	// releases it — eviction only ever frees drained entries.
+	prev, next *Entry
+	refs       int64
+	resident   bool
+	retired    bool
 }
 
 // sizeBytes estimates the resident size of the entry (A at 8 bytes/element,
@@ -81,35 +118,105 @@ type CacheStats struct {
 	Misses             int64 `json:"misses"`
 	Evictions          int64 `json:"evictions"`
 	SingleflightShared int64 `json:"singleflight_shared"`
+	// Updates counts epochs published through ApplyUpdate.
+	Updates int64 `json:"updates"`
+	// Retired counts entries retired because a newer epoch superseded them.
+	Retired int64 `json:"retired"`
+	// RetiredLive is the number of retired or evicted entries still pinned
+	// by outstanding references (drains to zero when their solves finish).
+	RetiredLive int64 `json:"retired_live"`
+	// Rewarmed counts entries adopted from the disk spill tier at startup.
+	Rewarmed int64 `json:"rewarmed"`
 }
 
-// FactorCache is a content-hash-keyed LRU cache of factorizations with
-// singleflight deduplication: concurrent GetOrFactor calls for the same key
-// share one Factorize call. Errors are never cached — a failed
+// FactorCache is a content-hash-keyed exact-LRU cache of factorizations
+// with singleflight deduplication: concurrent GetOrFactor calls for the
+// same key share one Factorize call. Errors are never cached — a failed
 // factorization is retried by the next request.
 //
-// The hit path is lock-free: entries live in a sync.Map, recency is an
-// atomic per-entry timestamp from a global logical clock, and the hit
-// counter is striped across cache lines — so concurrent solves against
-// cached factorizations (the serving fast path) never serialize on a cache
-// mutex. The mutex guards only the cold paths: singleflight bookkeeping,
-// insertion, and exact-LRU eviction (a min-timestamp scan, O(capacity) on
-// the rare insert past capacity).
+// Capacity is bounded twice: by entry count (maxEntries) and, when a byte
+// budget is set, by estimated resident bytes — eviction pops the LRU tail
+// until both bounds hold, so a handful of huge factors can no longer blow
+// past memory while tiny entries are evicted needlessly.
+//
+// Every lookup and insert runs under one mutex with an intrusive
+// doubly-linked LRU list, giving O(1) exact-LRU promotion and eviction
+// (PR 6's lock-free hit path traded exactness for a lock-free touch; with
+// refcounted lifecycles and epoch publication the lock is required for
+// correctness, and at ms-scale solve costs it is not measurable — see
+// DESIGN.md §15).
 type FactorCache struct {
 	maxEntries int
+	maxBytes   int64 // 0 = unbounded
 	backend    Backend
+	spill      *SpillTier // optional write-behind disk tier (nil = off)
 
-	entries sync.Map     // key string -> *Entry
-	clock   atomic.Int64 // logical time for LRU ordering
-	hits    metrics.Striped
+	hits metrics.Striped
 
 	mu       sync.Mutex
+	upd      sync.Cond // waits for per-series update serialization
+	entries  map[string]*Entry
+	series   map[string]*series // base key -> epoch chain state
+	lru      lruList
 	count    int
 	bytes    int64
 	misses   int64
 	evicted  int64
 	shared   int64
+	updates  int64
+	retired  int64
+	retLive  int64
+	rewarmed int64
 	inflight map[string]*flight
+}
+
+// series tracks one base key's epoch chain: the newest entry and whether an
+// update is being applied (updates on a series are serialized; solves are
+// not blocked — they keep resolving the current epoch until the new one is
+// published atomically).
+type series struct {
+	current  *Entry
+	updating bool
+}
+
+// lruList is the intrusive recency list: head is most recently used, tail
+// is the eviction victim. All operations are O(1).
+type lruList struct {
+	head, tail *Entry
+}
+
+func (l *lruList) pushFront(e *Entry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *lruList) remove(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (l *lruList) moveFront(e *Entry) {
+	if l.head == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
 }
 
 // flight is one in-progress factorization that followers wait on.
@@ -120,66 +227,124 @@ type flight struct {
 }
 
 // NewFactorCache builds a cache holding at most maxEntries factorizations
-// (minimum 1) backed by be.
+// (minimum 1) backed by be. Optional bounds and tiers attach before serving
+// begins: SetByteBudget, attachSpill.
 func NewFactorCache(maxEntries int, be Backend) *FactorCache {
 	if maxEntries < 1 {
 		maxEntries = 1
 	}
-	return &FactorCache{
+	c := &FactorCache{
 		maxEntries: maxEntries,
 		backend:    be,
+		entries:    make(map[string]*Entry),
+		series:     make(map[string]*series),
 		inflight:   make(map[string]*flight),
 	}
+	c.upd.L = &c.mu
+	return c
 }
 
-// touch marks e as most recently used.
-func (c *FactorCache) touch(e *Entry) {
-	e.lastUsed.Store(c.clock.Add(1))
+// SetByteBudget bounds the cache's estimated resident bytes (0 = entry
+// count only). Call before serving begins.
+func (c *FactorCache) SetByteBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	c.maxBytes = n
+}
+
+// attachSpill wires the write-behind disk tier: published entries are
+// enqueued for spill, evicted and retired ones removed. Call before serving
+// begins.
+func (c *FactorCache) attachSpill(sp *SpillTier) { c.spill = sp }
+
+// lookupLocked resolves key: a bare base key resolves through its series to
+// the newest epoch; a versioned key pins exactly that epoch.
+func (c *FactorCache) lookupLocked(key string) *Entry {
+	if s, ok := c.series[key]; ok && s.current != nil {
+		return s.current
+	}
+	return c.entries[key]
 }
 
 // Get returns the cached entry for key, if present, promoting it to most
-// recently used. Lock-free.
+// recently used and acquiring a reference: the caller must Release the
+// entry when done with it.
 func (c *FactorCache) Get(key string) (*Entry, bool) {
-	v, ok := c.entries.Load(key)
-	if !ok {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.lookupLocked(key)
+	if e == nil {
 		return nil, false
 	}
-	e := v.(*Entry)
-	c.touch(e)
+	c.lru.moveFront(e)
+	e.refs++
 	c.hits.Inc()
 	return e, true
 }
 
-// Peek reports whether key is resident without promoting it or counting a
-// hit. The cluster router uses it: a routing decision must not read as cache
-// traffic.
+// Peek reports whether key is resolvable without promoting it, acquiring
+// it, or counting a hit. The cluster router uses it: a routing decision
+// must not read as cache traffic.
 func (c *FactorCache) Peek(key string) bool {
-	_, ok := c.entries.Load(key)
-	return ok
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookupLocked(key) != nil
+}
+
+// Acquire adds a reference to e (the coalescer pins its batch's entry so a
+// deadline-abandoned handler releasing its own reference cannot let
+// eviction drain an entry a flush is about to read).
+func (c *FactorCache) Acquire(e *Entry) {
+	if e == nil {
+		return
+	}
+	c.mu.Lock()
+	e.refs++
+	c.mu.Unlock()
+}
+
+// Release drops one reference. The last release of a retired (superseded or
+// evicted-while-referenced) entry finalizes it.
+func (c *FactorCache) Release(e *Entry) {
+	if e == nil {
+		return
+	}
+	c.mu.Lock()
+	e.refs--
+	if e.refs <= 0 && e.retired {
+		e.retired = false
+		c.retLive--
+	}
+	c.mu.Unlock()
 }
 
 // GetOrFactor returns the entry for key, factoring a under cfg on a miss.
 // Concurrent misses for the same key are deduplicated: one caller factors
 // (SourceMiss), the rest wait for its result (SourceShared). The caller
-// must pass the same (a, cfg) it derived key from.
+// must pass the same (a, cfg) it derived key from, and must Release the
+// returned entry when done with it.
 func (c *FactorCache) GetOrFactor(key string, a *tcqr.Matrix, cfg tcqr.Config) (*Entry, Source, error) {
 	if e, ok := c.Get(key); ok {
 		return e, SourceHit, nil
 	}
 	c.mu.Lock()
 	// Re-check under the lock: a leader may have inserted between the
-	// lock-free probe and here.
-	if v, ok := c.entries.Load(key); ok {
-		c.mu.Unlock()
-		e := v.(*Entry)
-		c.touch(e)
+	// first probe and here.
+	if e := c.lookupLocked(key); e != nil {
+		c.lru.moveFront(e)
+		e.refs++
 		c.hits.Inc()
+		c.mu.Unlock()
 		return e, SourceHit, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.shared++
 		c.mu.Unlock()
 		<-fl.done
+		if fl.entry != nil {
+			c.Acquire(fl.entry)
+		}
 		return fl.entry, SourceShared, fl.err
 	}
 	fl := &flight{done: make(chan struct{})}
@@ -216,54 +381,210 @@ func (c *FactorCache) GetOrFactor(key string, a *tcqr.Matrix, cfg tcqr.Config) (
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if fl.entry != nil {
-		c.insertLocked(key, fl.entry)
+		fl.entry.refs = 1 // the leader's own acquisition
+		c.insertLocked(fl.entry)
 	}
 	c.mu.Unlock()
 	close(fl.done)
+	if fl.entry != nil && c.spill != nil {
+		c.spill.Enqueue(fl.entry)
+	}
 	return fl.entry, SourceMiss, fl.err
 }
 
-// insertLocked adds an entry and evicts past capacity. c.mu must be held.
-func (c *FactorCache) insertLocked(key string, e *Entry) {
-	if v, ok := c.entries.Load(key); ok {
-		// A racing leader for the same key already inserted; keep the
-		// existing entry current rather than duplicating.
-		c.touch(v.(*Entry))
+// BeginUpdate pins the newest epoch of key's series for an update and locks
+// the series against concurrent updates (they serialize here; solves are
+// never blocked). The returned entry is acquired — the caller must finish
+// with exactly one of PublishUpdate or AbortUpdate.
+func (c *FactorCache) BeginUpdate(key string) (*Entry, error) {
+	base := baseKey(key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		s := c.series[base]
+		if s == nil || s.current == nil {
+			return nil, fmt.Errorf("no cached factorization for key %q", key)
+		}
+		if !s.updating {
+			s.updating = true
+			e := s.current
+			e.refs++
+			return e, nil
+		}
+		c.upd.Wait()
+	}
+}
+
+// PublishUpdate atomically publishes the updated factorization as the next
+// epoch of old's series and retires old: the new entry becomes the target
+// of every subsequent bare-key lookup, while solves already pinning old
+// keep it alive through their references. Returns the new entry, acquired
+// for the caller (Release when done).
+func (c *FactorCache) PublishUpdate(old *Entry, a *tcqr.Matrix, f *tcqr.Factorization) *Entry {
+	base := baseKey(old.Key)
+	ne := &Entry{
+		Key:    versionedKey(base, old.Epoch+1),
+		Epoch:  old.Epoch + 1,
+		A:      a,
+		F:      f,
+		Config: old.Config,
+		refs:   1,
+	}
+	ne.bytes = ne.sizeBytes()
+	c.mu.Lock()
+	if s := c.series[base]; s != nil {
+		s.updating = false
+	}
+	if old.resident {
+		c.removeLocked(old, removeRetire)
+	}
+	c.insertLocked(ne)
+	c.updates++
+	old.refs-- // the BeginUpdate pin
+	if old.refs <= 0 && old.retired {
+		old.retired = false
+		c.retLive--
+	}
+	c.mu.Unlock()
+	c.upd.Broadcast()
+	if c.spill != nil {
+		c.spill.Enqueue(ne)
+	}
+	return ne
+}
+
+// AbortUpdate unlocks the series after a failed update and drops the
+// BeginUpdate pin; the current epoch stays published.
+func (c *FactorCache) AbortUpdate(old *Entry) {
+	c.mu.Lock()
+	if s := c.series[baseKey(old.Key)]; s != nil {
+		s.updating = false
+	}
+	old.refs--
+	if old.refs <= 0 && old.retired {
+		old.retired = false
+		c.retLive--
+	}
+	c.mu.Unlock()
+	c.upd.Broadcast()
+}
+
+// AdoptRewarmed inserts an entry loaded from the disk spill tier (daemon
+// restart). It counts neither a hit nor a miss, and a stale epoch (older
+// than one already adopted for the same base) is skipped rather than
+// published over it.
+func (c *FactorCache) AdoptRewarmed(e *Entry) bool {
+	base := baseKey(e.Key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.series[base]; s != nil && s.current != nil && s.current.Epoch >= e.Epoch {
+		return false
+	}
+	if cur := c.entries[e.Key]; cur != nil {
+		return false
+	}
+	e.bytes = e.sizeBytes()
+	c.insertLocked(e)
+	c.rewarmed++
+	return true
+}
+
+// removeReason distinguishes the counters bumped when an entry leaves the
+// index.
+type removeReason int
+
+const (
+	removeEvict removeReason = iota
+	removeRetire
+	removeReset
+)
+
+// insertLocked adds an entry to the index, the LRU list, and its series,
+// then evicts past the entry/byte bounds. c.mu must be held.
+func (c *FactorCache) insertLocked(e *Entry) {
+	if cur, ok := c.entries[e.Key]; ok {
+		// A racing insert for the same key already landed; keep the existing
+		// entry current rather than duplicating.
+		c.lru.moveFront(cur)
 		return
 	}
-	c.touch(e)
-	c.entries.Store(key, e)
+	c.entries[e.Key] = e
+	e.resident = true
+	c.lru.pushFront(e)
 	c.count++
 	c.bytes += e.bytes
-	for c.count > c.maxEntries {
-		var victim *Entry
-		min := int64(1<<63 - 1)
-		c.entries.Range(func(_, v any) bool {
-			e := v.(*Entry)
-			if t := e.lastUsed.Load(); t < min {
-				min, victim = t, e
-			}
-			return true
-		})
+	base := baseKey(e.Key)
+	s := c.series[base]
+	if s == nil {
+		s = &series{}
+		c.series[base] = s
+	}
+	s.current = e
+	for c.count > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		victim := c.lru.tail
+		// Never evict the entry being inserted: a single entry above the
+		// byte budget stays resident (the alternative is caching nothing).
+		for victim == e {
+			victim = victim.prev
+		}
 		if victim == nil {
 			return
 		}
-		c.entries.Delete(victim.Key)
-		c.count--
-		c.bytes -= victim.bytes
+		c.removeLocked(victim, removeEvict)
+	}
+}
+
+// removeLocked detaches an entry from the index, list, and series. A still-
+// referenced entry is marked retired and stays intact (and readable by its
+// holders) until the last reference drains; eviction never frees or mutates
+// an entry mid-solve. c.mu must be held.
+func (c *FactorCache) removeLocked(e *Entry, why removeReason) {
+	delete(c.entries, e.Key)
+	c.lru.remove(e)
+	e.resident = false
+	c.count--
+	c.bytes -= e.bytes
+	switch why {
+	case removeEvict:
 		c.evicted++
+	case removeRetire:
+		c.retired++
+	}
+	base := baseKey(e.Key)
+	if s := c.series[base]; s != nil && s.current == e {
+		if why == removeRetire {
+			// PublishUpdate is about to install the successor; keep the
+			// series (and its updating latch) alive.
+			s.current = nil
+		} else {
+			delete(c.series, base)
+		}
+	}
+	if c.spill != nil {
+		c.spill.Remove(e.Key)
+	}
+	if e.refs > 0 {
+		e.retired = true
+		c.retLive++
 	}
 }
 
 // Reset empties the cache (benchmarks use it to measure the cold path).
-// Counters other than Entries/Bytes are preserved.
+// Counters other than Entries/Bytes are preserved; the spill tier is left
+// untouched.
 func (c *FactorCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries.Range(func(k, _ any) bool {
-		c.entries.Delete(k)
-		return true
-	})
+	for _, e := range c.entries {
+		delete(c.entries, e.Key)
+		c.lru.remove(e)
+		e.resident = false
+		if e.refs > 0 && !e.retired {
+			e.retired = true
+			c.retLive++
+		}
+	}
+	c.series = make(map[string]*series)
 	c.count = 0
 	c.bytes = 0
 }
@@ -279,5 +600,9 @@ func (c *FactorCache) Stats() CacheStats {
 		Misses:             c.misses,
 		Evictions:          c.evicted,
 		SingleflightShared: c.shared,
+		Updates:            c.updates,
+		Retired:            c.retired,
+		RetiredLive:        c.retLive,
+		Rewarmed:           c.rewarmed,
 	}
 }

@@ -85,6 +85,29 @@ func (s *Server) maybeForwardSolve(w http.ResponseWriter, rc *reqScope, ctx cont
 	return handled
 }
 
+// maybeForwardUpdate routes an update request: updates must run on a node
+// holding the key's series (the epoch chain is node-local state), so a node
+// without the series routes to the base key's owners exactly like a by-key
+// solve it cannot answer. Same contract as maybeForwardSolve.
+func (s *Server) maybeForwardUpdate(w http.ResponseWriter, rc *reqScope, ctx context.Context, req *updateRequest) bool {
+	cands, forward := s.clusterRoute(rc, req.Key, true, true)
+	if !forward {
+		return false
+	}
+	frame, err := encodeUpdateForward(s.cluster, ctx, req, len(cands))
+	if err != nil {
+		s.cluster.NoteServedLocalFallback()
+		return false
+	}
+	var reserve []cluster.Member
+	if !s.cache.Peek(req.Key) {
+		reserve = s.cluster.Peers()
+	}
+	handled := s.forwardToCandidates(w, rc, ctx, cands, reserve, "/v1/update", frame, true)
+	wirefmt.PutBuffer(frame)
+	return handled
+}
+
 // clusterRoute makes the routing decision for key. forward=false means serve
 // locally (the decision has been counted); forward=true hands back the
 // candidate owners to try, in preference order, already filtered by peer
@@ -109,7 +132,10 @@ func (s *Server) clusterRoute(rc *reqScope, key string, cold, keyOnly bool) ([]c
 		n.NoteRoute(cluster.DecisionLocalHit)
 		return nil, false
 	}
-	owners := n.Owners(key)
+	// Ownership hashes the base key: every epoch of an updated series maps
+	// to the same owners, so updates and solves-by-key stay co-located no
+	// matter which key form the client sends.
+	owners := n.Owners(baseKey(key))
 	if !keyOnly {
 		for _, m := range owners {
 			if n.IsSelf(m) {
@@ -270,6 +296,26 @@ func encodeSolveForward(n *cluster.Node, ctx context.Context, req *solveRequest,
 		secs = append(secs, wirefmt.MatrixSection(a.Rows, a.Cols, colMajorData(a)))
 	}
 	secs = append(secs, wirefmt.VectorSection(req.B), forwardSection(n, ctx, attempts))
+	return encodeForwardFrame(secs)
+}
+
+// encodeUpdateForward builds the peer-forward frame for an update request:
+// [JSON meta, append block?, forward].
+func encodeUpdateForward(n *cluster.Node, ctx context.Context, req *updateRequest, attempts int) ([]byte, error) {
+	meta, err := json.Marshal(updateRequest{
+		Key:        req.Key,
+		RemoveRows: req.RemoveRows,
+		DeadlineMS: req.DeadlineMS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	secs := make([]wirefmt.Section, 0, 3)
+	secs = append(secs, wirefmt.JSONSection(meta))
+	if req.Append != nil {
+		secs = append(secs, wirefmt.MatrixSection(req.Append.Rows, req.Append.Cols, req.Append.Data))
+	}
+	secs = append(secs, forwardSection(n, ctx, attempts))
 	return encodeForwardFrame(secs)
 }
 

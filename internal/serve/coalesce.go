@@ -97,6 +97,14 @@ type Coalescer struct {
 	// it to the batch-size histogram). Set before serving begins; not
 	// synchronized.
 	onFlush func(size int)
+	// retain/release, when set, pin a batch's entry for the batch's own
+	// lifetime (the server wires them to the cache refcount). A handler
+	// abandoned on deadline releases its reference and returns, but the
+	// detached flush still reads entry.F/entry.A — without the batch's own
+	// pin, an eviction or update retirement could drain the entry first.
+	// Set before serving begins; not synchronized.
+	retain  func(*Entry)
+	release func(*Entry)
 
 	shards [coalesceShards]coalesceShard
 
@@ -151,6 +159,9 @@ func (c *Coalescer) Submit(ctx context.Context, entry *Entry, opts tcqr.SolveOpt
 
 	if c.window <= 0 || c.maxBatch == 1 {
 		bt := &batch{entry: entry, opts: opts, waiters: []*solveWaiter{w}, flushed: true}
+		if c.retain != nil {
+			c.retain(entry)
+		}
 		c.execute(bt)
 	} else {
 		fp := solveFingerprint(entry.Key, opts)
@@ -159,6 +170,9 @@ func (c *Coalescer) Submit(ctx context.Context, entry *Entry, opts tcqr.SolveOpt
 		bt := sh.pending[fp]
 		if bt == nil {
 			bt = &batch{entry: entry, opts: opts, fp: fp, shard: sh}
+			if c.retain != nil {
+				c.retain(entry)
+			}
 			bt.timer = time.AfterFunc(c.window, func() { c.flush(bt) })
 			sh.pending[fp] = bt
 		}
@@ -200,6 +214,11 @@ func (c *Coalescer) flush(bt *batch) {
 // a solo request, a single SolveMultiWithFactor for a coalesced one — and
 // distributes per-column outcomes to the waiters.
 func (c *Coalescer) execute(bt *batch) {
+	// The batch's own entry pin (taken at batch creation) drops only after
+	// the flush has finished reading the factors and distributing outcomes.
+	if c.release != nil {
+		defer c.release(bt.entry)
+	}
 	k := len(bt.waiters)
 	if c.onFlush != nil {
 		c.onFlush(k)

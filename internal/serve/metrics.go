@@ -59,6 +59,12 @@ type serverMetrics struct {
 	streamReaped    *metrics.Counter
 	streamAppends   *metrics.Counter
 
+	// Update endpoint counters: epochs applied by operation, aborted
+	// updates, and the net row churn (|Δrows| summed over updates).
+	updateApplied *metrics.CounterVec // by op: append/downdate
+	updateFailed  *metrics.Counter
+	updateRows    *metrics.Counter
+
 	hazards    *metrics.CounterVec // by hazard kind
 	recoveries *metrics.CounterVec // by fallback-ladder action
 	panels     *metrics.CounterVec // by requested panel algorithm
@@ -137,9 +143,15 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 			"Chunked-upload sessions reaped on expiry or drain."),
 		streamAppends: reg.Counter("tcqrd_stream_appends_total",
 			"Row blocks accepted into chunked-upload sessions."),
+		updateApplied: reg.CounterVec("tcqrd_update_applied_total",
+			"Incremental factorization updates published, by operation.", "op"),
+		updateFailed: reg.Counter("tcqrd_update_failed_total",
+			"Updates aborted by compute errors (the prior epoch stayed published)."),
+		updateRows: reg.Counter("tcqrd_update_rows_total",
+			"Rows appended or removed across all published updates."),
 	}
-	m.hot = make(map[string]hotCounters, 7)
-	for _, ep := range []string{"factorize", "solve", "lowrank",
+	m.hot = make(map[string]hotCounters, 8)
+	for _, ep := range []string{"factorize", "solve", "update", "lowrank",
 		"stream_begin", "stream_append", "stream_commit", "stream_abort"} {
 		m.hot[ep] = hotCounters{
 			requests:   m.requests.With(ep),
@@ -217,6 +229,57 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	reg.CounterFunc("tcqrd_cache_singleflight_shared_total",
 		"Requests that piggybacked on another request's in-flight factorization.",
 		func() int64 { return s.cache.Stats().SingleflightShared })
+	reg.CounterFunc("tcqrd_update_epochs_total",
+		"Epochs published through /v1/update.",
+		func() int64 { return s.cache.Stats().Updates })
+	reg.CounterFunc("tcqrd_update_retired_total",
+		"Entries retired because a newer epoch superseded them.",
+		func() int64 { return s.cache.Stats().Retired })
+	reg.GaugeFunc("tcqrd_update_retired_live",
+		"Retired or evicted entries still pinned by in-flight requests.",
+		func() float64 { return float64(s.cache.Stats().RetiredLive) })
+	reg.CounterFunc("tcqrd_cache_rewarmed_total",
+		"Entries adopted from the disk spill tier at startup.",
+		func() int64 { return s.cache.Stats().Rewarmed })
+
+	// The spill families render zeros without a -cache-dir, keeping the
+	// scrape shape stable across configurations.
+	spillStats := func() SpillStats {
+		if s.spill == nil {
+			return SpillStats{}
+		}
+		return s.spill.Stats()
+	}
+	reg.CounterFunc("tcqrd_spill_writes_total",
+		"Factorization entries durably spilled to the disk tier.",
+		func() int64 { return spillStats().Writes })
+	reg.CounterFunc("tcqrd_spill_write_errors_total",
+		"Failed spill writes (the entry stayed cache-only).",
+		func() int64 { return spillStats().WriteErrors })
+	reg.CounterFunc("tcqrd_spill_dropped_total",
+		"Spill operations shed because the write-behind queue was full.",
+		func() int64 { return spillStats().Dropped })
+	reg.CounterFunc("tcqrd_spill_removes_total",
+		"Spill files deleted because their entry was evicted or retired.",
+		func() int64 { return spillStats().Removes })
+	reg.CounterFunc("tcqrd_spill_evictions_total",
+		"Spill files deleted to stay under the on-disk byte budget.",
+		func() int64 { return spillStats().Evictions })
+	reg.CounterFunc("tcqrd_spill_loads_total",
+		"Spill files read during restart rewarm.",
+		func() int64 { return spillStats().Loads })
+	reg.CounterFunc("tcqrd_spill_load_errors_total",
+		"Spill files that failed to load during rewarm.",
+		func() int64 { return spillStats().LoadErrors })
+	reg.CounterFunc("tcqrd_spill_quarantined_total",
+		"Corrupt spill files set aside as .quarantine during rewarm.",
+		func() int64 { return spillStats().Quarantined })
+	reg.GaugeFunc("tcqrd_spill_files",
+		"Files currently in the disk spill tier.",
+		func() float64 { return float64(spillStats().Files) })
+	reg.GaugeFunc("tcqrd_spill_bytes",
+		"Bytes currently in the disk spill tier.",
+		func() float64 { return float64(spillStats().BytesOnDisk) })
 
 	reg.CounterFunc("tcqrd_coalescer_batches_total",
 		"Coalesced batch flushes (each issues one backend call).",

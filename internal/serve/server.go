@@ -34,6 +34,19 @@ type Options struct {
 	QueueDepth int
 	// CacheEntries bounds the factorization cache (0 = 32 entries, LRU).
 	CacheEntries int
+	// CacheMaxBytes additionally bounds the cache's estimated resident
+	// bytes (0 = entry count only): the LRU tail is evicted until both
+	// bounds hold, so a handful of huge factors cannot blow past memory
+	// while tiny entries are evicted needlessly.
+	CacheMaxBytes int64
+	// CacheDir enables the write-behind disk spill tier: published
+	// factorizations persist under this directory (checksummed, atomically
+	// renamed) and a restarted server rewarms its cache from them instead
+	// of cold-factorizing ("" = no persistence).
+	CacheDir string
+	// SpillMaxBytes bounds the spill tier's on-disk footprint; oldest files
+	// are deleted first (0 = unbounded). Ignored without CacheDir.
+	SpillMaxBytes int64
 	// Window is the coalescing window: same-factorization solves arriving
 	// within it share one multi-RHS call. 0 disables coalescing; tcqrd
 	// defaults it to 2ms.
@@ -95,7 +108,9 @@ type Options struct {
 type Server struct {
 	opts     Options
 	backend  Backend
+	updater  Updater
 	cache    *FactorCache
+	spill    *SpillTier
 	coal     *Coalescer
 	pool     *Pool
 	streams  *streamRegistry
@@ -167,10 +182,38 @@ func New(opts Options) *Server {
 		s.brk.threshold = int64(opts.DegradeThreshold)
 	}
 	s.cache = NewFactorCache(opts.CacheEntries, s.backend)
+	s.cache.SetByteBudget(opts.CacheMaxBytes)
+	// Updates route through the backend when it implements the optional
+	// Updater capability, and fall back to the library implementation so a
+	// counting/faking Backend still serves /v1/update.
+	if up, ok := s.backend.(Updater); ok {
+		s.updater = up
+	} else {
+		s.updater = LibraryBackend{}
+	}
+	if opts.CacheDir != "" {
+		sp, err := NewSpillTier(opts.CacheDir, opts.SpillMaxBytes)
+		if err != nil {
+			if s.log != nil {
+				s.log.Warn("spill tier disabled", slog.String("dir", opts.CacheDir), slog.String("error", err.Error()))
+			}
+		} else {
+			s.spill = sp
+			s.cache.attachSpill(sp)
+			// Rewarm synchronously, before the first request: a bounced
+			// daemon serves by-key cache hits immediately instead of
+			// stampeding cold factorizes.
+			for _, e := range sp.Rewarm() {
+				s.cache.AdoptRewarmed(e)
+			}
+		}
+	}
 	s.coal = NewCoalescer(opts.Window, opts.MaxBatch, s.backend, func(fn func()) error {
 		_, err := s.pool.Do(context.Background(), fn)
 		return err
 	})
+	s.coal.retain = s.cache.Acquire
+	s.coal.release = s.cache.Release
 	s.metrics = newServerMetrics(opts.Registry, s)
 	s.coal.onFlush = func(size int) { s.metrics.batchSize.Observe(float64(size)) }
 	s.streams.reaped = func(n int) { s.metrics.streamReaped.Add(int64(n)) }
@@ -194,7 +237,12 @@ func (s *Server) Metrics() *metrics.Registry { return s.metrics.reg }
 // session reaper. Call when retiring a Server whose process keeps running
 // (tests, embedders); idempotent.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.reaperStop) })
+	s.closeOnce.Do(func() {
+		close(s.reaperStop)
+		if s.spill != nil {
+			s.spill.Close()
+		}
+	})
 	s.metrics.close()
 }
 
@@ -224,8 +272,8 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) AwaitIdle(ctx context.Context) error { return s.pool.AwaitIdle(ctx) }
 
 // Handler returns the HTTP API: POST /v1/factorize, /v1/factorize/stream/
-// {begin,append,commit,abort}, /v1/solve, /v1/lowrank; GET /healthz, /statz,
-// /metrics.
+// {begin,append,commit,abort}, /v1/solve, /v1/update, /v1/lowrank; GET
+// /healthz, /statz, /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/factorize", s.handleFactorize)
@@ -234,6 +282,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/factorize/stream/commit", s.handleStreamCommit)
 	mux.HandleFunc("/v1/factorize/stream/abort", s.handleStreamAbort)
 	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/update", s.handleUpdate)
 	mux.HandleFunc("/v1/lowrank", s.handleLowRank)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
@@ -496,6 +545,7 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		rc.fail(w, classifyError(ferr))
 		return
 	}
+	defer s.cache.Release(entry)
 	if src == SourceMiss {
 		s.clusterReplicate(key, a, req.Config)
 	}
@@ -612,6 +662,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		rc.fail(w, errBadInput("missing key or matrix"))
 		return
 	}
+	// The reference acquired above (Get or GetOrFactor) pins the entry —
+	// and, under epoch-versioned updates, the exact epoch this request
+	// resolved — for the whole solve, so concurrent updates and evictions
+	// can never free or swap the factors mid-read.
+	defer s.cache.Release(entry)
 	rc.key = entry.Key
 	rc.rows, rc.cols = entry.A.Rows, entry.A.Cols
 
@@ -655,6 +710,180 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Batched:    out.batched,
 		Hazards:    rc.noteHazards(out.hazards),
 	})
+}
+
+// handleUpdate is POST /v1/update: an incremental mutation of the cached
+// factorization behind a key — append a row block or downdate trailing rows
+// — published as the next epoch of the key's series. The update runs on the
+// library's O(n²·(k+n)) update path, not a refactorization; in-flight
+// solves keep the epoch they pinned and the old entry is freed only when
+// its references drain.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	rc, ok := s.admit(w, r, "update")
+	if !ok {
+		return
+	}
+	var req updateRequest
+	if rc.binReq {
+		// The append block is copied out of the frame during decode (it
+		// outlives the request inside the published entry), so the pooled
+		// buffer can be released as soon as decoding ends.
+		body, aerr := readFrameBody(r)
+		if aerr != nil {
+			rc.fail(w, aerr)
+			return
+		}
+		preq, aerr := decodeUpdateFrame(body, nil)
+		wirefmt.PutBuffer(body)
+		if aerr != nil {
+			rc.fail(w, aerr)
+			return
+		}
+		req = *preq
+	} else if err := decodeJSON(r.Body, &req); err != nil {
+		rc.fail(w, classifyError(err))
+		return
+	}
+	if req.Key == "" {
+		rc.fail(w, errBadInput("missing key"))
+		return
+	}
+	if (req.Append != nil) == (req.RemoveRows != 0) {
+		rc.fail(w, errBadInput("give append or remove_rows, exactly one"))
+		return
+	}
+	if req.RemoveRows < 0 {
+		rc.fail(w, errBadInput("remove_rows must be positive"))
+		return
+	}
+	rc.key = req.Key
+	ctx, cancel := s.requestContext(r, req.DeadlineMS)
+	defer cancel()
+	// Updates must run where the series lives: route to the base key's
+	// owners when this node does not hold it.
+	if s.maybeForwardUpdate(w, rc, ctx, &req) {
+		return
+	}
+	// Updates are cold compute: degraded mode sheds them like any other
+	// factorization work.
+	if de := s.degradedReject(); de != nil {
+		rc.fail(w, de)
+		return
+	}
+	var v64 *tcqr.Matrix
+	if req.Append != nil {
+		var aerr *apiError
+		if v64, aerr = s.resolveMatrix(req.Append); aerr != nil {
+			rc.fail(w, aerr)
+			return
+		}
+	}
+	old, berr := s.cache.BeginUpdate(req.Key)
+	if berr != nil {
+		rc.fail(w, &apiError{status: http.StatusNotFound, code: "unknown_key",
+			msg: fmt.Sprintf("no cached factorization for key %q (it may have been evicted; re-send the matrix)", req.Key)})
+		return
+	}
+	// Shape checks against the pinned epoch, before any compute.
+	if v64 != nil {
+		if v64.Cols != old.A.Cols {
+			s.cache.AbortUpdate(old)
+			rc.fail(w, errBadInput(fmt.Sprintf("append block has %d columns; the factorization has %d", v64.Cols, old.A.Cols)))
+			return
+		}
+		if n := int64(old.A.Rows+v64.Rows) * int64(old.A.Cols); n > int64(s.opts.MaxElements) {
+			s.cache.AbortUpdate(old)
+			rc.fail(w, &apiError{status: http.StatusRequestEntityTooLarge, code: "too_large",
+				msg: fmt.Sprintf("updated matrix would have %d elements; the server caps matrices at %d", n, s.opts.MaxElements)})
+			return
+		}
+	}
+	var (
+		v  *tcqr.Matrix32
+		nf *tcqr.Factorization
+	)
+	if v64 != nil {
+		v = tcqr.ToFloat32(v64)
+	}
+	uerr := s.retryDo(ctx, rc, "update", func(actx context.Context) error {
+		var ierr error
+		wait, perr := s.pool.Do(actx, func() {
+			t0 := time.Now()
+			// Failpoint: an injected error here aborts the update after the
+			// epoch was pinned — the recovery path that must leave the
+			// current epoch published and the series unlocked.
+			ierr = faultinject.Fire(siteUpdateApply)
+			if ierr == nil {
+				if v != nil {
+					nf, ierr = s.updater.UpdateAppendRows(old.F, v, old.Config)
+				} else {
+					nf, ierr = s.updater.UpdateRemoveRows(old.F, req.RemoveRows, old.Config)
+				}
+			}
+			rc.rep.RecordTiming("update", time.Since(t0))
+		})
+		if perr != nil {
+			return perr
+		}
+		rc.rep.RecordTiming("queue", wait)
+		return ierr
+	})
+	if uerr != nil {
+		s.cache.AbortUpdate(old)
+		s.metrics.updateFailed.Inc()
+		rc.fail(w, classifyError(uerr))
+		return
+	}
+	// Rebuild the refinement matrix for the new epoch (solves need A at
+	// full precision) and publish atomically.
+	var na *tcqr.Matrix
+	if v64 != nil {
+		na = appendRows64(old.A, v64)
+		s.metrics.updateApplied.With("append").Inc()
+	} else {
+		na = dropRows64(old.A, req.RemoveRows)
+		s.metrics.updateApplied.With("downdate").Inc()
+	}
+	s.metrics.updateRows.Add(int64(absInt(na.Rows - old.A.Rows)))
+	ne := s.cache.PublishUpdate(old, na, nf)
+	defer s.cache.Release(ne)
+	rc.key = ne.Key
+	rc.rows, rc.cols = na.Rows, na.Cols
+	rc.ok(w, updateResponse{
+		Key:     ne.Key,
+		BaseKey: baseKey(ne.Key),
+		Epoch:   ne.Epoch,
+		Rows:    na.Rows,
+		Cols:    na.Cols,
+		Hazards: rc.noteHazards(nf.Hazards),
+	})
+}
+
+// appendRows64 stacks v under a (both tight or strided column-major).
+func appendRows64(a, v *tcqr.Matrix) *tcqr.Matrix {
+	out := tcqr.NewMatrix(a.Rows+v.Rows, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		col := out.Col(j)
+		copy(col, a.Data[j*a.Stride:j*a.Stride+a.Rows])
+		copy(col[a.Rows:], v.Data[j*v.Stride:j*v.Stride+v.Rows])
+	}
+	return out
+}
+
+// dropRows64 copies a without its trailing k rows.
+func dropRows64(a *tcqr.Matrix, k int) *tcqr.Matrix {
+	out := tcqr.NewMatrix(a.Rows-k, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		copy(out.Col(j), a.Data[j*a.Stride:j*a.Stride+out.Rows])
+	}
+	return out
+}
+
+func absInt(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
 }
 
 func (s *Server) handleLowRank(w http.ResponseWriter, r *http.Request) {

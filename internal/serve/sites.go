@@ -35,4 +35,15 @@ const (
 	// session is resolved but before the row block is accepted; error faults
 	// surface as 500s and leave the session intact for a client retry.
 	siteStreamAppend = "serve.stream.append"
+	// siteUpdateApply fires inside /v1/update between pinning the current
+	// epoch and computing the updated factorization; error faults abort the
+	// update (the current epoch stays published, the series unlocks).
+	siteUpdateApply = "serve.update.apply"
+	// siteSpillWrite fires in the spill writer after encoding, modeling a
+	// crash: a torn (half-length) file is left at the final name — the
+	// artifact the checksummed rewarm pass must quarantine.
+	siteSpillWrite = "serve.spill.write"
+	// siteSpillLoad fires per file during restart rewarm; error faults skip
+	// the file as a read error without quarantining it.
+	siteSpillLoad = "serve.spill.load"
 )

@@ -239,6 +239,30 @@ type solveResponse struct {
 	Hazards    []WireHazard `json:"hazards,omitempty"`
 }
 
+// updateRequest is the body of POST /v1/update: an incremental mutation of
+// the cached factorization behind key — append a row block, or remove the
+// trailing remove_rows rows (exactly one of the two). The key may be a bare
+// base key (the update applies to the newest epoch) or an explicit
+// key@epoch, which must still be current: updates always chain off the
+// series head.
+type updateRequest struct {
+	Key        string      `json:"key"`
+	Append     *WireMatrix `json:"append,omitempty"`
+	RemoveRows int         `json:"remove_rows,omitempty"`
+	DeadlineMS int64       `json:"deadline_ms,omitempty"`
+}
+
+// updateResponse reports the newly published epoch. Subsequent solves by
+// the bare base key resolve it automatically; the versioned key pins it.
+type updateResponse struct {
+	Key     string       `json:"key"`
+	BaseKey string       `json:"base_key"`
+	Epoch   uint64       `json:"epoch"`
+	Rows    int          `json:"rows"`
+	Cols    int          `json:"cols"`
+	Hazards []WireHazard `json:"hazards,omitempty"`
+}
+
 // streamBeginRequest opens a chunked-upload session (POST
 // /v1/factorize/stream/begin): the column count and factorization config are
 // fixed up front so every appended row block can be validated against them

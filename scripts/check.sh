@@ -41,6 +41,13 @@ done
 echo "== cluster soak =="
 go test -race -run 'TestClusterChaosSoak' ./internal/serve
 
+# Spill-tier crash consistency: torn writes and load faults injected during
+# a mixed factorize/update/solve storm, then a restart that must quarantine
+# exactly the torn files and rewarm every intact one. See DESIGN.md §15 and
+# `make chaos`.
+echo "== spill chaos soak =="
+go test -race -run 'TestSpillChaosSoak' ./internal/serve
+
 echo "== serve smoke =="
 sh scripts/serve_smoke.sh
 
