@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: build check check-race check-deep lint fuzz chaos cluster-soak \
 	bench bench-json serve serve-smoke bench-serve-json bench-tsqr \
-	bench-update clean
+	bench-update bench-tcec clean
 
 build:
 	$(GO) build ./...
@@ -31,14 +31,17 @@ check-race:
 	$(GO) test -race ./...
 
 # Short native-fuzz smoke of the format round trips, the packed GEMM golden
-# property, the TSQR-vs-serial equivalence, and the serving decode paths.
-# internal/serve holds two targets, so those runs name their target; the
+# property, the tc-ec split/GEMM error-bound properties, the TSQR-vs-serial
+# equivalence, and the serving decode paths. internal/serve and
+# internal/tcsim hold two targets each, so those runs name their target; the
 # single-target packages keep the unambiguous -fuzz=. form.
 fuzz:
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/f16
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/bf16
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/blas
 	$(GO) test -run '^$$' -fuzz . -fuzztime 10s ./internal/wirefmt
+	$(GO) test -run '^$$' -fuzz '^FuzzTcEcSplitRoundTrip$$' -fuzztime 10s ./internal/tcsim
+	$(GO) test -run '^$$' -fuzz '^FuzzGemmTcEcVsFP32$$' -fuzztime 10s ./internal/tcsim
 	$(GO) test -run '^$$' -fuzz '^FuzzTSQRBlockVsSerial$$' -fuzztime 10s ./internal/tsqr
 	$(GO) test -run '^$$' -fuzz '^FuzzRetryPolicy$$' -fuzztime 10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzStreamFrameDecode$$' -fuzztime 10s ./internal/serve
@@ -101,6 +104,18 @@ bench-update:
 	$(GO) run ./cmd/tcqr-bench -out BENCH_9.json -bench 'UpdateVsRefactorize|RewarmedHitSolve' \
 		-notes "UpdateAppend vs Refactorize at the same post-append shape gates the >=10x claim at the 16-row block; RewarmedHitSolve serves from a spill-rewarmed cache with zero backend factorizations" \
 		. ./internal/serve
+
+# Error-corrected engine benchmark report (BENCH_10.json): tc vs tc-ec vs
+# bf16 vs fp32 GEMM cost at 512³ (Engines), plus the end-to-end
+# factorization at the quick paper shape (TcEcFactorize). The factorize
+# metrics carry the acceptance evidence: plain tc trips the panel quality
+# gate (precision-escalations > 0) where tc-ec records zero at fp32-order
+# backward error, and both keep fp32-panel-escalations = 0 — the hot path
+# never leaves the tensor-core simulant. See DESIGN.md §16.
+bench-tcec:
+	$(GO) run ./cmd/tcqr-bench -out BENCH_10.json -bench 'Engines|TcEcFactorize' \
+		-notes "tc-ec software cost is 3-4x tc (three packed fp16 passes per GEMM plus the operand split); the win is accuracy: at the 512x128 bench shape TcEcFactorize/tc trips the panel quality gate on all 4 panels (precision-escalations=4, backward-err ~2e-4 pre-recovery) where TcEcFactorize/tc-ec records precision-escalations=0 at fp32-order backward-err ~1e-7, and fp32-panel-escalations=0 for both proves recovery stays on the tensor-core simulant" \
+		./internal/tcsim .
 
 # TSQR benchmark report (BENCH_7.json): parallel row-blocked factorization
 # vs the Workers=1 identical-bits schedule vs the serial RGS baseline,

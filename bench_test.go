@@ -18,6 +18,7 @@ package tcqr
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"tcqr/internal/blas"
@@ -253,6 +254,52 @@ func BenchmarkTable4_QRSVD(b *testing.B) {
 	rgsT, sgeT := perfmodel.QRSVDTimes(524288, 1024)
 	b.ReportMetric(errRel, "trunc-err")
 	b.ReportMetric(sgeT/rgsT, "paper-x")
+}
+
+// BenchmarkTcEcFactorize compares the engine tiers end to end at the quick
+// paper shape (DESIGN.md §16). The reported metrics carry the acceptance
+// story, not just the timing: the plain TC panel sits at its ~2⁻¹¹ error
+// floor, trips the backward-error quality gate and escalates
+// (precision-escalations > 0), while tc-ec passes the gate directly at
+// fp32-order backward error with zero escalations — and neither engine ever
+// reaches an fp32 panel (fp32-panel-escalations = 0), so the hot path stays
+// on the tensor-core simulant. The timing shows tc-ec's ~3× GEMM cost.
+func BenchmarkTcEcFactorize(b *testing.B) {
+	a := benchMatrix(b, 512, 128, 100, matgen.Geometric)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"tc", Config{Cutoff: 32, TensorCoreInPanel: true, OnHazard: HazardFallback}},
+		{"tc-ec", Config{Cutoff: 32, UseTCEC: true, TensorCoreInPanel: true, OnHazard: HazardFallback}},
+		{"fp32", Config{Cutoff: 32, DisableTensorCore: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var be float64
+			var loss, fp32Panels int
+			for i := 0; i < b.N; i++ {
+				f, err := Factorize(a, c.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				be = f.BackwardError(a)
+				loss, fp32Panels = 0, 0
+				for _, h := range f.Hazards {
+					if h.Kind != HazardPrecisionLoss {
+						continue
+					}
+					loss++
+					if strings.Contains(h.Action, "MGS") || strings.Contains(h.Action, "SGEQRF") {
+						fp32Panels++
+					}
+				}
+			}
+			b.ReportMetric(be, "backward-err")
+			b.ReportMetric(float64(loss), "precision-escalations")
+			b.ReportMetric(float64(fp32Panels), "fp32-panel-escalations")
+		})
+	}
 }
 
 // BenchmarkScaling_Ablation measures the cost of the §3.5 column scaling

@@ -23,6 +23,7 @@
 //
 //	tcqrd [-addr :8723] [-workers N] [-queue 64] [-cache 32]
 //	      [-cache-max-bytes 0] [-cache-dir path] [-spill-max-bytes 0]
+//	      [-engine fp16|tc-ec|bf16|fp32]
 //	      [-window 2ms] [-max-batch 32] [-deadline 30s]
 //	      [-drain-timeout 10s] [-addr-file path]
 //	      [-log-level info] [-debug-addr host:port]
@@ -110,6 +111,7 @@ func main() {
 		cacheBytes   = flag.Int64("cache-max-bytes", 0, "factorization cache byte budget on top of the entry cap (0 = entries only)")
 		cacheDir     = flag.String("cache-dir", "", "persist factorizations to this directory (write-behind spill; rewarm on restart; empty disables)")
 		spillBytes   = flag.Int64("spill-max-bytes", 0, "on-disk byte budget of -cache-dir, oldest files deleted first (0 = unbounded)")
+		engine       = flag.String("engine", "", "default engine for requests that name none: fp16, tc-ec (error-corrected TensorCore), bf16, fp32 (empty = fp16)")
 		window       = flag.Duration("window", 2*time.Millisecond, "solve coalescing window (0 disables)")
 		maxBatch     = flag.Int("max-batch", 32, "max solves coalesced into one multi-RHS call")
 		deadline     = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
@@ -166,6 +168,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Reject a bad -engine at startup: deferring it to serve-time would 400
+	// every engine-less request for the daemon's whole lifetime.
+	switch *engine {
+	case "", "fp16", "tc-ec", "bf16", "fp32":
+	default:
+		fatal(logger, "unknown -engine", "engine", *engine, "want", "fp16, tc-ec, bf16 or fp32")
+	}
+
 	if *faultSpec != "" {
 		if err := faultinject.Arm(*faultSpec); err != nil {
 			fatal(logger, "bad -fault-spec", "err", err)
@@ -214,6 +224,7 @@ func main() {
 		SpillMaxBytes:     *spillBytes,
 		Window:            *window,
 		MaxBatch:          *maxBatch,
+		DefaultEngine:     *engine,
 		DefaultDeadline:   *deadline,
 		Logger:            logger,
 		Retry:             serve.RetryPolicy{MaxAttempts: *retryAttempts},

@@ -285,6 +285,29 @@ func runSmoke(base string) int {
 		"code=%d cache.hits=%d multi=%d timing[solve].count=%d err=%v",
 		code, statz.Cache.Hits, statz.Coalescer.MultiSolveCalls, statz.Timing["solve"].Count, err)
 
+	// Engine selection end-to-end: a factorize that names the error-corrected
+	// engine must run its GEMMs on the tensor-core simulant under the tc-ec
+	// label — the scrape below asserts that exact series moved, proving the
+	// hot path stayed on the simulated device rather than falling back to
+	// fp32.
+	// Cutoff 8 (< the 24 columns) forces recursion above the panel, so the
+	// inter-panel projection GEMMs actually reach the engine.
+	ecMat := smokeMatrix(96, 24, 1)
+	var ecr, fpr struct {
+		Key     string `json:"key"`
+		Hazards []any  `json:"hazards"`
+	}
+	code, err = s.post("/v1/factorize",
+		map[string]any{"matrix": ecMat, "config": map[string]any{"engine": "tc-ec", "cutoff": 8}}, &ecr)
+	s.check(err == nil && code == 200 && ecr.Key != "" && len(ecr.Hazards) == 0,
+		"tc-ec factorize succeeds with no hazards",
+		"code=%d key=%q hazards=%d err=%v", code, ecr.Key, len(ecr.Hazards), err)
+	code, err = s.post("/v1/factorize",
+		map[string]any{"matrix": ecMat, "config": map[string]any{"engine": "fp16", "cutoff": 8}}, &fpr)
+	s.check(err == nil && code == 200 && fpr.Key != "" && ecr.Key != fpr.Key,
+		"tc-ec factorize keys apart from the fp16 one at equal config",
+		"engine missing from the cache-key fingerprint: tc-ec=%q fp16=%q err=%v", ecr.Key, fpr.Key, err)
+
 	// /metrics must serve Prometheus text reflecting the same traffic:
 	// serve, hazard, and engine families present, with non-zero request and
 	// cache-hit counters.
@@ -319,6 +342,9 @@ func runSmoke(base string) int {
 		"metrics counted hazards", "every tcqrd_hazards_total series is zero")
 	s.check(metricAbove(text, "tcqrd_engine_gemm_calls_total", 0),
 		"metrics counted engine GEMM calls", "every tcqrd_engine_gemm_calls_total series is zero")
+	s.check(metricLabelAbove(text, "tcqrd_engine_gemm_calls_total", `engine="tc-ec"`, 0),
+		"metrics counted tc-ec engine GEMM calls",
+		`no non-zero engine="tc-ec" sample — the tc-ec factorize left the simulant`)
 	s.check(metricLabelAbove(text, "tcqrd_wire_requests_total", `encoding="binary"`, 0),
 		"metrics counted binary-encoded requests", "no non-zero encoding=binary sample")
 	s.check(metricLabelAbove(text, "tcqrd_wire_responses_total", `encoding="binary"`, 0),

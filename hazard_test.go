@@ -81,6 +81,7 @@ func TestAdversarialBattery(t *testing.T) {
 		{"denormal-scaled", matgen.DenormalScaled(rng, m, n)},
 		{"single-huge-entry", matgen.SingleHugeEntry(rng, m, n)},
 		{"badly-scaled", matgen.BadlyScaled(rng, m, n, 7)},
+		{"exponent-ladder", matgen.ExponentLadder(rng, m, n, -20, 10)},
 	}
 	for _, tc := range cases {
 		for _, pol := range []HazardPolicy{HazardFail, HazardFallback} {
@@ -218,7 +219,7 @@ func TestSolveHazardsSurface(t *testing.T) {
 func isTypedHazard(err error) bool {
 	for _, sentinel := range []error{
 		ErrNonFinite, ErrEmpty, ErrShape, ErrBreakdown,
-		ErrOverflow, ErrStagnation, ErrDivergence,
+		ErrOverflow, ErrStagnation, ErrDivergence, ErrPrecisionLoss,
 	} {
 		if errors.Is(err, sentinel) {
 			return true

@@ -77,8 +77,15 @@ type CAQRPanel struct {
 	RowBlock int
 }
 
-// Name implements Panel.
-func (p *CAQRPanel) Name() string { return "CAQR" }
+// Name implements Panel: "CAQR", engine-qualified when the ablation routes
+// the panel's GEMMs through a neural engine, so ladder escalation events
+// distinguish the TensorCore, error-corrected, and fp32 CAQR rungs.
+func (p *CAQRPanel) Name() string {
+	if p.Engine == nil {
+		return "CAQR"
+	}
+	return "CAQR[" + p.Engine.Name() + "]"
+}
 
 func (p *CAQRPanel) engine() tcsim.Engine {
 	if p.Engine != nil {

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strings"
 
+	"tcqr/internal/accuracy"
 	"tcqr/internal/dense"
 	"tcqr/internal/faultinject"
 	"tcqr/internal/hazard"
+	"tcqr/internal/tcsim"
 )
 
 // Ladder is a Panel that tries a chain of factorizers in order, escalating
@@ -21,13 +23,42 @@ type Ladder struct {
 	Rungs []Panel
 	// Report receives one event per breakdown (nil disables recording).
 	Report *hazard.Report
+	// Tol, when positive, is the backward-error quality gate applied to
+	// engine-bearing rungs: a panel whose ‖A − QR‖_F/‖A‖_F exceeds Tol is
+	// treated as a precision-loss hazard and escalated, exactly like a
+	// breakdown. This is what makes "equal backward error" a property the
+	// ladder enforces rather than hopes for: a plain-fp16 panel sits at its
+	// ~2⁻¹¹ error floor and always trips an fp32-grade gate, the
+	// error-corrected rung clears it by ~two orders of magnitude.
+	// Engine-less (fp32) rungs are never gated — they are the floor the
+	// gate is calibrated against. Zero disables the gate (the historical
+	// behaviour, and the ablation paths' requirement).
+	Tol float64
 }
+
+// DefaultPanelTol is the quality gate NewLadder installs when the ladder
+// carries an error-corrected rung. Calibration (see the tc-ec battery):
+// plain-TC CAQR panels measure ~3–5·10⁻⁴ backward error at every paper
+// shape, tc-ec and fp32 panels ~1.5·10⁻⁷ — this gate sits ≥30× from both
+// populations.
+const DefaultPanelTol = 1e-5
 
 // NewLadder builds the escalation ladder starting at first: the standard
 // rungs (CholQR2, MGS, Householder) that are strictly more robust than
 // first are appended after it. A Householder start has no rungs above it.
+//
+// When first runs its GEMMs on a plain fp16 TensorCore, the same panel on
+// the error-corrected engine (tc-ec, Ootomo–Yokota) is inserted directly
+// after it: a precision-driven breakdown — κ(A)²·2⁻¹¹ ≳ 1 collapsing the
+// Gram matrix, a dependent column the fp16 rounding manufactured — then
+// recovers at fp32-grade accuracy while staying on the tensor-core
+// simulant, instead of paying the full fp32 panel fallback.
 func NewLadder(first Panel, report *hazard.Report) *Ladder {
 	l := &Ladder{Rungs: []Panel{first}, Report: report}
+	if ec, ok := errorCorrectedRung(first); ok {
+		l.Rungs = append(l.Rungs, ec)
+		l.Tol = DefaultPanelTol
+	}
 	switch first.(type) {
 	case CholQRPanel, *CholQRPanel:
 		l.Rungs = append(l.Rungs, CholQR2Panel{}, MGSPanel{}, &HouseholderPanel{})
@@ -39,6 +70,44 @@ func NewLadder(first Panel, report *hazard.Report) *Ladder {
 		l.Rungs = append(l.Rungs, MGSPanel{}, &HouseholderPanel{})
 	}
 	return l
+}
+
+// errorCorrectedRung returns a copy of first with its engine upgraded to
+// the error-corrected TensorCore, for the panels that carry an engine and
+// whose engine has a corrected counterpart (tcsim.ErrorCorrected — today,
+// exactly the plain fp16 TensorCore). Everything else has no such rung:
+// fp32 panels cannot be made more accurate by it, and a bf16/tc-ec first
+// rung is already past it on the ladder.
+// panelEngine reports the neural engine a rung runs its GEMMs on, nil for
+// the pure-fp32 panels (which the quality gate therefore never judges).
+func panelEngine(p Panel) tcsim.Engine {
+	switch p := p.(type) {
+	case *CAQRPanel:
+		return p.Engine
+	case CholQRPanel:
+		return p.Engine
+	case *CholQRPanel:
+		return p.Engine
+	}
+	return nil
+}
+
+func errorCorrectedRung(first Panel) (Panel, bool) {
+	switch p := first.(type) {
+	case *CAQRPanel:
+		if ec, ok := tcsim.ErrorCorrected(p.Engine); ok {
+			return &CAQRPanel{Engine: ec, RowBlock: p.RowBlock}, true
+		}
+	case CholQRPanel:
+		if ec, ok := tcsim.ErrorCorrected(p.Engine); ok {
+			return CholQRPanel{Engine: ec}, true
+		}
+	case *CholQRPanel:
+		if ec, ok := tcsim.ErrorCorrected(p.Engine); ok {
+			return &CholQRPanel{Engine: ec}, true
+		}
+	}
+	return nil, false
 }
 
 // Name implements Panel.
@@ -65,6 +134,17 @@ func (l *Ladder) Factor(a *dense.M32) (q, r *dense.M32, err error) {
 				err = fmt.Errorf("gram: injected rung failure: %v: %w", ferr, hazard.ErrBreakdown)
 			}
 		}
+		kind := hazard.KindBreakdown
+		// Quality gate: an engine-bearing rung must also deliver the
+		// backward error the gate demands; half-precision arithmetic at its
+		// error floor escalates as a precision-loss hazard.
+		if err == nil && l.Tol > 0 && panelEngine(p) != nil {
+			if be := accuracy.BackwardError(a, q, r); be > l.Tol {
+				kind = hazard.KindPrecisionLoss
+				err = fmt.Errorf("gram: %s backward error %.2e exceeds the %.0e quality gate: %w",
+					p.Name(), be, l.Tol, hazard.ErrPrecisionLoss)
+			}
+		}
 		if err == nil {
 			return q, r, nil
 		}
@@ -73,7 +153,7 @@ func (l *Ladder) Factor(a *dense.M32) (q, r *dense.M32, err error) {
 			action = "escalate to " + l.Rungs[i+1].Name()
 		}
 		l.Report.Record(hazard.Event{
-			Kind:   hazard.KindBreakdown,
+			Kind:   kind,
 			Stage:  "panel",
 			Detail: fmt.Sprintf("%s on %dx%d panel: %v", p.Name(), a.Rows, a.Cols, err),
 			Action: action,

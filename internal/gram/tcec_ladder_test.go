@@ -1,0 +1,145 @@
+package gram
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tcqr/internal/accuracy"
+	"tcqr/internal/dense"
+	"tcqr/internal/hazard"
+	"tcqr/internal/matgen"
+	"tcqr/internal/tcsim"
+)
+
+// TestLadderInsertsErrorCorrectedRung pins the ladder shapes: a plain-TC
+// engine-bearing first rung gets its tc-ec twin directly after it (and the
+// quality gate armed); everything else keeps the historical ladder.
+func TestLadderInsertsErrorCorrectedRung(t *testing.T) {
+	tc := &tcsim.TensorCore{TrackSpecials: true}
+	cases := []struct {
+		first Panel
+		want  string
+		tol   float64
+	}{
+		{&CAQRPanel{Engine: tc}, "ladder(CAQR[TC-GEMM]->CAQR[TCEC-GEMM]->MGS->SGEQRF)", DefaultPanelTol},
+		{CholQRPanel{Engine: tc}, "ladder(CholQR[TC-GEMM]->CholQR[TCEC-GEMM]->CholQR2->MGS->SGEQRF)", DefaultPanelTol},
+		{&CAQRPanel{}, "ladder(CAQR->MGS->SGEQRF)", 0},
+		{CholQRPanel{}, "ladder(CholQR->CholQR2->MGS->SGEQRF)", 0},
+		{&CAQRPanel{Engine: &tcsim.BFloat16{}}, "ladder(CAQR[BF16-GEMM]->MGS->SGEQRF)", 0},
+		{&CAQRPanel{Engine: &tcsim.TCEC{}}, "ladder(CAQR[TCEC-GEMM]->MGS->SGEQRF)", 0},
+		{&HouseholderPanel{}, "ladder(SGEQRF)", 0},
+	}
+	for _, c := range cases {
+		l := NewLadder(c.first, nil)
+		if got := l.Name(); got != c.want {
+			t.Errorf("NewLadder(%s) = %s, want %s", c.first.Name(), got, c.want)
+		}
+		if l.Tol != c.tol {
+			t.Errorf("NewLadder(%s).Tol = %g, want %g", c.first.Name(), l.Tol, c.tol)
+		}
+	}
+}
+
+// TestLadderQualityGateRecoversOnTcEc is the gram half of the escalation
+// battery: a wide CAQR panel on the plain fp16 TensorCore lands at its
+// ~2⁻¹¹ backward-error floor, trips the quality gate, and must recover on
+// the tc-ec rung — one precision-loss event, no fp32 panel involved —
+// delivering the same backward error as the all-fp32 ladder.
+func TestLadderQualityGateRecoversOnTcEc(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := dense.ToF32(matgen.WithCond(rng, 512, 64, 100, matgen.Geometric))
+
+	rep := &hazard.Report{}
+	l := NewLadder(&CAQRPanel{Engine: &tcsim.TensorCore{}, RowBlock: 128}, rep)
+	q, r, err := l.Factor(a)
+	if err != nil {
+		t.Fatalf("ladder failed: %v", err)
+	}
+	be := accuracy.BackwardError(a, q, r)
+	if be > DefaultPanelTol {
+		t.Fatalf("recovered backward error %g still above the gate %g", be, DefaultPanelTol)
+	}
+	events := rep.Events()
+	if len(events) != 1 {
+		t.Fatalf("want exactly one escalation event, got %d: %+v", len(events), events)
+	}
+	ev := events[0]
+	if ev.Kind != hazard.KindPrecisionLoss {
+		t.Errorf("event kind = %v, want precision-loss", ev.Kind)
+	}
+	if !strings.Contains(ev.Action, "CAQR[TCEC-GEMM]") {
+		t.Errorf("event action %q should escalate to the tc-ec rung", ev.Action)
+	}
+	if strings.Contains(ev.Action, "MGS") || strings.Contains(ev.Action, "SGEQRF") {
+		t.Errorf("event action %q reached an fp32 panel", ev.Action)
+	}
+
+	// The tc-only baseline (the pre-tc-ec ladder shape) pays the fp32
+	// fallback for the same matrix and the same achieved backward error.
+	repBase := &hazard.Report{}
+	base := &Ladder{
+		Rungs:  []Panel{&CAQRPanel{Engine: &tcsim.TensorCore{}, RowBlock: 128}, MGSPanel{}, &HouseholderPanel{}},
+		Report: repBase,
+		Tol:    DefaultPanelTol,
+	}
+	qb, rb, err := base.Factor(a)
+	if err != nil {
+		t.Fatalf("baseline ladder failed: %v", err)
+	}
+	beBase := accuracy.BackwardError(a, qb, rb)
+	if beBase > DefaultPanelTol {
+		t.Fatalf("baseline backward error %g above the gate", beBase)
+	}
+	if len(repBase.Events()) == 0 || !strings.Contains(repBase.Events()[0].Action, "MGS") {
+		t.Fatalf("baseline should have escalated to the fp32 MGS panel: %+v", repBase.Events())
+	}
+	// Equal backward error (same order), strictly fewer fp32 escalations
+	// (zero vs one) — the acceptance property, at panel granularity.
+	if be > 4*beBase && beBase > 4*be {
+		t.Errorf("recovered errors should be comparable: tc-ec ladder %g vs fp32 fallback %g", be, beBase)
+	}
+}
+
+// TestLadderGateSkipsEnginelessRungs: precision-loss never fires on fp32
+// rungs even with the gate armed — they are the calibration floor.
+func TestLadderGateSkipsEnginelessRungs(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := dense.ToF32(matgen.WithCond(rng, 256, 32, 10, matgen.Geometric))
+	rep := &hazard.Report{}
+	l := &Ladder{Rungs: []Panel{MGSPanel{}}, Report: rep, Tol: 1e-300}
+	if _, _, err := l.Factor(a); err != nil {
+		t.Fatalf("engine-less rung must not be gated: %v", err)
+	}
+	if n := len(rep.Events()); n != 0 {
+		t.Fatalf("no events expected, got %d", n)
+	}
+}
+
+// TestCholQREngineAblation pins the engine-aware Gram path: the fp32 and
+// nil-engine panels agree bit-for-bit with the historical Syrk only in
+// name — numerically both factor cleanly — while a tc-ec Gram stays within
+// fp32-grade backward error and the ladder's precision classification
+// reaches CholQR through errors.Is.
+func TestCholQREngineAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := dense.ToF32(matgen.WithCond(rng, 384, 24, 50, matgen.Geometric))
+	for _, p := range []CholQRPanel{{}, {Engine: &tcsim.TCEC{}}, {Engine: &tcsim.TensorCore{}}} {
+		q, r, err := p.Factor(a)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if be := accuracy.BackwardError(a, q, r); be > 1e-5 {
+			// CholQR's Q is A·R⁻¹, so backward error stays small for every
+			// engine; the engines differ in orthogonality, judged elsewhere.
+			t.Errorf("%s backward error %g", p.Name(), be)
+		}
+	}
+	// A rank-deficient panel still surfaces the typed breakdown through the
+	// engine path.
+	def := dense.ToF32(matgen.RankDeficient(rng, 128, 16, 8))
+	if _, _, err := (CholQRPanel{Engine: &tcsim.TCEC{}}).Factor(def); !errors.Is(err, hazard.ErrBreakdown) {
+		t.Fatalf("rank-deficient CholQR[tc-ec] should break down, got %v", err)
+	}
+}

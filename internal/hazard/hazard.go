@@ -48,6 +48,14 @@ var (
 	// ErrDivergence reports a refinement iteration whose residual grew
 	// persistently instead of shrinking.
 	ErrDivergence = errors.New("refinement diverged")
+	// ErrPrecisionLoss reports a factorization whose measured backward error
+	// exceeded the quality gate: the computation succeeded structurally but
+	// the engine's arithmetic lost more accuracy than the configuration
+	// promises (a half-precision panel at its ~2⁻¹¹ error floor, against an
+	// fp32-grade gate). The fallback ladder answers it by escalating to a
+	// higher-precision rung — the error-corrected TensorCore before any
+	// fp32 fallback.
+	ErrPrecisionLoss = errors.New("precision loss beyond tolerance")
 )
 
 // Policy decides what a detected hazard does to the computation.
@@ -99,6 +107,10 @@ const (
 	// degraded around rather than surfaced as a numerical result. Recorded
 	// so a request's report shows every recovery, not only numerical ones.
 	KindTransient
+	// KindPrecisionLoss: a structurally successful factorization failed its
+	// backward-error quality gate (half-precision arithmetic at its error
+	// floor) and was escalated to a higher-precision rung.
+	KindPrecisionLoss
 )
 
 // String names the kind.
@@ -118,6 +130,8 @@ func (k Kind) String() string {
 		return "divergence"
 	case KindTransient:
 		return "transient"
+	case KindPrecisionLoss:
+		return "precision-loss"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -135,6 +149,7 @@ func Kinds() []Kind {
 		KindStagnation,
 		KindDivergence,
 		KindTransient,
+		KindPrecisionLoss,
 	}
 }
 

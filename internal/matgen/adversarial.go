@@ -66,6 +66,35 @@ func SingleHugeEntry(rng *rand.Rand, m, n int) *dense.M64 {
 	return a
 }
 
+// ExponentLadder returns a Gaussian matrix whose column j is scaled by
+// 2^e(j), with e(j) stepping linearly from minExp to maxExp across the
+// columns. One matrix sweeps the exponent-range edges of the half-precision
+// formats: columns near the bottom sit below the fp16 subnormal threshold
+// (flush-to-zero territory for the plain engine, and past the point where
+// the error-corrected split's 2¹¹-shifted residuals stay fp16-normal),
+// while columns near the top approach the 65504 saturation edge. The scales
+// are exact powers of two, so the scaling itself is lossless in every
+// binary format — any accuracy difference is the engine's, not the
+// generator's.
+func ExponentLadder(rng *rand.Rand, m, n, minExp, maxExp int) *dense.M64 {
+	if n < 1 || maxExp < minExp {
+		panic(fmt.Sprintf("matgen: ExponentLadder(%d, %d, %d..%d)", m, n, minExp, maxExp))
+	}
+	a := Normal(rng, m, n)
+	for j := 0; j < n; j++ {
+		e := minExp
+		if n > 1 {
+			e = minExp + j*(maxExp-minExp)/(n-1)
+		}
+		s := math.Ldexp(1, e)
+		col := a.Col(j)
+		for i := range col {
+			col[i] *= s
+		}
+	}
+	return a
+}
+
 // WithNaN returns a Gaussian matrix with a[i,j] = NaN, for input-validation
 // tests.
 func WithNaN(rng *rand.Rand, m, n, i, j int) *dense.M64 {

@@ -398,12 +398,14 @@ func panelLabel(p tcqr.PanelAlgorithm) string {
 }
 
 // engineLabel maps a tcsim engine Name() to its wire vocabulary: tc for the
-// simulated fp16 TensorCore, bf16 for the bfloat16 engine, fp32 for plain
-// SGEMM.
+// simulated fp16 TensorCore, tc-ec for its error-corrected (Ootomo split)
+// variant, bf16 for the bfloat16 engine, fp32 for plain SGEMM.
 func engineLabel(name string) string {
 	switch name {
 	case "TC-GEMM":
 		return "tc"
+	case "TCEC-GEMM":
+		return "tc-ec"
 	case "BF16-GEMM":
 		return "bf16"
 	case "SGEMM":

@@ -83,6 +83,13 @@ type Options struct {
 	// MaxStreamSessions caps concurrently open chunked-upload sessions;
 	// begins past the cap are rejected with 429 (0 = 16).
 	MaxStreamSessions int
+	// DefaultEngine is the wire engine name ("fp16", "tc-ec", "bf16",
+	// "fp32") applied to requests that leave Config.engine unset ("" = the
+	// library default, fp16). A request that names an engine always wins —
+	// the default changes what "unset" means, not what clients may ask for.
+	// Invalid names surface as bad_input on the first request that relies
+	// on the default.
+	DefaultEngine string
 	// Backend routes compute; nil = LibraryBackend. Tests install counting
 	// or delaying backends here.
 	Backend Backend
@@ -224,6 +231,17 @@ func New(opts Options) *Server {
 // Cache exposes the factorization cache (benchmarks reset it to measure the
 // cold path).
 func (s *Server) Cache() *FactorCache { return s.cache }
+
+// reqConfig translates a request's wire config, filling an unset engine
+// with the server's DefaultEngine before the enum check: the substitution
+// happens ahead of CacheKey derivation, so a defaulted request and an
+// explicit one asking for the same engine share a cache entry.
+func (s *Server) reqConfig(w WireConfig) (tcqr.Config, error) {
+	if w.Engine == "" {
+		w.Engine = s.opts.DefaultEngine
+	}
+	return w.config()
+}
 
 // CoalescerStats exposes the coalescer counters (tests assert one multi-RHS
 // call per batch through them).
@@ -528,7 +546,7 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rc.rows, rc.cols = a.Rows, a.Cols
-	cfg, err := req.Config.config()
+	cfg, err := s.reqConfig(req.Config)
 	if err != nil {
 		rc.fail(w, classifyError(err))
 		return
@@ -638,7 +656,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			rc.fail(w, aerr)
 			return
 		}
-		cfg, cerr := req.Config.config()
+		cfg, cerr := s.reqConfig(req.Config)
 		if cerr != nil {
 			rc.fail(w, classifyError(cerr))
 			return
@@ -915,7 +933,7 @@ func (s *Server) handleLowRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rc.rows, rc.cols = a.Rows, a.Cols
-	cfg, err := req.Config.config()
+	cfg, err := s.reqConfig(req.Config)
 	if err != nil {
 		rc.fail(w, classifyError(err))
 		return

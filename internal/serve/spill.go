@@ -55,6 +55,7 @@ type spillMeta struct {
 	Config           struct {
 		DisableTensorCore    bool `json:"no_tc,omitempty"`
 		UseBFloat16          bool `json:"bf16,omitempty"`
+		UseTCEC              bool `json:"tc_ec,omitempty"`
 		TensorCoreInPanel    bool `json:"tc_panel,omitempty"`
 		Panel                int  `json:"panel,omitempty"`
 		Cutoff               int  `json:"cutoff,omitempty"`
@@ -450,6 +451,7 @@ func encodeSpillEntry(e *Entry) ([]byte, error) {
 	meta.HasScales = len(e.F.ColumnScales) > 0
 	meta.Config.DisableTensorCore = e.Config.DisableTensorCore
 	meta.Config.UseBFloat16 = e.Config.UseBFloat16
+	meta.Config.UseTCEC = e.Config.UseTCEC
 	meta.Config.TensorCoreInPanel = e.Config.TensorCoreInPanel
 	meta.Config.Panel = int(e.Config.Panel)
 	meta.Config.Cutoff = e.Config.Cutoff
@@ -562,6 +564,7 @@ func decodeSpillEntry(buf []byte) (*Entry, error) {
 	var cfg tcqr.Config
 	cfg.DisableTensorCore = meta.Config.DisableTensorCore
 	cfg.UseBFloat16 = meta.Config.UseBFloat16
+	cfg.UseTCEC = meta.Config.UseTCEC
 	cfg.TensorCoreInPanel = meta.Config.TensorCoreInPanel
 	cfg.Panel = tcqr.PanelAlgorithm(meta.Config.Panel)
 	cfg.Cutoff = meta.Config.Cutoff

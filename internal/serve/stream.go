@@ -247,7 +247,7 @@ func (s *Server) handleStreamBegin(w http.ResponseWriter, r *http.Request) {
 			msg: fmt.Sprintf("cols %d exceeds the %d-element upload cap", req.Cols, s.opts.MaxElements)})
 		return
 	}
-	cfg, err := req.Config.config()
+	cfg, err := s.reqConfig(req.Config)
 	if err != nil {
 		rc.fail(w, classifyError(err))
 		return

@@ -60,7 +60,9 @@ func fromMatrix(m *tcqr.Matrix32) WireMatrix {
 // WireConfig is the JSON form of tcqr.Config. Zero values are the library
 // defaults (fp16 engine, CAQR panel, cutoff 128, scaling on, fail policy).
 type WireConfig struct {
-	// Engine selects the simulated device: "fp16" (default), "bf16", "fp32".
+	// Engine selects the simulated device: "fp16" (default), "tc-ec"
+	// (error-corrected fp16 TensorCore, fp32-grade accuracy at 3× the GEMM
+	// count), "bf16", "fp32".
 	Engine string `json:"engine,omitempty"`
 	// Panel selects the panel algorithm: "caqr" (default), "householder",
 	// "cholqr", "mgs".
@@ -80,12 +82,14 @@ func (w WireConfig) config() (tcqr.Config, error) {
 	var cfg tcqr.Config
 	switch w.Engine {
 	case "", "fp16":
+	case "tc-ec":
+		cfg.UseTCEC = true
 	case "bf16":
 		cfg.UseBFloat16 = true
 	case "fp32":
 		cfg.DisableTensorCore = true
 	default:
-		return cfg, errBadInput(fmt.Sprintf("unknown engine %q (want fp16, bf16 or fp32)", w.Engine))
+		return cfg, errBadInput(fmt.Sprintf("unknown engine %q (want fp16, tc-ec, bf16 or fp32)", w.Engine))
 	}
 	switch w.Panel {
 	case "", "caqr":

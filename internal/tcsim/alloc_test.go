@@ -19,7 +19,7 @@ func TestEngineGemmAllocationFree(t *testing.T) {
 	a := specialsMat(rng, 128, 96)
 	b := specialsMat(rng, 96, 112)
 	c := dense.New[float32](128, 112)
-	engines := []Engine{&FP32{}, &TensorCore{}, &TensorCore{TrackSpecials: true}, &BFloat16{TrackSpecials: true}}
+	engines := []Engine{&FP32{}, &TensorCore{}, &TensorCore{TrackSpecials: true}, &BFloat16{TrackSpecials: true}, &TCEC{}, &TCEC{TrackSpecials: true}}
 	for _, e := range engines {
 		e.Gemm(blas.NoTrans, blas.NoTrans, 1, a, b, 0, c) // warm the pools
 		n := testing.AllocsPerRun(10, func() {

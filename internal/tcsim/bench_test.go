@@ -26,7 +26,7 @@ func benchPair(m, n, k int) (*dense.M32, *dense.M32, *dense.M32) {
 // device the same rounding is what makes it *faster*.
 func BenchmarkEngines(b *testing.B) {
 	a, bb, c := benchPair(512, 512, 512)
-	for _, e := range []Engine{&FP32{}, &TensorCore{}, &BFloat16{}} {
+	for _, e := range []Engine{&FP32{}, &TensorCore{}, &BFloat16{}, &TCEC{}} {
 		b.Run(e.Name(), func(b *testing.B) {
 			b.SetBytes(2 * 512 * 512 * 512)
 			b.ReportAllocs()

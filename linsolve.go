@@ -6,7 +6,6 @@ import (
 	"tcqr/internal/dense"
 	"tcqr/internal/hazard"
 	"tcqr/internal/lu"
-	"tcqr/internal/tcsim"
 )
 
 // LinearSolveResult is the outcome of SolveLinearSystem.
@@ -60,7 +59,7 @@ func SolveLinearSystem(a *Matrix, b []float64, cfg Config) (*LinearSolveResult, 
 		// LU has no column scaling, so build the ladder without that rung.
 		lcfg := cfg
 		lcfg.DisableColumnScaling = false
-		for _, r := range engineLadder(lcfg) {
+		for _, r := range engineLadder(lcfg, err) {
 			rep.Record(hazard.Event{
 				Kind:   classify(err),
 				Stage:  "lu",
@@ -91,18 +90,7 @@ func SolveLinearSystem(a *Matrix, b []float64, cfg Config) (*LinearSolveResult, 
 // the factors are finite and classifying failures with the typed hazard
 // errors.
 func luFactor(a32 *Matrix32, cfg Config) (*lu.Factorization, error) {
-	var engine tcsim.Engine
-	var st statser
-	switch {
-	case cfg.DisableTensorCore:
-		engine = &tcsim.FP32{}
-	case cfg.UseBFloat16:
-		b := &tcsim.BFloat16{TrackSpecials: true}
-		engine, st = b, b
-	default:
-		t := &tcsim.TensorCore{TrackSpecials: true}
-		engine, st = t, t
-	}
+	engine, st := cfg.engineFor(true)
 	f, err := lu.Factor(a32, lu.Options{Engine: engine})
 	var overflows int64
 	if st != nil {

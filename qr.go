@@ -61,7 +61,7 @@ func Factorize(a *Matrix32, cfg Config) (*Factorization, error) {
 	rep := &hazard.Report{}
 	f, err := factorizeOnce(a, cfg, rep)
 	if err != nil && cfg.OnHazard == HazardFallback {
-		for _, r := range engineLadder(cfg) {
+		for _, r := range engineLadder(cfg, err) {
 			rep.Record(hazard.Event{
 				Kind:   classify(err),
 				Stage:  "factorize",
@@ -136,15 +136,24 @@ type rung struct {
 	action string
 }
 
-// engineLadder builds the overflow recovery sequence for cfg. Rungs
-// accumulate: once scaling is re-enabled it stays on for the bfloat16 and
-// FP32 rungs too.
-func engineLadder(cfg Config) []rung {
+// engineLadder builds the recovery sequence for cfg given the error that
+// tripped the fallback. Rungs accumulate: once scaling is re-enabled it
+// stays on for every later rung. A plain-TC configuration first retries on
+// the error-corrected TensorCore (tc-ec) — fp32-grade accuracy while still
+// on the tensor-core simulant — except when the trigger was fp16 overflow:
+// tc-ec splits into fp16 halves and shares the fp16 exponent range, so it
+// cannot fix what bfloat16 or FP32 can. The precedence order in engineFor
+// (UseBFloat16 > UseTCEC) means later rungs simply layer on top.
+func engineLadder(cfg Config, err error) []rung {
 	var out []rung
 	c := cfg
 	if c.DisableColumnScaling {
 		c.DisableColumnScaling = false
 		out = append(out, rung{c, "retry with column scaling"})
+	}
+	if !c.DisableTensorCore && !c.UseBFloat16 && !c.UseTCEC && !errors.Is(err, ErrOverflow) {
+		c.UseTCEC = true
+		out = append(out, rung{c, "retry with error-corrected tensorcore engine"})
 	}
 	if !c.DisableTensorCore && !c.UseBFloat16 {
 		c.UseBFloat16 = true
@@ -165,6 +174,8 @@ func classify(err error) HazardKind {
 		return hazard.KindOverflow
 	case errors.Is(err, ErrBreakdown):
 		return hazard.KindBreakdown
+	case errors.Is(err, ErrPrecisionLoss):
+		return hazard.KindPrecisionLoss
 	default:
 		return hazard.KindNonFinite
 	}
@@ -211,5 +222,7 @@ func (f *Factorization) inner() *rgs.Result {
 // Config wiring relies on.
 var (
 	_ tcsim.Engine = (*tcsim.TensorCore)(nil)
+	_ tcsim.Engine = (*tcsim.BFloat16)(nil)
+	_ tcsim.Engine = (*tcsim.TCEC)(nil)
 	_ tcsim.Engine = (*tcsim.FP32)(nil)
 )

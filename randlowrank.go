@@ -7,7 +7,6 @@ import (
 	"tcqr/internal/blas"
 	"tcqr/internal/dense"
 	"tcqr/internal/svd"
-	"tcqr/internal/tcsim"
 )
 
 // RandomizedLowRank computes a rank-r approximation of a by the randomized
@@ -43,15 +42,7 @@ func RandomizedLowRank(a *Matrix32, rank, oversample, powerIters int, rng *rand.
 		return nil, fmt.Errorf("tcqr: rank+oversample = %d exceeds min dimension of %dx%d", k, m, n)
 	}
 
-	var engine tcsim.Engine
-	switch {
-	case cfg.DisableTensorCore:
-		engine = &tcsim.FP32{}
-	case cfg.UseBFloat16:
-		engine = &tcsim.BFloat16{}
-	default:
-		engine = &tcsim.TensorCore{}
-	}
+	engine, _ := cfg.engineFor(false)
 
 	// Sketch: Y = A·Ω with a Gaussian Ω (n×k).
 	omega := dense.New[float32](n, k)

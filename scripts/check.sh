@@ -21,11 +21,16 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
-# internal/serve holds two fuzz targets, so each run names its target; the
-# single-target packages keep the unambiguous -fuzz=. form.
+# internal/serve and internal/tcsim hold two fuzz targets each, so those
+# runs name their target; the single-target packages keep the unambiguous
+# -fuzz=. form.
 for pkg in ./internal/f16 ./internal/bf16 ./internal/blas ./internal/wirefmt; do
 	echo "== fuzz smoke $pkg =="
 	go test -run '^$' -fuzz . -fuzztime 10s "$pkg"
+done
+for target in FuzzTcEcSplitRoundTrip FuzzGemmTcEcVsFP32; do
+	echo "== fuzz smoke ./internal/tcsim ($target) =="
+	go test -run '^$' -fuzz "^$target\$" -fuzztime 10s ./internal/tcsim
 done
 echo "== fuzz smoke ./internal/tsqr =="
 go test -run '^$' -fuzz '^FuzzTSQRBlockVsSerial$' -fuzztime 10s ./internal/tsqr
@@ -33,6 +38,14 @@ for target in FuzzRetryPolicy FuzzStreamFrameDecode; do
 	echo "== fuzz smoke ./internal/serve ($target) =="
 	go test -run '^$' -fuzz "^$target\$" -fuzztime 10s ./internal/serve
 done
+
+# The tc-ec accuracy/ladder battery runs inside `go test -race ./...` above
+# already; this named pass makes its verdict visible on its own line: the
+# engine accuracy ordering, the escalation property (strictly fewer fp32
+# escalations at equal backward error), and the engine-GEMM hot-path
+# assertions. See DESIGN.md §16 and `make bench-tcec`.
+echo "== tc-ec battery =="
+go test -race -run 'TcEc|Ladder|CholQREngine' . ./internal/tcsim ./internal/gram
 
 # The cluster chaos soak runs inside `go test -race ./...` above already;
 # this named pass makes its verdict visible on its own line (and keeps the

@@ -102,6 +102,15 @@ type Config struct {
 	// float32 exponent range, so fp16-style overflow cannot occur.
 	// Ignored when DisableTensorCore is set.
 	UseBFloat16 bool
+	// UseTCEC swaps the plain fp16 TensorCore for the error-corrected
+	// engine (Ootomo–Yokota, arXiv 2203.03341): every fp32 operand is
+	// split into an fp16 hi half plus a 2¹¹-shifted residual and the GEMM
+	// runs as three TensorCore passes, recovering fp32-grade accuracy
+	// (~2⁻²² elementwise vs ~2⁻¹¹) at 3× the TC GEMM count while staying
+	// on the tensor-core simulant. The exponent range is still fp16's, so
+	// the §3.5 overflow hazard — and the column-scaling safeguard — apply
+	// unchanged. Precedence: DisableTensorCore > UseBFloat16 > UseTCEC.
+	UseTCEC bool
 	// TensorCoreInPanel additionally routes the panel's internal GEMMs
 	// through the neural engine (the paper found this trades accuracy for
 	// almost no speed and leaves it off).
@@ -134,18 +143,7 @@ type statser interface{ Stats() tcsim.Stats }
 // free. When rep is non-nil and the policy is HazardFallback, the panel is
 // wrapped in the gram escalation ladder reporting to rep.
 func (c Config) options(rep *hazard.Report) (rgs.Options, statser) {
-	var engine tcsim.Engine
-	var st statser
-	switch {
-	case c.DisableTensorCore:
-		engine = &tcsim.FP32{}
-	case c.UseBFloat16:
-		b := &tcsim.BFloat16{TrackSpecials: true}
-		engine, st = b, b
-	default:
-		t := &tcsim.TensorCore{TrackSpecials: true}
-		engine, st = t, t
-	}
+	engine, st := c.engineFor(true)
 	return rgs.Options{
 		Engine:          engine,
 		Panel:           c.panelFor(rep),
@@ -155,29 +153,57 @@ func (c Config) options(rep *hazard.Report) (rgs.Options, statser) {
 	}, st
 }
 
+// engineFor materializes the engine c selects, honouring the precedence
+// DisableTensorCore > UseBFloat16 > UseTCEC > TensorCore, together with a
+// stats view for the engines that report work counters. Shared by the
+// factorize, linear-solve and randomized-low-rank paths so every entry
+// point resolves the engine identically.
+func (c Config) engineFor(trackSpecials bool) (tcsim.Engine, statser) {
+	switch {
+	case c.DisableTensorCore:
+		return &tcsim.FP32{}, nil
+	case c.UseBFloat16:
+		b := &tcsim.BFloat16{TrackSpecials: trackSpecials}
+		return b, b
+	case c.UseTCEC:
+		t := &tcsim.TCEC{TrackSpecials: trackSpecials}
+		return t, t
+	default:
+		t := &tcsim.TensorCore{TrackSpecials: trackSpecials}
+		return t, t
+	}
+}
+
+// panelEngine materializes the engine the panel's internal GEMMs run on:
+// nil (plain fp32) unless the TensorCoreInPanel ablation is requested, in
+// which case it follows the same precedence as engineFor.
+func (c Config) panelEngine() tcsim.Engine {
+	if !c.TensorCoreInPanel || c.DisableTensorCore {
+		return nil
+	}
+	e, _ := c.engineFor(true)
+	return e
+}
+
 // panelFor materializes the panel factorizer for c, wrapped in the gram
 // escalation ladder (reporting to rep) under HazardFallback. Shared by the
 // serial RGSQRF path (options) and the parallel TSQR path (FactorizeTall),
-// so both select panels identically.
+// so both select panels identically. TensorCoreInPanel applies to the CAQR
+// panel (the paper's ablation) and to CholQR (whose Gram matrix is the most
+// GEMM-friendly spot in the repertoire); under HazardFallback an
+// engine-bearing plain-TC panel additionally gets the tc-ec recovery rung
+// and the ladder's backward-error quality gate.
 func (c Config) panelFor(rep *hazard.Report) gram.Panel {
 	var panel gram.Panel
 	switch c.Panel {
 	case PanelHouseholder:
 		panel = &gram.HouseholderPanel{}
 	case PanelCholQR:
-		panel = gram.CholQRPanel{}
+		panel = gram.CholQRPanel{Engine: c.panelEngine()}
 	case PanelMGS:
 		panel = gram.MGSPanel{}
 	default:
-		p := &gram.CAQRPanel{}
-		if c.TensorCoreInPanel && !c.DisableTensorCore {
-			if c.UseBFloat16 {
-				p.Engine = &tcsim.BFloat16{TrackSpecials: true}
-			} else {
-				p.Engine = &tcsim.TensorCore{TrackSpecials: true}
-			}
-		}
-		panel = p
+		panel = &gram.CAQRPanel{Engine: c.panelEngine()}
 	}
 	if c.OnHazard == HazardFallback {
 		panel = gram.NewLadder(panel, rep)
